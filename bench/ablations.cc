@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Ablation studies of the modeling decisions DESIGN.md calls out,
+ * each run on a representative workload:
+ *
+ *  - dependency-honoring vs infinite-MLP trace issue
+ *  - stream prefetcher on/off
+ *  - sectored (64 B) vs non-sectored (512 B) DRAM-cache fills
+ *  - pipelined vs full-occupancy DRAM-cache activation
+ *  - prefetch degree and issue-window sweeps
+ *  - d2d interface latency sweep (what if the bond were slower?)
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "mem/engine.hh"
+#include "workloads/registry.hh"
+
+using namespace stack3d;
+
+namespace {
+
+trace::TraceBuffer
+makeTrace(const char *name, std::uint64_t records)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.records_per_thread = records;
+    return workloads::makeRmsKernel(name)->generate(cfg);
+}
+
+mem::EngineResult
+run(const trace::TraceBuffer &buf, mem::HierarchyParams hp,
+    mem::EngineParams ep = {})
+{
+    mem::MemoryHierarchy hier(hp);
+    return mem::TraceEngine(ep).run(buf, hier);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    printBanner(std::cout, "Ablation: dependency honoring (sSym, 32MB)");
+    {
+        // sSym's gathers are chained through the column-index loads;
+        // at the stacked DRAM's hit latency the chains are what
+        // limits CPMA once bandwidth is ample.
+        trace::TraceBuffer buf = makeTrace("sSym", 2000000);
+        mem::HierarchyParams hp =
+            mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+        // At a 16-entry window (a small-MSHR machine) the chains
+        // bind; the deep default window overlaps them away.
+        TextTable t({"issue model", "CPMA @win16", "CPMA @win128"});
+        for (bool honor : {true, false}) {
+            mem::EngineParams ep16, ep128;
+            ep16.window = 16;
+            ep16.honor_dependencies = honor;
+            ep128.honor_dependencies = honor;
+            t.newRow()
+                .cell(honor ? "dependencies honored" : "infinite MLP")
+                .cell(run(buf, hp, ep16).cpma, 3)
+                .cell(run(buf, hp, ep128).cpma, 3);
+        }
+        t.print(std::cout);
+        std::cout << "(index-gather chains are what the paper's "
+                     "dependency-annotated traces preserve; their "
+                     "cost depends on how much MLP the core has)\n";
+    }
+
+    printBanner(std::cout, "Ablation: stream prefetcher (conj, 32MB)");
+    {
+        // conj's vector sweeps carry store->load dependencies; with
+        // the prefetcher off, those chains are exposed to the
+        // stacked DRAM's hit latency on every line.
+        trace::TraceBuffer buf = makeTrace("conj", 1000000);
+        mem::HierarchyParams on =
+            mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+        mem::HierarchyParams off = on;
+        off.prefetcher.enable = false;
+        TextTable t({"prefetcher", "CPMA", "avg latency",
+                     "demand L1 miss %"});
+        auto r_on = run(buf, on);
+        auto r_off = run(buf, off);
+        t.newRow()
+            .cell("on")
+            .cell(r_on.cpma, 3)
+            .cell(r_on.avg_latency, 1)
+            .cell(100.0 * double(r_on.hier.demand_l1d_misses) /
+                      double(r_on.hier.accesses),
+                  1);
+        t.newRow()
+            .cell("off")
+            .cell(r_off.cpma, 3)
+            .cell(r_off.avg_latency, 1)
+            .cell(100.0 * double(r_off.hier.demand_l1d_misses) /
+                      double(r_off.hier.accesses),
+                  1);
+        t.print(std::cout);
+        std::cout << "(the deep issue window hides most of the "
+                     "exposed latency at CPMA level; per-reference "
+                     "latency shows the prefetcher's coverage)\n";
+    }
+
+    printBanner(std::cout,
+                "Ablation: DRAM-cache sectoring (sMVM, 32MB)");
+    {
+        trace::TraceBuffer buf = makeTrace("sMVM", 1000000);
+        TextTable t({"sector bytes", "CPMA", "off-die GB/s"});
+        for (std::uint32_t sector : {64u, 128u, 512u}) {
+            mem::HierarchyParams hp =
+                mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+            hp.dram_cache.sector_bytes = sector;
+            auto r = run(buf, hp);
+            t.newRow()
+                .cell((long long)sector)
+                .cell(r.cpma, 3)
+                .cell(r.offdie_gbps, 2);
+        }
+        t.print(std::cout);
+        std::cout << "(the paper's 64 B sectors avoid fetching whole "
+                     "512 B pages over the off-die bus)\n";
+    }
+
+    printBanner(std::cout,
+                "Ablation: DRAM-cache activation model (sAVDF, 32MB)");
+    {
+        trace::TraceBuffer buf = makeTrace("sAVDF", 1000000);
+        TextTable t({"activation", "CPMA"});
+        for (bool pipelined : {true, false}) {
+            mem::HierarchyParams hp =
+                mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+            hp.dram_cache.timing.pipelined_activate = pipelined;
+            t.newRow()
+                .cell(pipelined ? "pipelined subarrays" : "full tRC")
+                .cell(run(buf, hp).cpma, 3);
+        }
+        t.print(std::cout);
+        std::cout << "(full-occupancy activation would make gather "
+                     "benchmarks regress at 32 MB, contradicting "
+                     "Figure 5)\n";
+    }
+
+    printBanner(std::cout, "Sweep: prefetch degree (conj, 32MB)");
+    {
+        trace::TraceBuffer buf = makeTrace("conj", 1500000);
+        TextTable t({"degree", "CPMA", "avg latency"});
+        for (unsigned degree : {0u, 1u, 2u, 4u, 8u}) {
+            mem::HierarchyParams hp =
+                mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+            if (degree == 0)
+                hp.prefetcher.enable = false;
+            else
+                hp.prefetcher.degree = degree;
+            auto r = run(buf, hp);
+            t.newRow()
+                .cell((long long)degree)
+                .cell(r.cpma, 3)
+                .cell(r.avg_latency, 1);
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout, "Sweep: issue window (sSym, 32MB)");
+    {
+        trace::TraceBuffer buf = makeTrace("sSym", 1000000);
+        mem::HierarchyParams hp =
+            mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+        TextTable t({"window", "CPMA"});
+        for (unsigned window : {16u, 32u, 64u, 128u, 256u}) {
+            mem::EngineParams ep;
+            ep.window = window;
+            t.newRow().cell((long long)window).cell(
+                run(buf, hp, ep).cpma, 3);
+        }
+        t.print(std::cout);
+        std::cout << "(window MLP is what covers the stacked DRAM's "
+                     "higher random-access latency)\n";
+    }
+
+    printBanner(std::cout,
+                "Sweep: d2d interface latency (sSym, 32MB, 32-entry "
+                "window)");
+    {
+        // A gather-dominated workload on a modest-MLP core exposes
+        // the LLC round trip directly.
+        trace::TraceBuffer buf = makeTrace("sSym", 1500000);
+        TextTable t({"d2d cycles", "CPMA", "avg latency"});
+        for (unsigned d2d : {1u, 4u, 16u, 64u}) {
+            mem::HierarchyParams hp =
+                mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+            hp.dram_cache.d2d_latency = d2d;
+            mem::EngineParams ep;
+            ep.window = 32;
+            auto r = run(buf, hp, ep);
+            t.newRow()
+                .cell((long long)d2d)
+                .cell(r.cpma, 3)
+                .cell(r.avg_latency, 1);
+        }
+        t.print(std::cout);
+        std::cout << "(the face-to-face bond's ~via-class latency is "
+                     "what makes the stacked DRAM feel on-die; at "
+                     "off-die-class latencies the benefit erodes)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 11: peak temperature of the Logic+Logic fold — the 2D
+ * baseline (paper: 98.6 C at 147 W), the repaired 3D floorplan
+ * (112.5 C at 125 W, ~1.3x peak density), and the worst-case naive
+ * fold (124.75 C at 147 W, ~2x density). Also exercises the
+ * automatic density-repair planner as an ablation.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/logic_study.hh"
+#include "floorplan/planner.hh"
+
+using namespace stack3d;
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 11: Logic+Logic thermals");
+
+    thermal::PackageModel pkg = thermal::makeP4Package();
+    floorplan::Floorplan planar = floorplan::makePentium4Planar();
+    double planar_density = planar.peakBlockDensity(0);
+
+    auto planar_pt = core::solveFloorplanThermals(
+        planar, thermal::StackedDieType::None, pkg);
+
+    power::LogicPowerBreakdown breakdown;
+    floorplan::Floorplan stacked = floorplan::makePentium43D(
+        breakdown.stackedRelativePower());
+    auto stacked_pt = core::solveFloorplanThermals(
+        stacked, thermal::StackedDieType::LogicSram, pkg);
+
+    floorplan::Floorplan worst = floorplan::makePentium43DWorstCase();
+    auto worst_pt = core::solveFloorplanThermals(
+        worst, thermal::StackedDieType::LogicSram, pkg);
+
+    TextTable t({"configuration", "power W", "density x", "peak C",
+                 "paper C"});
+    t.newRow()
+        .cell("2D Baseline")
+        .cell(planar_pt.total_power_w, 1)
+        .cell(1.0, 2)
+        .cell(planar_pt.peak_c, 2)
+        .cell("98.6");
+    t.newRow()
+        .cell("3D")
+        .cell(stacked_pt.total_power_w, 1)
+        .cell(stacked.peakStackedDensity() / planar_density, 2)
+        .cell(stacked_pt.peak_c, 2)
+        .cell("112.5");
+    t.newRow()
+        .cell("3D Worstcase")
+        .cell(worst_pt.total_power_w, 1)
+        .cell(worst.peakStackedDensity() / planar_density, 2)
+        .cell(worst_pt.peak_c, 2)
+        .cell("124.75");
+    t.print(std::cout);
+
+    printBanner(std::cout,
+                "Ablation: iterative density repair on/off");
+    {
+        floorplan::PlannerParams pp;
+        pp.seed = 3;
+        auto repaired = floorplan::planStacking(planar, pp);
+
+        floorplan::PlannerParams naive = pp;
+        naive.beta_density = 0.0;   // wirelength only, no repair
+        auto unrepaired = floorplan::planStacking(planar, naive);
+
+        TextTable a({"planner", "wirelength mm", "peak density x"});
+        a.newRow()
+            .cell("planar reference")
+            .cell(repaired.planar_wirelength * 1e3, 1)
+            .cell(1.0, 2);
+        a.newRow()
+            .cell("3D, density repair ON")
+            .cell(repaired.wirelength * 1e3, 1)
+            .cell(repaired.peak_density_ratio, 2);
+        a.newRow()
+            .cell("3D, density repair OFF")
+            .cell(unrepaired.wirelength * 1e3, 1)
+            .cell(unrepaired.peak_density_ratio, 2);
+        a.print(std::cout);
+        std::cout << "(the paper's iterative place/observe/repair "
+                     "process holds the stacked peak near 1.3x; "
+                     "without it naive stacking approaches 2x)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 6: the planar Core 2 Duo baseline — (a) the power map and
+ * (b) the thermal map of the 92 W part, with the FP / RS / LdSt hot
+ * spots. Paper reference points: hottest spots 88.35 C, coolest
+ * 59 C at 40 C ambient.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/thermal_study.hh"
+
+using namespace stack3d;
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 6(a): Core 2 Duo power map");
+
+    floorplan::Floorplan fp = floorplan::makeCore2Duo();
+    std::cout << "total power: " << fp.totalPower() << " W (92 W skew)\n"
+              << "die: " << fp.width() * 1e3 << " x " << fp.height() * 1e3
+              << " mm; L2 cache occupies ~50% of the die\n\n";
+
+    thermal::PowerMap map =
+        fp.powerMap(core::kDefaultDieNx, core::kDefaultDieNy, 0);
+    thermal::renderPowerMap(std::cout, map);
+
+    printBanner(std::cout, "Figure 6(b): thermal map");
+    core::ThermalSolution solution;
+    core::ThermalPoint pt = core::solveFloorplanThermals(
+        fp, thermal::StackedDieType::None, {}, {}, &solution);
+
+    unsigned active =
+        solution.mesh->geometry().layerIndex("active1");
+    thermal::renderLayerMap(std::cout, *solution.field, active);
+
+    TextTable t({"metric", "measured", "paper"});
+    t.newRow().cell("hottest spot (C)").cell(pt.peak_c, 2).cell("88.35");
+    t.newRow().cell("coolest area (C)").cell(pt.min_c, 2).cell("59");
+    t.print(std::cout);
+
+    // Name the hot blocks: the three hottest by block power density.
+    std::cout << "\nhot blocks (power density, W/mm^2): ";
+    for (const auto &b : fp.blocks()) {
+        if (b.powerDensity() > 2.5e6)
+            std::cout << b.name << "=" << b.powerDensity() / 1e6 << " ";
+    }
+    std::cout << "\n(paper: FP units, reservation stations, and the "
+                 "load/store unit)\n";
+    return 0;
+}

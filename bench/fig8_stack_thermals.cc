@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figures 7 and 8: the memory-stacking options' power budgets and
+ * peak temperatures, plus the 32 MB option's thermal map.
+ *
+ * Paper reference points (Figure 8a): 2D 4MB 88.35 C, 3D 12MB
+ * 92.85 C, 3D 32MB 88.43 C, 3D 64MB 90.27 C.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/thermal_study.hh"
+#include "power/scaling.hh"
+
+using namespace stack3d;
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 7: stack options and cache power");
+    {
+        TextTable t({"option", "organization", "cache power (W)"});
+        t.newRow().cell("(a) 2D 4MB").cell("4 MB SRAM on die")
+            .cell(power::cachePowerWatts(mem::StackOption::Baseline4MB),
+                  1);
+        t.newRow().cell("(b) 3D 12MB")
+            .cell("4 MB SRAM + 8 MB stacked SRAM")
+            .cell(power::cachePowerWatts(mem::StackOption::Sram12MB), 1);
+        t.newRow().cell("(c) 3D 32MB")
+            .cell("32 MB stacked DRAM, SRAM removed")
+            .cell(power::cachePowerWatts(mem::StackOption::Dram32MB), 1);
+        t.newRow().cell("(d) 3D 64MB")
+            .cell("64 MB stacked DRAM, tags in old SRAM")
+            .cell(power::cachePowerWatts(mem::StackOption::Dram64MB), 1);
+        t.print(std::cout);
+        std::cout << "(paper: 4 MB SRAM 7 W; +8 MB SRAM +14 W; 32 MB "
+                     "DRAM 3.1 W; 64 MB DRAM 6.2 W)\n";
+    }
+
+    printBanner(std::cout, "Figure 8(a): peak temperature per option");
+    core::StackThermalResult result = core::runStackThermalStudy();
+
+    const char *labels[4] = {"2D 4MB", "3D 12MB", "3D 32MB", "3D 64MB"};
+    const double paper[4] = {88.35, 92.85, 88.43, 90.27};
+    TextTable t({"option", "total W", "peak C", "paper C", "delta"});
+    for (int o = 0; o < 4; ++o) {
+        t.newRow()
+            .cell(labels[o])
+            .cell(result.options[o].total_power_w, 1)
+            .cell(result.options[o].peak_c, 2)
+            .cell(paper[o], 2)
+            .cell(result.options[o].peak_c - paper[o], 2);
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout, "Figure 8(b): 3D 32MB thermal map");
+    {
+        using namespace floorplan;
+        Floorplan base = makeCore2BaseDie32MKeepOutline();
+        Floorplan dram =
+            makeCacheDie(base, "dram32m", budgets::stacked_dram_32mb);
+        Floorplan combined = stackFloorplans(base, dram, "core2_32m");
+        core::ThermalSolution solution;
+        core::solveFloorplanThermals(combined,
+                                     thermal::StackedDieType::Dram, {},
+                                     {}, &solution);
+        unsigned active =
+            solution.mesh->geometry().layerIndex("active1");
+        thermal::renderLayerMap(std::cout, *solution.field, active);
+    }
+    std::cout << "\nheadline: stacking the 32 MB DRAM cache changes "
+                 "peak temperature by "
+              << result.options[2].peak_c - result.options[0].peak_c
+              << " C (paper: +0.08 C)\n";
+    return 0;
+}

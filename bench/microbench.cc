@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates:
+ * cache tag lookups, DRAM bank timing, the dependency-honoring trace
+ * engine, the thermal CG solver, and the cpu pipeline model. These
+ * track the cost of the primitives everything else is built on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/pipeline.hh"
+#include "mem/engine.hh"
+#include "thermal/solver.hh"
+#include "thermal/stacks.hh"
+#include "workloads/registry.hh"
+
+using namespace stack3d;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheParams params{units::fromMiB(4), 64, 16, 16};
+    mem::Cache cache(params, "bench");
+    Random rng(42);
+    std::vector<Addr> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.uniformInt(64u << 20) & ~Addr(63);
+
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 4095], false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DramBankAccess(benchmark::State &state)
+{
+    mem::DramTiming timing;
+    mem::DramBankEngine banks(16, 512, timing, "bench");
+    Random rng(42);
+    std::vector<Addr> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.uniformInt(32u << 20) & ~Addr(63);
+
+    Cycles now = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(banks.access(addrs[i++ & 4095], now));
+        now += 2;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramBankAccess);
+
+void
+BM_TraceEngine(benchmark::State &state)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.records_per_thread = 100000;
+    auto kernel = workloads::makeRmsKernel("sMVM");
+    trace::TraceBuffer buf = kernel->generate(cfg);
+
+    for (auto _ : state) {
+        mem::MemoryHierarchy hier(
+            mem::makeHierarchyParams(mem::StackOption::Baseline4MB));
+        mem::TraceEngine engine;
+        benchmark::DoNotOptimize(engine.run(buf, hier));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            std::int64_t(buf.size()));
+}
+BENCHMARK(BM_TraceEngine)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.records_per_thread = 100000;
+    auto kernel = workloads::makeRmsKernel("conj");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernel->generate(cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_ThermalSolve(benchmark::State &state)
+{
+    auto die_n = unsigned(state.range(0));
+    thermal::StackGeometry geom =
+        thermal::makeTwoDieStack(12e-3, 12e-3,
+                                 thermal::StackedDieType::Dram);
+    for (auto _ : state) {
+        thermal::Mesh mesh(geom, die_n, die_n);
+        thermal::PowerMap map(die_n, die_n, 12e-3, 12e-3);
+        map.addUniform(90.0);
+        mesh.setLayerPower(geom.layerIndex("active1"), map);
+        benchmark::DoNotOptimize(thermal::solveSteadyState(mesh, 1e-6));
+    }
+}
+BENCHMARK(BM_ThermalSolve)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineModel(benchmark::State &state)
+{
+    workloads::CpuWorkloadParams params;
+    params.name = "bench";
+    auto uops = workloads::generateCpuTrace(params, 100000, 7);
+    cpu::PipelineModel model(cpu::PipelineConfig::planar());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.run(uops));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            std::int64_t(uops.size()));
+}
+BENCHMARK(BM_PipelineModel)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

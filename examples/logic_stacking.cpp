@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Logic+Logic stacking explorer: evaluate the Pentium 4-class design
+ * planar vs folded onto two dies — per-class IPC, the power roll-up,
+ * the floorplan wire analysis, and the automatic stacking planner.
+ *
+ * Usage:
+ *   logic_stacking [--uops N] [--full-suite]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hh"
+#include "cpu/suite.hh"
+#include "floorplan/planner.hh"
+#include "floorplan/reference.hh"
+#include "power/scaling.hh"
+
+using namespace stack3d;
+
+int
+main(int argc, char **argv)
+{
+    cpu::SuiteOptions opt;
+    opt.uops_per_trace = 60000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--uops") == 0 && i + 1 < argc)
+            opt.uops_per_trace = std::stoull(argv[++i]);
+        else if (std::strcmp(argv[i], "--full-suite") == 0)
+            opt.full_suite = true;
+    }
+
+    // ---- IPC: planar vs 3D pipeline ----
+    cpu::TraceSuite suite(opt);
+    std::printf("simulating %u traces, %llu uops each...\n",
+                suite.numTraces(),
+                (unsigned long long)opt.uops_per_trace);
+
+    auto planar = suite.run(cpu::PipelineConfig::planar());
+    auto stacked = suite.run(cpu::PipelineConfig::stacked3d());
+
+    TextTable ipc({"class", "planar IPC", "3D IPC", "gain %"});
+    for (std::size_t c = 0; c < planar.class_ipc.size(); ++c) {
+        double gain = (stacked.class_ipc[c].second /
+                           planar.class_ipc[c].second -
+                       1.0) * 100.0;
+        ipc.newRow()
+            .cell(planar.class_ipc[c].first)
+            .cell(planar.class_ipc[c].second, 3)
+            .cell(stacked.class_ipc[c].second, 3)
+            .cell(gain, 1);
+    }
+    ipc.newRow()
+        .cell("geomean")
+        .cell(planar.geomean_ipc, 3)
+        .cell(stacked.geomean_ipc, 3)
+        .cell((stacked.geomean_ipc / planar.geomean_ipc - 1.0) * 100.0,
+              1);
+    ipc.print(std::cout);
+
+    // ---- power roll-up ----
+    power::LogicPowerBreakdown breakdown;
+    std::printf("\n3D power roll-up: %.1f%% reduction (repeaters, "
+                "repeating latches, clock grid, pipe latches)\n",
+                (1.0 - breakdown.stackedRelativePower()) * 100.0);
+
+    // ---- wire analysis of the hand floorplans ----
+    auto fp2d = floorplan::makePentium4Planar();
+    auto fp3d = floorplan::makePentium43D();
+    floorplan::WireModel wire;
+    std::printf("\nkey wire paths (planar -> 3D, mm and pipe "
+                "stages):\n");
+    for (const char *path : {"dcache:falu", "rf:fp"}) {
+        std::string s(path);
+        auto colon = s.find(':');
+        std::string a = s.substr(0, colon), b = s.substr(colon + 1);
+        double d2 = fp2d.wireDistance(a, b);
+        double d3 = fp3d.wireDistance(a, b);
+        std::printf("  %-14s %.2f mm (%u stages) -> %.2f mm "
+                    "(%u stages)\n",
+                    path, d2 * 1e3, wire.pipeStages(d2), d3 * 1e3,
+                    wire.pipeStages(d3));
+    }
+
+    // ---- the automatic stacking planner ----
+    floorplan::PlannerParams pp;
+    auto plan = floorplan::planStacking(fp2d, pp);
+    std::printf("\nautomatic stacking planner: wirelength %.1f -> "
+                "%.1f mm, peak stacked density %.2fx planar "
+                "(%u moves accepted)\n",
+                plan.planar_wirelength * 1e3, plan.wirelength * 1e3,
+                plan.peak_density_ratio, plan.accepted_moves);
+    return 0;
+}

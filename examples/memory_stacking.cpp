@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory+Logic stacking explorer: run any subset of the RMS
+ * benchmarks across the four Figure 7 cache organizations and print
+ * a Figure 5-style table.
+ *
+ * Usage:
+ *   memory_stacking [--depth F] [benchmark ...]
+ *
+ *   --depth F   trace-length multiplier (default 0.5 for a fast
+ *               demo; 1.0 = the calibrated full budgets)
+ *   benchmark   any of: conj dSym gauss pcg sMVM sSym sTrans sAVDF
+ *               sAVIF sUS svd svm   (default: gauss pcg svm)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/memory_study.hh"
+
+using namespace stack3d;
+
+int
+main(int argc, char **argv)
+{
+    core::MemoryStudyConfig cfg;
+    cfg.depth = 0.5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc) {
+            cfg.depth = std::stod(argv[++i]);
+        } else {
+            cfg.benchmarks.emplace_back(argv[i]);
+        }
+    }
+    if (cfg.benchmarks.empty())
+        cfg.benchmarks = {"gauss", "pcg", "svm"};
+
+    std::printf("running %zu benchmark(s) at depth %.2f...\n",
+                cfg.benchmarks.size(), cfg.depth);
+    core::MemoryStudyResult result = core::runMemoryStudy(cfg);
+
+    TextTable table({"benchmark", "MB", "CPMA 4M", "CPMA 12M",
+                     "CPMA 32M", "CPMA 64M", "BW 4M", "BW 32M",
+                     "reduction"});
+    for (const auto &row : result.rows) {
+        table.newRow()
+            .cell(row.benchmark)
+            .cell(row.footprint_mb, 1)
+            .cell(row.cpma[0], 3)
+            .cell(row.cpma[1], 3)
+            .cell(row.cpma[2], 3)
+            .cell(row.cpma[3], 3)
+            .cell(row.bw_gbps[0], 2)
+            .cell(row.bw_gbps[2], 2)
+            .cell((1.0 - row.cpma[2] / row.cpma[0]) * 100.0, 1);
+    }
+    table.print(std::cout);
+
+    std::printf("\n32 MB DRAM cache vs baseline: avg CPMA -%.1f%%, "
+                "best -%.1f%%, BW /%.2f, bus power -%.0f%%\n",
+                result.summary.avg_cpma_reduction_32m * 100.0,
+                result.summary.max_cpma_reduction_32m * 100.0,
+                result.summary.avg_bw_reduction_factor_32m,
+                result.summary.avg_bus_power_reduction_32m * 100.0);
+    return 0;
+}

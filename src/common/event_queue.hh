@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A minimal discrete-event queue. Events are closures scheduled at an
+ * absolute tick; ties are broken by insertion order so simulation is
+ * fully deterministic.
+ */
+
+#ifndef STACK3D_COMMON_EVENT_QUEUE_HH
+#define STACK3D_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "units.hh"
+
+namespace stack3d {
+
+/** Deterministic discrete-event queue keyed by Cycles. */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action at absolute time @p when (>= now). */
+    void
+    schedule(Cycles when, Action action)
+    {
+        stack3d_assert(when >= _now,
+                       "scheduling into the past: when=", when,
+                       " now=", _now);
+        _heap.push(Event{when, _next_seq++, std::move(action)});
+    }
+
+    /** Current simulated time. */
+    Cycles now() const { return _now; }
+
+    /** True if no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /**
+     * Pop and run the next event, advancing time to it.
+     * @return false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (_heap.empty())
+            return false;
+        // The action may schedule new events, so move it out first.
+        Event ev = _heap.top();
+        _heap.pop();
+        _now = ev.when;
+        ev.action();
+        return true;
+    }
+
+    /** Run until the queue drains. @return final time. */
+    Cycles
+    runAll()
+    {
+        while (runOne()) {
+        }
+        return _now;
+    }
+
+    /** Run events with time <= @p limit. @return current time. */
+    Cycles
+    runUntil(Cycles limit)
+    {
+        while (!_heap.empty() && _heap.top().when <= limit)
+            runOne();
+        if (_now < limit)
+            _now = limit;
+        return _now;
+    }
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        std::uint64_t seq;
+        Action action;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> _heap;
+    Cycles _now = 0;
+    std::uint64_t _next_seq = 0;
+};
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,64 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace stack3d {
+namespace detail {
+
+namespace {
+
+std::atomic<unsigned long> warn_counter{0};
+std::atomic<bool> quiet_mode{false};
+
+} // anonymous namespace
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::cerr << "panic: " << message << "\n    @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::cerr << "fatal: " << message << "\n    @ " << file << ":" << line
+              << std::endl;
+    // Throwing (rather than exit(1)) keeps fatal conditions testable;
+    // main() wrappers treat an escaped FatalError as exit(1).
+    throw std::runtime_error("fatal: " + message);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    warn_counter.fetch_add(1, std::memory_order_relaxed);
+    if (!quiet_mode.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << message << std::endl;
+}
+
+void
+informImpl(const std::string &message)
+{
+    if (!quiet_mode.load(std::memory_order_relaxed))
+        std::cout << "info: " << message << std::endl;
+}
+
+unsigned long
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_mode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace detail
+} // namespace stack3d

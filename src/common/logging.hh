@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for stack3d.
+ *
+ * Follows the gem5 convention:
+ *  - panic():  an internal invariant was violated (a stack3d bug);
+ *              aborts so a debugger or core dump can capture state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments); exits cleanly
+ *              with a non-zero status.
+ *  - warn():   something may not behave as the user expects, but the
+ *              simulation continues.
+ *  - inform(): status messages with no connotation of misbehaviour.
+ */
+
+#ifndef STACK3D_COMMON_LOGGING_HH
+#define STACK3D_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace stack3d {
+
+namespace detail {
+
+/** Append the tail arguments of a log call to a stream. */
+inline void
+appendArgs(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendArgs(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendArgs(os, rest...);
+}
+
+/** Format a variadic argument pack into one string. */
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    appendArgs(os, args...);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+/** Number of warn() calls issued so far (used by tests). */
+unsigned long warnCount();
+
+/** Silence warn()/inform() output (messages are still counted). */
+void setQuiet(bool quiet);
+
+} // namespace detail
+
+/**
+ * Abort with a message: something happened that should never happen
+ * regardless of user input, i.e. an internal stack3d bug.
+ */
+#define stack3d_panic(...)                                                  \
+    ::stack3d::detail::panicImpl(                                           \
+        __FILE__, __LINE__, ::stack3d::detail::formatMessage(__VA_ARGS__))
+
+/**
+ * Exit with a message: the simulation cannot continue because of a
+ * condition that is the user's fault (bad configuration, bad input).
+ */
+#define stack3d_fatal(...)                                                  \
+    ::stack3d::detail::fatalImpl(                                           \
+        __FILE__, __LINE__, ::stack3d::detail::formatMessage(__VA_ARGS__))
+
+/** Warn the user about questionable but survivable behaviour. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::warnImpl(detail::formatMessage(args...));
+}
+
+/** Print a status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::informImpl(detail::formatMessage(args...));
+}
+
+/**
+ * Internal-consistency check that survives NDEBUG builds.
+ * Use for invariants whose violation means a stack3d bug.
+ */
+#define stack3d_assert(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::stack3d::detail::panicImpl(                                   \
+                __FILE__, __LINE__,                                         \
+                ::stack3d::detail::formatMessage(                           \
+                    "assertion '" #cond "' failed: ", ##__VA_ARGS__));      \
+        }                                                                   \
+    } while (0)
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_LOGGING_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * simulation. A thin wrapper over the xoshiro256** generator with
+ * convenience draws used across the simulators.
+ */
+
+#ifndef STACK3D_COMMON_RANDOM_HH
+#define STACK3D_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace stack3d {
+
+/** Deterministic, seedable PRNG (xoshiro256**). */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x5cafe3dULL) { reseed(seed); }
+
+    /** Re-seed the state via splitmix64 expansion of @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : _state) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    uniformInt(std::uint64_t bound)
+    {
+        stack3d_assert(bound != 0, "uniformInt with zero bound");
+        // Multiply-shift rejection-free mapping (Lemire); tiny bias is
+        // irrelevant for simulation workload generation.
+        unsigned __int128 m = (unsigned __int128)next() * bound;
+        return std::uint64_t(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformDouble()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniformDouble();
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniformDouble() < p; }
+
+    /**
+     * Geometric-ish run length: number of consecutive successes with
+     * probability @p p each, capped at @p cap.
+     */
+    unsigned
+    runLength(double p, unsigned cap)
+    {
+        unsigned n = 0;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_RANDOM_HH

@@ -1,0 +1,184 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace stack3d {
+namespace stats {
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+namespace {
+
+void
+printLine(std::ostream &os, const std::string &prefix,
+          const std::string &name, double value, const std::string &desc)
+{
+    std::ostringstream full;
+    full << prefix << name;
+    os << std::left << std::setw(44) << full.str() << " "
+       << std::right << std::setw(14) << std::setprecision(6) << value
+       << "  # " << desc << "\n";
+}
+
+} // anonymous namespace
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), _value, desc());
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), mean(), desc());
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double lo, double hi,
+                           unsigned num_buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      _lo(lo), _hi(hi),
+      _bucket_width(num_buckets ? (hi - lo) / double(num_buckets) : 0.0),
+      _buckets(num_buckets, 0)
+{
+    stack3d_assert(hi > lo, "distribution bounds inverted");
+    stack3d_assert(num_buckets > 0, "distribution needs >= 1 bucket");
+}
+
+void
+Distribution::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    _sum_sq += v * v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = std::size_t((v - _lo) / _bucket_width);
+        idx = std::min(idx, _buckets.size() - 1);
+        ++_buckets[idx];
+    }
+}
+
+double
+Distribution::stddev() const
+{
+    if (_count < 2)
+        return 0.0;
+    double n = double(_count);
+    double var = (_sum_sq - _sum * _sum / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::uint64_t
+Distribution::bucketCount(unsigned i) const
+{
+    stack3d_assert(i < _buckets.size(), "bucket index out of range");
+    return _buckets[i];
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name() + "::count", double(_count), desc());
+    printLine(os, prefix, name() + "::mean", mean(), desc());
+    printLine(os, prefix, name() + "::stdev", stddev(), desc());
+    if (_count) {
+        printLine(os, prefix, name() + "::min", _min, desc());
+        printLine(os, prefix, name() + "::max", _max, desc());
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _count = 0;
+    _sum = _sum_sq = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), value(), desc());
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), _parent(parent)
+{
+    if (_parent)
+        _parent->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (_parent)
+        _parent->removeChild(this);
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    stack3d_assert(stat != nullptr, "null stat registered");
+    _stats.push_back(stat);
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    auto it = std::find_if(_stats.begin(), _stats.end(),
+                           [&](const StatBase *s)
+                           { return s->name() == name; });
+    return it == _stats.end() ? nullptr : *it;
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string my_prefix =
+        prefix.empty() ? _name + "." : prefix + _name + ".";
+    for (const StatBase *stat : _stats)
+        stat->print(os, my_prefix);
+    for (const StatGroup *child : _children)
+        child->dump(os, my_prefix);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *stat : _stats)
+        stat->reset();
+    for (StatGroup *child : _children)
+        child->resetAll();
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    _children.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    auto it = std::find(_children.begin(), _children.end(), child);
+    if (it != _children.end())
+        _children.erase(it);
+}
+
+} // namespace stats
+} // namespace stack3d

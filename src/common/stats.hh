@@ -1,0 +1,204 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's stats framework.
+ *
+ * Statistics register themselves with a StatGroup; groups can be nested
+ * and dumped as text. Supported kinds:
+ *  - Scalar:       a single counter / value
+ *  - Average:      mean of samples
+ *  - Distribution: bucketed histogram with min/max/mean/stddev
+ *  - Formula:      value computed from other stats at dump time
+ */
+
+#ifndef STACK3D_COMMON_STATS_HH
+#define STACK3D_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace stack3d {
+namespace stats {
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print "name value # desc" line(s). */
+    virtual void print(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the initial (empty) state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A single scalar counter / accumulator. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {
+    }
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Arithmetic mean of samples. */
+class Average : public StatBase
+{
+  public:
+    Average(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {
+    }
+
+    void sample(double v) { _sum += v; ++_count; }
+
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _sum = 0.0; _count = 0; }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/** Bucketed distribution with running moments. */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param lo        lower bound of the first bucket
+     * @param hi        upper bound of the last bucket
+     * @param num_buckets  number of equal-width buckets in [lo, hi)
+     */
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double lo, double hi, unsigned num_buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    double stddev() const;
+    double min() const { return _min; }
+    double max() const { return _max; }
+    std::uint64_t bucketCount(unsigned i) const;
+    std::uint64_t underflows() const { return _underflow; }
+    std::uint64_t overflows() const { return _overflow; }
+    unsigned numBuckets() const { return unsigned(_buckets.size()); }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double _lo;
+    double _hi;
+    double _bucket_width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sum_sq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** A value computed from other statistics at print time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          _fn(std::move(fn))
+    {
+    }
+
+    double value() const { return _fn ? _fn() : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+/**
+ * A named collection of statistics and child groups. Groups do not own
+ * their stats (stats are members of simulator objects); they hold
+ * non-owning pointers valid for the lifetime of the owning object.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Register a statistic (called by StatBase's constructor). */
+    void addStat(StatBase *stat);
+
+    /** Find a directly-owned stat by name; nullptr if absent. */
+    const StatBase *findStat(const std::string &name) const;
+
+    /** Dump this group and all children as text. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and its children. */
+    void resetAll();
+
+    const std::vector<StatBase *> &statList() const { return _stats; }
+
+  private:
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    std::string _name;
+    StatGroup *_parent = nullptr;
+    std::vector<StatBase *> _stats;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace stats
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_STATS_HH

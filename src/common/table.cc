@@ -1,0 +1,94 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace stack3d {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    stack3d_assert(!_headers.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::newRow()
+{
+    _rows.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    stack3d_assert(!_rows.empty(), "cell() before newRow()");
+    stack3d_assert(_rows.back().size() < _headers.size(),
+                   "row has more cells than headers");
+    _rows.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+TextTable &
+TextTable::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < _headers.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            os << (c ? "  " : "") << std::left
+               << std::setw(int(widths[c])) << v;
+        }
+        os << "\n";
+    };
+
+    print_row(_headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows)
+        print_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << "\n";
+    };
+    emit(_headers);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n==== " << title << " ====\n\n";
+}
+
+} // namespace stack3d

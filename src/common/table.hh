@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench harnesses to print the
+ * paper's tables and figure data series in aligned columns, and to
+ * emit the same data as CSV for plotting.
+ */
+
+#ifndef STACK3D_COMMON_TABLE_HH
+#define STACK3D_COMMON_TABLE_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace stack3d {
+
+/** A simple column-aligned text/CSV table. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Start a new row; subsequent cell() calls fill it left to right. */
+    TextTable &newRow();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &value);
+
+    /** Append a formatted numeric cell (fixed, @p precision digits). */
+    TextTable &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    TextTable &cell(long long value);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return _rows.size(); }
+
+    /** Render with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Print a section banner, e.g. "==== Figure 5 ====". */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_TABLE_HH

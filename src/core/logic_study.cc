@@ -1,0 +1,77 @@
+#include "logic_study.hh"
+
+#include "common/logging.hh"
+#include "floorplan/reference.hh"
+
+namespace stack3d {
+namespace core {
+
+using floorplan::Floorplan;
+using thermal::StackedDieType;
+
+LogicStudyResult
+runLogicStudy(const LogicStudyConfig &config)
+{
+    LogicStudyResult result;
+
+    // ---- performance: Table 4 ----
+    result.table4 = cpu::computeTable4(config.suite);
+
+    // ---- power: the 3D roll-up ----
+    result.power_saving_3d =
+        1.0 - config.power_breakdown.stackedRelativePower();
+
+    // ---- thermals: Figure 11 ----
+    thermal::PackageModel pkg = thermal::makeP4Package();
+    Floorplan planar = floorplan::makePentium4Planar();
+    double planar_density = planar.peakBlockDensity(0);
+
+    result.fig11.planar = solveFloorplanThermals(
+        planar, StackedDieType::None, pkg, {}, nullptr, config.die_nx,
+        config.die_ny);
+
+    Floorplan stacked = floorplan::makePentium43D(
+        1.0 - result.power_saving_3d);
+    result.fig11.stacked = solveFloorplanThermals(
+        stacked, StackedDieType::LogicSram, pkg, {}, nullptr,
+        config.die_nx, config.die_ny);
+    result.fig11.stacked_density_ratio =
+        stacked.peakStackedDensity() / planar_density;
+
+    Floorplan worst = floorplan::makePentium43DWorstCase();
+    result.fig11.worst_case = solveFloorplanThermals(
+        worst, StackedDieType::LogicSram, pkg, {}, nullptr,
+        config.die_nx, config.die_ny);
+    result.fig11.worst_density_ratio =
+        worst.peakStackedDensity() / planar_density;
+
+    // ---- Table 5: V/f scaling with simulated temperatures ----
+    double gain = config.use_measured_gain
+                      ? result.table4.total_perf_gain_pct / 100.0
+                      : 0.15;
+    double baseline_w = planar.totalPower();
+    auto points = power::computeTable5Points(
+        baseline_w, gain, result.power_saving_3d, config.vf_model);
+
+    for (const power::OperatingPoint &pt : points) {
+        Table5Row row;
+        row.point = pt;
+        if (std::string(pt.label) == "Baseline") {
+            row.temp_c = result.fig11.planar.peak_c;
+        } else {
+            // Scale the 3D floorplan's power to the row's wattage
+            // and re-solve.
+            Floorplan scaled = floorplan::makePentium43D(
+                pt.power_w / baseline_w);
+            row.temp_c = solveFloorplanThermals(
+                             scaled, StackedDieType::LogicSram, pkg, {},
+                             nullptr, config.die_nx, config.die_ny)
+                             .peak_c;
+        }
+        result.table5.push_back(row);
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace stack3d

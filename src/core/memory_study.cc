@@ -1,0 +1,104 @@
+#include "memory_study.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace core {
+
+std::uint64_t
+recommendedRecordsPerThread(const std::string &benchmark)
+{
+    // Budgets sized so each benchmark completes several full
+    // working-set sweeps (capacity effects need reuse, and the
+    // larger-footprint kernels produce more records per sweep).
+    struct Budget
+    {
+        const char *name;
+        std::uint64_t records;
+    };
+    static const Budget budgets[] = {
+        {"conj", 2000000},  {"dSym", 2000000}, {"gauss", 4000000},
+        {"pcg", 4000000},   {"sMVM", 4500000}, {"sSym", 2000000},
+        {"sTrans", 6000000},{"sAVDF", 2000000},{"sAVIF", 2000000},
+        {"sUS", 7000000},   {"svd", 2000000},  {"svm", 6000000},
+    };
+    for (const Budget &b : budgets) {
+        if (benchmark == b.name)
+            return b.records;
+    }
+    return 2000000;
+}
+
+MemoryStudyResult
+runMemoryStudy(const MemoryStudyConfig &config)
+{
+    std::vector<std::string> benchmarks = config.benchmarks;
+    if (benchmarks.empty())
+        benchmarks = workloads::rmsKernelNames();
+
+    MemoryStudyResult result;
+
+    for (const std::string &name : benchmarks) {
+        auto kernel = workloads::makeRmsKernel(name);
+
+        workloads::WorkloadConfig wcfg;
+        wcfg.scale = config.scale;
+        wcfg.seed = config.seed;
+        wcfg.records_per_thread = std::uint64_t(
+            double(recommendedRecordsPerThread(name)) * config.depth);
+        if (wcfg.records_per_thread < 1000)
+            wcfg.records_per_thread = 1000;
+
+        trace::TraceBuffer buf = kernel->generate(wcfg);
+
+        MemoryStudyRow row;
+        row.benchmark = name;
+        row.records = buf.size();
+        row.footprint_mb =
+            double(kernel->nominalFootprintBytes(wcfg)) / (1 << 20);
+
+        for (std::size_t o = 0; o < kStackOptions.size(); ++o) {
+            mem::HierarchyParams hp =
+                mem::makeHierarchyParams(kStackOptions[o]);
+            mem::MemoryHierarchy hier(hp);
+            mem::TraceEngine engine(config.engine);
+            mem::EngineResult er = engine.run(buf, hier);
+            row.cpma[o] = er.cpma;
+            row.bw_gbps[o] = er.offdie_gbps;
+            row.bus_power_w[o] = er.bus_power_w;
+            row.llc_miss[o] = er.llc_miss_rate;
+        }
+        result.rows.push_back(std::move(row));
+    }
+
+    // Headline aggregates (32 MB option, index 2, vs baseline 0).
+    MemoryStudySummary &sum = result.summary;
+    double n = double(result.rows.size());
+    double bw_base_total = 0.0;
+    double bw_32_total = 0.0;
+    for (const MemoryStudyRow &row : result.rows) {
+        double reduction =
+            row.cpma[0] > 0.0 ? 1.0 - row.cpma[2] / row.cpma[0] : 0.0;
+        sum.avg_cpma_reduction_32m += reduction / n;
+        sum.max_cpma_reduction_32m =
+            std::max(sum.max_cpma_reduction_32m, reduction);
+        bw_base_total += row.bw_gbps[0];
+        bw_32_total += row.bw_gbps[2];
+        if (row.bus_power_w[0] > 0.0) {
+            sum.avg_bus_power_reduction_32m +=
+                (1.0 - row.bus_power_w[2] / row.bus_power_w[0]) / n;
+        }
+        sum.avg_bus_power_saving_w +=
+            (row.bus_power_w[0] - row.bus_power_w[2]) / n;
+    }
+    // Ratio of totals: a per-benchmark mean explodes when a warm
+    // benchmark's off-die traffic goes to ~zero.
+    if (bw_32_total > 0.0)
+        sum.avg_bw_reduction_factor_32m = bw_base_total / bw_32_total;
+    return result;
+}
+
+} // namespace core
+} // namespace stack3d

@@ -1,0 +1,150 @@
+#include "thermal_study.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace core {
+
+using floorplan::Floorplan;
+using thermal::Mesh;
+using thermal::PackageModel;
+using thermal::StackedDieType;
+using thermal::StackGeometry;
+using thermal::StackOverrides;
+using thermal::TemperatureField;
+
+ThermalPoint
+solveFloorplanThermals(const Floorplan &combined,
+                       StackedDieType die2_type, const PackageModel &pkg,
+                       const StackOverrides &ovr,
+                       ThermalSolution *solution_out,
+                       unsigned die_nx, unsigned die_ny)
+{
+    bool two_die = die2_type != StackedDieType::None;
+    StackGeometry geom =
+        two_die ? thermal::makeTwoDieStack(combined.width(),
+                                           combined.height(), die2_type,
+                                           pkg, ovr)
+                : thermal::makePlanarStack(combined.width(),
+                                           combined.height(), pkg, ovr);
+
+    // Heap-allocate so the field (which points into the mesh) can be
+    // handed to the caller without dangling.
+    auto mesh_ptr = std::make_shared<Mesh>(geom, die_nx, die_ny);
+    Mesh &mesh = *mesh_ptr;
+    mesh.setLayerPower(geom.layerIndex("active1"),
+                       combined.powerMap(die_nx, die_ny, 0));
+    if (two_die) {
+        mesh.setLayerPower(geom.layerIndex("active2"),
+                           combined.powerMap(die_nx, die_ny, 1));
+    }
+
+    TemperatureField field = thermal::solveSteadyState(mesh);
+
+    ThermalPoint point;
+    unsigned a1 = geom.layerIndex("active1");
+    point.die1_peak_c = field.layerPeak(a1);
+    point.min_c = field.layerMin(a1);
+    point.peak_c = point.die1_peak_c;
+    if (two_die) {
+        unsigned a2 = geom.layerIndex("active2");
+        point.die2_peak_c = field.layerPeak(a2);
+        point.peak_c = std::max(point.peak_c, point.die2_peak_c);
+        point.min_c = std::min(point.min_c, field.layerMin(a2));
+    }
+    point.total_power_w = combined.totalPower();
+
+    if (solution_out) {
+        solution_out->mesh = mesh_ptr;
+        solution_out->field = std::move(field);
+    }
+    return point;
+}
+
+StackThermalResult
+runStackThermalStudy(unsigned die_nx, unsigned die_ny)
+{
+    using namespace floorplan;
+    StackThermalResult result;
+
+    Floorplan base = makeCore2Duo();
+
+    // (a) planar baseline.
+    result.options[0] = solveFloorplanThermals(
+        base, StackedDieType::None, {}, {}, nullptr, die_nx, die_ny);
+
+    // (b) +8 MB stacked SRAM.
+    {
+        Floorplan sram =
+            makeCacheDie(base, "sram8m", budgets::stacked_sram_8mb);
+        Floorplan combined = stackFloorplans(base, sram, "core2_12m");
+        result.options[1] = solveFloorplanThermals(
+            combined, StackedDieType::LogicSram, {}, {}, nullptr,
+            die_nx, die_ny);
+    }
+
+    // (c) 32 MB stacked DRAM, SRAM removed (conservative full-size
+    // outline: the vacated cache area stays as spreading silicon).
+    {
+        Floorplan base32 = makeCore2BaseDie32MKeepOutline();
+        Floorplan dram =
+            makeCacheDie(base32, "dram32m", budgets::stacked_dram_32mb);
+        Floorplan combined = stackFloorplans(base32, dram, "core2_32m");
+        result.options[2] = solveFloorplanThermals(
+            combined, StackedDieType::Dram, {}, {}, nullptr, die_nx,
+            die_ny);
+    }
+
+    // (d) 64 MB stacked DRAM over the unchanged baseline die.
+    {
+        Floorplan dram =
+            makeCacheDie(base, "dram64m", budgets::stacked_dram_64mb);
+        Floorplan combined = stackFloorplans(base, dram, "core2_64m");
+        result.options[3] = solveFloorplanThermals(
+            combined, StackedDieType::Dram, {}, {}, nullptr, die_nx,
+            die_ny);
+    }
+    return result;
+}
+
+std::vector<SensitivityPoint>
+runConductivitySensitivity(const std::vector<double> &conductivities,
+                           unsigned die_nx, unsigned die_ny)
+{
+    using namespace floorplan;
+
+    // A stacked two-die microprocessor: the Figure 10 fold of the
+    // Pentium 4-class design, using its calibrated package.
+    Floorplan stacked = makePentium43D();
+    PackageModel pkg = thermal::makeP4Package();
+
+    std::vector<SensitivityPoint> points;
+    for (double k : conductivities) {
+        stack3d_assert(k > 0.0, "conductivity must be positive");
+        SensitivityPoint point;
+        point.conductivity = k;
+
+        StackOverrides cu_ovr;
+        cu_ovr.cu_metal_conductivity = k;
+        point.peak_cu_swept =
+            solveFloorplanThermals(stacked, StackedDieType::LogicSram,
+                                   pkg, cu_ovr, nullptr, die_nx, die_ny)
+                .peak_c;
+
+        StackOverrides bond_ovr;
+        bond_ovr.bond_conductivity = k;
+        point.peak_bond_swept =
+            solveFloorplanThermals(stacked, StackedDieType::LogicSram,
+                                   pkg, bond_ovr, nullptr, die_nx,
+                                   die_ny)
+                .peak_c;
+
+        points.push_back(point);
+    }
+    return points;
+}
+
+} // namespace core
+} // namespace stack3d

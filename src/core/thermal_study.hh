@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Thermal studies shared by both halves of the paper:
+ *
+ *  - the Figure 8 comparison of the four Memory+Logic stack options;
+ *  - the Figure 6 planar baseline maps;
+ *  - the Figure 3 metal/bond conductivity sensitivity sweep;
+ *  - a generic evaluator that turns any two-die floorplan into peak
+ *    temperature (used by the Figure 11 / Table 5 logic study).
+ */
+
+#ifndef STACK3D_CORE_THERMAL_STUDY_HH
+#define STACK3D_CORE_THERMAL_STUDY_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "floorplan/reference.hh"
+#include "mem/params.hh"
+#include "thermal/render.hh"
+#include "thermal/solver.hh"
+#include "thermal/stacks.hh"
+
+namespace stack3d {
+namespace core {
+
+/** Default lateral resolution of the die window. */
+constexpr unsigned kDefaultDieNx = 54;
+constexpr unsigned kDefaultDieNy = 42;
+
+/** Result of solving one (possibly stacked) floorplan. */
+struct ThermalPoint
+{
+    double peak_c = 0.0;        ///< hottest active-layer cell
+    double die1_peak_c = 0.0;   ///< die #1 (processor) peak
+    double die2_peak_c = 0.0;   ///< die #2 peak (0 if planar)
+    double min_c = 0.0;         ///< coolest active-layer cell
+    double total_power_w = 0.0;
+};
+
+/**
+ * A solved temperature field together with the mesh it references
+ * (the field holds a pointer into the mesh, so both travel as one).
+ */
+struct ThermalSolution
+{
+    std::shared_ptr<thermal::Mesh> mesh;
+    std::optional<thermal::TemperatureField> field;
+};
+
+/**
+ * Solve a floorplan's thermals.
+ * @param combined  one- or two-die floorplan (blocks tagged by die)
+ * @param die2_type metal system of die #2 (None for planar)
+ * @param pkg       package model (Core 2 default or makeP4Package())
+ * @param solution_out optionally receives the full field + mesh
+ */
+ThermalPoint solveFloorplanThermals(
+    const floorplan::Floorplan &combined,
+    thermal::StackedDieType die2_type,
+    const thermal::PackageModel &pkg = {},
+    const thermal::StackOverrides &ovr = {},
+    ThermalSolution *solution_out = nullptr,
+    unsigned die_nx = kDefaultDieNx, unsigned die_ny = kDefaultDieNy);
+
+/** Figure 8(a): peak temperature per stacking option. */
+struct StackThermalResult
+{
+    std::array<ThermalPoint, 4> options;   ///< Figure 5/8 order
+};
+
+/** Run the Figure 8 study (uses the calibrated Core 2 package). */
+StackThermalResult runStackThermalStudy(
+    unsigned die_nx = kDefaultDieNx, unsigned die_ny = kDefaultDieNy);
+
+/** One point of the Figure 3 sensitivity sweep. */
+struct SensitivityPoint
+{
+    double conductivity = 0.0;   ///< the swept layer's k, W/(m K)
+    double peak_cu_swept = 0.0;  ///< peak with Cu metal k = conductivity
+    double peak_bond_swept = 0.0;///< peak with bond k = conductivity
+};
+
+/**
+ * Figure 3: sweep the Cu metal-layer and bonding-layer conductivity
+ * from 60 down to 3 W/mK on a stacked two-die microprocessor and
+ * report the peak temperature for each.
+ */
+std::vector<SensitivityPoint> runConductivitySensitivity(
+    const std::vector<double> &conductivities = {60, 40, 20, 12, 6, 3},
+    unsigned die_nx = 40, unsigned die_ny = 36);
+
+} // namespace core
+} // namespace stack3d
+
+#endif // STACK3D_CORE_THERMAL_STUDY_HH

@@ -1,0 +1,89 @@
+#include "config.hh"
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace cpu {
+
+const char *
+pathName(Path path)
+{
+    switch (path) {
+      case Path::FrontEnd:
+        return "Front-end pipeline";
+      case Path::TraceCache:
+        return "Trace cache read";
+      case Path::RenameAlloc:
+        return "Rename allocation";
+      case Path::FpLatency:
+        return "FP inst. latency";
+      case Path::IntRfRead:
+        return "Int register file read";
+      case Path::DcacheRead:
+        return "Data cache read";
+      case Path::InstrLoop:
+        return "Instruction loop";
+      case Path::RetireDealloc:
+        return "Retire to de-allocation";
+      case Path::FpLoad:
+        return "FP load latency";
+      case Path::StoreLifetime:
+        return "Store lifetime";
+    }
+    return "unknown";
+}
+
+PipelineConfig
+PipelineConfig::planar()
+{
+    return PipelineConfig{};
+}
+
+void
+PipelineConfig::applyPathReduction(Path path)
+{
+    switch (path) {
+      case Path::FrontEnd:
+        frontend_stages = 7;          // 12.5% of 8
+        break;
+      case Path::TraceCache:
+        trace_cache_stages = 4;       // 20% of 5
+        break;
+      case Path::RenameAlloc:
+        rename_stages = 3;            // 25% of 4
+        break;
+      case Path::FpLatency:
+        fp_extra_latency = 0;         // RF->FP direct in 3D
+        break;
+      case Path::IntRfRead:
+        int_rf_stages = 3;            // 25% of 4
+        break;
+      case Path::DcacheRead:
+        dcache_stages = 3;            // 25% of 4
+        break;
+      case Path::InstrLoop:
+        instr_loop_stages = 5;        // 17% of 6
+        break;
+      case Path::RetireDealloc:
+        retire_dealloc_stages = 4;    // 20% of 5
+        break;
+      case Path::FpLoad:
+        fp_load_extra = 5;            // ~35% of the fp-load wire
+        break;
+      case Path::StoreLifetime:
+        store_lifetime = 28;          // 30% of 40
+        break;
+    }
+}
+
+PipelineConfig
+PipelineConfig::stacked3d()
+{
+    PipelineConfig cfg = planar();
+    for (unsigned p = 0; p < kNumPaths; ++p)
+        cfg.applyPathReduction(Path(p));
+    return cfg;
+}
+
+} // namespace cpu
+} // namespace stack3d

@@ -1,0 +1,239 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace cpu {
+
+using workloads::CpuUop;
+using workloads::MemLevel;
+using workloads::UopClass;
+
+namespace {
+
+/** A pool of k pipelined units: returns the start cycle granted. */
+class UnitPool
+{
+  public:
+    explicit UnitPool(unsigned count) : _next_free(count, 0) {}
+
+    Cycles
+    acquire(Cycles ready)
+    {
+        auto it = std::min_element(_next_free.begin(),
+                                   _next_free.end());
+        Cycles start = std::max(ready, *it);
+        *it = start + 1;   // fully pipelined: one issue per cycle
+        return start;
+    }
+
+  private:
+    std::vector<Cycles> _next_free;
+};
+
+/** Deterministic per-uop hash for trace-break decisions. */
+inline bool
+hashChance(std::uint64_t i, double p)
+{
+    std::uint64_t h = i * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return double(h & 0xffffff) / double(0x1000000) < p;
+}
+
+} // anonymous namespace
+
+PipelineModel::PipelineModel(const PipelineConfig &config)
+    : _config(config)
+{
+    stack3d_assert(config.fetch_width > 0 && config.retire_width > 0,
+                   "pipeline widths must be positive");
+    stack3d_assert(config.rob_size > 0 && config.store_queue_size > 0,
+                   "pipeline structures must be non-empty");
+}
+
+CpuResult
+PipelineModel::run(const std::vector<CpuUop> &uops) const
+{
+    CpuResult result;
+    result.num_uops = uops.size();
+    if (uops.empty())
+        return result;
+
+    const PipelineConfig &cfg = _config;
+    std::size_t n = uops.size();
+
+    // Front pipeline depth from fetch to execute-ready: trace cache
+    // read, decode/deliver, rename/alloc, register read.
+    const Cycles front_depth = cfg.trace_cache_stages +
+                               cfg.frontend_stages + cfg.rename_stages +
+                               cfg.int_rf_stages;
+
+    std::vector<Cycles> done(n, 0);
+    std::vector<Cycles> retire(n, 0);
+
+    // Ring of store retire times for store-queue occupancy.
+    std::vector<std::uint64_t> store_indices;
+    store_indices.reserve(n / 4 + 1);
+
+    UnitPool int_units(cfg.num_int_units);
+    UnitPool fp_units(cfg.num_fp_units);
+    UnitPool simd_units(cfg.num_simd_units);
+    UnitPool load_ports(cfg.num_load_ports);
+    UnitPool store_ports(cfg.num_store_ports);
+
+    // In-order fetch: groups of fetch_width per cycle, pushed out by
+    // redirects and bubbles.
+    Cycles fetch_cycle = 0;
+    unsigned fetch_in_group = 0;
+
+    Cycles prev_dispatch = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const CpuUop &uop = uops[i];
+
+        // ---- fetch ----
+        if (fetch_in_group >= cfg.fetch_width) {
+            fetch_in_group = 0;
+            ++fetch_cycle;
+        }
+        Cycles fetch_time = fetch_cycle;
+        ++fetch_in_group;
+
+        // ---- dispatch (rename/alloc output, in order) ----
+        Cycles dispatch = std::max(fetch_time + front_depth,
+                                   prev_dispatch);
+
+        // ROB window: the uop rob_size back must have retired.
+        if (i >= cfg.rob_size) {
+            Cycles rob_ready = retire[i - cfg.rob_size];
+            if (rob_ready > dispatch) {
+                result.window_stall_cycles += rob_ready - dispatch;
+                dispatch = rob_ready;
+            }
+        }
+
+        // Rename pool: resources recycle retire_dealloc stages after
+        // retirement.
+        if (i >= cfg.alloc_pool_size) {
+            Cycles pool_ready = retire[i - cfg.alloc_pool_size] +
+                                cfg.retire_dealloc_stages;
+            if (pool_ready > dispatch) {
+                result.window_stall_cycles += pool_ready - dispatch;
+                dispatch = pool_ready;
+            }
+        }
+
+        // Store queue: entries live until store_lifetime past retire.
+        if (uop.cls == UopClass::Store) {
+            if (store_indices.size() >= cfg.store_queue_size) {
+                std::uint64_t old = store_indices[store_indices.size() -
+                                                  cfg.store_queue_size];
+                Cycles sq_ready = retire[old] + cfg.store_lifetime +
+                                  cfg.retire_dealloc_stages;
+                if (sq_ready > dispatch) {
+                    result.sq_stall_cycles += sq_ready - dispatch;
+                    dispatch = sq_ready;
+                }
+            }
+            store_indices.push_back(i);
+        }
+
+        prev_dispatch = dispatch;
+
+        // ---- operand readiness ----
+        Cycles ready = dispatch;
+        for (unsigned s = 0; s < 2; ++s) {
+            if (uop.src_dist[s] != 0 && uop.src_dist[s] <= i) {
+                ready = std::max(ready, done[i - uop.src_dist[s]]);
+            }
+        }
+
+        // ---- issue + execute ----
+        Cycles finish;
+        switch (uop.cls) {
+          case UopClass::IntAlu: {
+            Cycles start = int_units.acquire(ready);
+            finish = start + cfg.int_latency;
+            break;
+          }
+          case UopClass::FpOp: {
+            Cycles start = fp_units.acquire(ready);
+            finish = start + cfg.fp_latency + cfg.fp_extra_latency;
+            break;
+          }
+          case UopClass::SimdOp: {
+            Cycles start = simd_units.acquire(ready);
+            finish = start + cfg.simd_latency;
+            break;
+          }
+          case UopClass::Load:
+          case UopClass::FpLoad: {
+            Cycles start = load_ports.acquire(ready);
+            Cycles lat = cfg.dcache_stages;
+            if (uop.mem_level == MemLevel::L2)
+                lat += cfg.l2_latency;
+            else if (uop.mem_level == MemLevel::Memory)
+                lat += cfg.memory_latency;
+            if (uop.cls == UopClass::FpLoad)
+                lat += cfg.fp_load_extra;
+            finish = start + lat;
+            break;
+          }
+          case UopClass::Store: {
+            Cycles start = store_ports.acquire(ready);
+            finish = start + 1;   // address generation / SQ write
+            break;
+          }
+          case UopClass::Branch: {
+            Cycles start = int_units.acquire(ready);
+            finish = start + cfg.int_latency;
+            break;
+          }
+          default:
+            finish = ready + 1;
+            break;
+        }
+        done[i] = finish;
+
+        // ---- retire (in order, retire_width per cycle) ----
+        Cycles ret = finish;
+        if (i > 0)
+            ret = std::max(ret, retire[i - 1]);
+        if (i >= cfg.retire_width)
+            ret = std::max(ret, retire[i - cfg.retire_width] + 1);
+        retire[i] = ret;
+
+        // ---- control flow ----
+        if (uop.cls == UopClass::Branch) {
+            if (uop.mispredict) {
+                ++result.mispredicts;
+                // Fetch resumes after resolution plus the back-end
+                // share of the redirect; the front pipeline refill
+                // (front_depth) is paid naturally by later uops.
+                // Allocation cannot restart until the flushed
+                // entries' resources have been reclaimed, which
+                // takes the retire-to-deallocation pipeline.
+                Cycles resume = done[i] +
+                                (cfg.mispredictPenalty() - front_depth) +
+                                cfg.retire_dealloc_stages;
+                if (resume > fetch_cycle) {
+                    fetch_cycle = resume;
+                    fetch_in_group = 0;
+                }
+            } else if (hashChance(i, cfg.trace_break_rate)) {
+                ++result.trace_breaks;
+                fetch_cycle += cfg.instr_loop_stages;
+                fetch_in_group = 0;
+            }
+        }
+    }
+
+    result.cycles = retire[n - 1];
+    result.ipc = double(n) / double(result.cycles);
+    return result;
+}
+
+} // namespace cpu
+} // namespace stack3d

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cycle-accounting model of the deeply pipelined out-of-order
+ * machine. Each µop's fetch, dispatch, issue, completion and
+ * retirement times are derived in one in-order pass with full
+ * dataflow (register dependencies), structural (ROB, rename pool,
+ * store queue, execution units) and control (misprediction redirect,
+ * trace-break bubbles) constraints — the standard dataflow-schedule
+ * formulation of a dynamically scheduled pipeline.
+ *
+ * All ten Table 4 wire paths enter the timing:
+ *   - trace cache / front end / rename / RF-read stages form the
+ *     in-order front depth and the misprediction refill;
+ *   - D$ read and FP-load wire set load-to-use latencies;
+ *   - the RF->SIMD->FP detour lengthens every FP op;
+ *   - the instruction-loop bubble hits trace-breaking branches;
+ *   - retire-to-deallocation delays rename-pool recycling;
+ *   - the store lifetime holds store-queue entries past retirement.
+ */
+
+#ifndef STACK3D_CPU_PIPELINE_HH
+#define STACK3D_CPU_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/config.hh"
+#include "workloads/cpu_workload.hh"
+
+namespace stack3d {
+namespace cpu {
+
+/** Result of one trace simulation. */
+struct CpuResult
+{
+    std::uint64_t num_uops = 0;
+    Cycles cycles = 0;
+    double ipc = 0.0;
+
+    std::uint64_t mispredicts = 0;
+    std::uint64_t trace_breaks = 0;
+    /** Dispatch cycles lost to a full store queue. */
+    std::uint64_t sq_stall_cycles = 0;
+    /** Dispatch cycles lost to ROB / rename-pool pressure. */
+    std::uint64_t window_stall_cycles = 0;
+};
+
+/** The pipeline timing model. */
+class PipelineModel
+{
+  public:
+    explicit PipelineModel(const PipelineConfig &config);
+
+    const PipelineConfig &config() const { return _config; }
+
+    /** Simulate one µop trace. */
+    CpuResult run(const std::vector<workloads::CpuUop> &uops) const;
+
+  private:
+    PipelineConfig _config;
+};
+
+} // namespace cpu
+} // namespace stack3d
+
+#endif // STACK3D_CPU_PIPELINE_HH

@@ -1,0 +1,128 @@
+#include "suite.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace cpu {
+
+TraceSuite::TraceSuite(const SuiteOptions &options)
+{
+    auto classes = workloads::cpuAppClasses(options.full_suite);
+    for (const auto &cls : classes) {
+        for (unsigned v = 0; v < cls.variants; ++v) {
+            Entry entry;
+            entry.class_name = cls.name;
+            auto params = workloads::makeVariantParams(cls, v);
+            entry.uops = workloads::generateCpuTrace(
+                params, options.uops_per_trace,
+                options.seed ^ (std::uint64_t(v) << 20) ^
+                    std::hash<std::string>{}(cls.name));
+            _traces.push_back(std::move(entry));
+        }
+    }
+    stack3d_assert(!_traces.empty(), "empty cpu trace suite");
+}
+
+SuiteResult
+TraceSuite::run(const PipelineConfig &config) const
+{
+    PipelineModel model(config);
+    SuiteResult result;
+    result.num_traces = unsigned(_traces.size());
+
+    double log_sum = 0.0;
+    std::map<std::string, std::pair<double, unsigned>> per_class;
+    for (const Entry &entry : _traces) {
+        CpuResult r = model.run(entry.uops);
+        stack3d_assert(r.ipc > 0.0, "zero IPC for trace");
+        log_sum += std::log(r.ipc);
+        auto &[cls_log, cls_n] = per_class[entry.class_name];
+        cls_log += std::log(r.ipc);
+        ++cls_n;
+    }
+    result.geomean_ipc = std::exp(log_sum / double(_traces.size()));
+    for (const auto &[name, acc] : per_class) {
+        result.class_ipc.emplace_back(
+            name, std::exp(acc.first / double(acc.second)));
+    }
+    return result;
+}
+
+double
+TraceSuite::speedupOver(const PipelineConfig &baseline,
+                        const PipelineConfig &config) const
+{
+    PipelineModel base_model(baseline);
+    PipelineModel new_model(config);
+    double log_sum = 0.0;
+    for (const Entry &entry : _traces) {
+        CpuResult b = base_model.run(entry.uops);
+        CpuResult n = new_model.run(entry.uops);
+        log_sum += std::log(n.ipc / b.ipc);
+    }
+    return std::exp(log_sum / double(_traces.size()));
+}
+
+namespace {
+
+double
+stagesEliminatedPct(Path path)
+{
+    switch (path) {
+      case Path::FrontEnd:
+        return 12.5;
+      case Path::TraceCache:
+        return 20.0;
+      case Path::RenameAlloc:
+        return 25.0;
+      case Path::FpLatency:
+        return -1.0;   // "Variable" in the paper
+      case Path::IntRfRead:
+        return 25.0;
+      case Path::DcacheRead:
+        return 25.0;
+      case Path::InstrLoop:
+        return 17.0;
+      case Path::RetireDealloc:
+        return 20.0;
+      case Path::FpLoad:
+        return 35.0;
+      case Path::StoreLifetime:
+        return 30.0;
+    }
+    return 0.0;
+}
+
+} // anonymous namespace
+
+Table4Result
+computeTable4(const SuiteOptions &options)
+{
+    TraceSuite suite(options);
+    PipelineConfig planar = PipelineConfig::planar();
+
+    Table4Result result;
+    for (unsigned p = 0; p < kNumPaths; ++p) {
+        PipelineConfig cfg = planar;
+        cfg.applyPathReduction(Path(p));
+        Table4Row row;
+        row.path = Path(p);
+        row.stages_eliminated_pct = stagesEliminatedPct(Path(p));
+        row.perf_gain_pct =
+            (suite.speedupOver(planar, cfg) - 1.0) * 100.0;
+        result.rows.push_back(row);
+    }
+
+    PipelineConfig stacked = PipelineConfig::stacked3d();
+    result.total_perf_gain_pct =
+        (suite.speedupOver(planar, stacked) - 1.0) * 100.0;
+    result.planar = suite.run(planar);
+    result.stacked = suite.run(stacked);
+    return result;
+}
+
+} // namespace cpu
+} // namespace stack3d

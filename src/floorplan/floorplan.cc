@@ -1,0 +1,172 @@
+#include "floorplan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace floorplan {
+
+void
+Floorplan::addBlock(const Block &block)
+{
+    if (block.width <= 0.0 || block.height <= 0.0)
+        stack3d_fatal("block '", block.name, "' has non-positive size");
+    constexpr double eps = 1e-9;
+    if (block.x < -eps || block.y < -eps ||
+        block.x + block.width > _width + eps ||
+        block.y + block.height > _height + eps) {
+        stack3d_fatal("block '", block.name,
+                      "' extends outside the die outline");
+    }
+    for (const Block &other : _blocks) {
+        if (other.name == block.name)
+            stack3d_fatal("duplicate block name '", block.name, "'");
+    }
+    _blocks.push_back(block);
+}
+
+void
+Floorplan::addNet(const Net &net)
+{
+    // Both endpoints must exist.
+    (void)block(net.from);
+    (void)block(net.to);
+    _nets.push_back(net);
+}
+
+const Block &
+Floorplan::block(const std::string &name) const
+{
+    for (const Block &b : _blocks) {
+        if (b.name == name)
+            return b;
+    }
+    stack3d_fatal("no block named '", name, "' in floorplan '", _name,
+                  "'");
+}
+
+Block &
+Floorplan::mutableBlock(const std::string &name)
+{
+    for (Block &b : _blocks) {
+        if (b.name == name)
+            return b;
+    }
+    stack3d_fatal("no block named '", name, "' in floorplan '", _name,
+                  "'");
+}
+
+double
+Floorplan::totalPower() const
+{
+    double total = 0.0;
+    for (const Block &b : _blocks)
+        total += b.power;
+    return total;
+}
+
+double
+Floorplan::diePower(unsigned die) const
+{
+    double total = 0.0;
+    for (const Block &b : _blocks) {
+        if (b.die == die)
+            total += b.power;
+    }
+    return total;
+}
+
+double
+Floorplan::dieArea(unsigned die) const
+{
+    double total = 0.0;
+    for (const Block &b : _blocks) {
+        if (b.die == die)
+            total += b.area();
+    }
+    return total;
+}
+
+double
+Floorplan::peakBlockDensity(unsigned die) const
+{
+    double peak = 0.0;
+    for (const Block &b : _blocks) {
+        if (b.die == die)
+            peak = std::max(peak, b.powerDensity());
+    }
+    return peak;
+}
+
+double
+Floorplan::peakStackedDensity(unsigned samples) const
+{
+    stack3d_assert(samples > 1, "need a sampling grid");
+    double peak = 0.0;
+    for (unsigned j = 0; j < samples; ++j) {
+        double y = (j + 0.5) * _height / samples;
+        for (unsigned i = 0; i < samples; ++i) {
+            double x = (i + 0.5) * _width / samples;
+            double density = 0.0;
+            for (const Block &b : _blocks) {
+                if (x >= b.x && x < b.x + b.width && y >= b.y &&
+                    y < b.y + b.height) {
+                    density += b.powerDensity();
+                }
+            }
+            peak = std::max(peak, density);
+        }
+    }
+    return peak;
+}
+
+double
+Floorplan::wireDistance(const std::string &from,
+                        const std::string &to) const
+{
+    const Block &a = block(from);
+    const Block &b = block(to);
+    double dist = std::abs(a.centerX() - b.centerX()) +
+                  std::abs(a.centerY() - b.centerY());
+    // The d2d via crossing is electrically a conventional via: no
+    // meaningful lateral distance is added for changing dies.
+    return dist;
+}
+
+thermal::PowerMap
+Floorplan::powerMap(unsigned nx, unsigned ny, unsigned die) const
+{
+    thermal::PowerMap map(nx, ny, _width, _height);
+    for (const Block &b : _blocks) {
+        if (b.die == die && b.power > 0.0)
+            map.addRect(b.x, b.y, b.x + b.width, b.y + b.height,
+                        b.power);
+    }
+    return map;
+}
+
+bool
+Floorplan::validateNoOverlap() const
+{
+    constexpr double eps = 1e-9;
+    for (std::size_t i = 0; i < _blocks.size(); ++i) {
+        for (std::size_t j = i + 1; j < _blocks.size(); ++j) {
+            const Block &a = _blocks[i];
+            const Block &b = _blocks[j];
+            if (a.die != b.die)
+                continue;
+            bool separated = a.x + a.width <= b.x + eps ||
+                             b.x + b.width <= a.x + eps ||
+                             a.y + a.height <= b.y + eps ||
+                             b.y + b.height <= a.y + eps;
+            if (!separated)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace floorplan
+} // namespace stack3d

@@ -1,0 +1,226 @@
+#include "planner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace floorplan {
+
+namespace {
+
+/**
+ * A candidate solution: per-die ordered block sequences; physical
+ * positions are derived by shelf packing, which keeps every
+ * candidate overlap-free by construction.
+ */
+struct Candidate
+{
+    std::vector<std::size_t> order[2];   // indices into blocks
+};
+
+/** Shelf-pack one die's sequence; false if it does not fit. */
+bool
+shelfPack(const std::vector<Block> &blocks,
+          const std::vector<std::size_t> &order, double width,
+          double height, std::vector<std::pair<double, double>> &pos)
+{
+    double shelf_y = 0.0;
+    double shelf_h = 0.0;
+    double cursor_x = 0.0;
+    for (std::size_t idx : order) {
+        const Block &b = blocks[idx];
+        if (b.width > width)
+            return false;
+        if (cursor_x + b.width > width) {
+            shelf_y += shelf_h;
+            shelf_h = 0.0;
+            cursor_x = 0.0;
+        }
+        if (shelf_y + b.height > height)
+            return false;
+        pos[idx] = {cursor_x, shelf_y};
+        cursor_x += b.width;
+        shelf_h = std::max(shelf_h, b.height);
+    }
+    return true;
+}
+
+/** Build a two-die floorplan from a packed candidate. */
+Floorplan
+materialize(const std::vector<Block> &blocks, const Candidate &cand,
+            double width, double height, const std::string &name,
+            const std::vector<Net> &nets)
+{
+    std::vector<std::pair<double, double>> pos(blocks.size());
+    for (unsigned die = 0; die < 2; ++die) {
+        bool ok = shelfPack(blocks, cand.order[die], width, height, pos);
+        stack3d_assert(ok, "materializing an infeasible candidate");
+    }
+    Floorplan fp(name, width, height);
+    for (unsigned die = 0; die < 2; ++die) {
+        for (std::size_t idx : cand.order[die]) {
+            Block b = blocks[idx];
+            b.die = die;
+            b.x = pos[idx].first;
+            b.y = pos[idx].second;
+            fp.addBlock(b);
+        }
+    }
+    for (const Net &net : nets)
+        fp.addNet(net);
+    return fp;
+}
+
+double
+weightedWirelength(const Floorplan &fp)
+{
+    double total = 0.0;
+    for (const Net &net : fp.nets())
+        total += net.weight * fp.wireDistance(net.from, net.to);
+    return total;
+}
+
+} // anonymous namespace
+
+PlannerResult
+planStacking(const Floorplan &planar, const PlannerParams &params)
+{
+    if (planar.blocks().size() < 2)
+        stack3d_fatal("stacking planner needs at least two blocks");
+
+    // Half-footprint outline (times the packing slack), preserving
+    // the aspect ratio: each linear dimension scales by
+    // sqrt(slack / 2).
+    double scale = std::sqrt(params.outline_slack / 2.0);
+    double width = planar.width() * scale;
+    double height = planar.height() * scale;
+
+    // Blocks larger than the new outline (e.g. a full-width cache
+    // strip) are split in half along their long axis, recursively —
+    // memory arrays partition freely in a real fold.
+    std::vector<Block> blocks = planar.blocks();
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        Block &b = blocks[i];
+        // Split anything longer than ~half the outline: oversize
+        // blocks both fail to fit and wreck shelf-packing density.
+        if (b.width <= width * 0.55 && b.height <= height * 0.55)
+            continue;
+        Block half = b;
+        if (b.width >= b.height) {
+            b.width /= 2.0;
+            half.width = b.width;
+        } else {
+            b.height /= 2.0;
+            half.height = b.height;
+        }
+        b.power /= 2.0;
+        half.power = b.power;
+        half.name = b.name + "#s" + std::to_string(blocks.size());
+        blocks.push_back(half);
+        --i;   // re-check the shrunk block
+    }
+
+    double planar_peak = planar.peakBlockDensity(0);
+    double density_cap = planar_peak * params.density_cap_ratio;
+
+    Random rng(params.seed);
+
+    // Initial assignment: alternate blocks by descending area so the
+    // dies start area-balanced.
+    std::vector<std::size_t> by_area(blocks.size());
+    std::iota(by_area.begin(), by_area.end(), 0);
+    std::sort(by_area.begin(), by_area.end(),
+              [&](std::size_t a, std::size_t b)
+              { return blocks[a].area() > blocks[b].area(); });
+
+    Candidate current;
+    for (std::size_t k = 0; k < by_area.size(); ++k)
+        current.order[k % 2].push_back(by_area[k]);
+
+    std::vector<std::pair<double, double>> pos(blocks.size());
+    auto evaluate = [&](const Candidate &cand, double &wl,
+                        double &ratio) -> double {
+        for (unsigned die = 0; die < 2; ++die) {
+            if (!shelfPack(blocks, cand.order[die], width, height, pos))
+                return 1e18;   // infeasible packing
+        }
+        Floorplan fp =
+            materialize(blocks, cand, width, height, "trial", {});
+        for (const Net &net : planar.nets())
+            fp.addNet(net);
+        wl = weightedWirelength(fp);
+        double peak = fp.peakStackedDensity(48);
+        ratio = planar_peak > 0.0 ? peak / planar_peak : 0.0;
+        double over = std::max(0.0, peak - density_cap) / planar_peak;
+        return params.alpha_wire * wl +
+               params.beta_density * over * over;
+    };
+
+    double wl = 0.0, ratio = 0.0;
+    double best_cost = evaluate(current, wl, ratio);
+    if (best_cost >= 1e17) {
+        // The initial alternating assignment did not pack; retry
+        // with progressively more outline slack.
+        PlannerParams relaxed = params;
+        relaxed.outline_slack = params.outline_slack * 1.15;
+        if (relaxed.outline_slack > 2.0)
+            stack3d_fatal("stacking planner cannot pack the blocks "
+                          "even with 2x outline slack");
+        return planStacking(planar, relaxed);
+    }
+
+    unsigned accepted = 0;
+    for (unsigned iter = 0; iter < params.iterations; ++iter) {
+        Candidate trial = current;
+        unsigned move = unsigned(rng.uniformInt(3));
+        if (move == 0) {
+            // Move a random block to the other die, random position.
+            unsigned from = unsigned(rng.uniformInt(2));
+            if (trial.order[from].empty())
+                continue;
+            std::size_t pick = rng.uniformInt(trial.order[from].size());
+            std::size_t blk = trial.order[from][pick];
+            trial.order[from].erase(trial.order[from].begin() + pick);
+            auto &dst = trial.order[1 - from];
+            dst.insert(dst.begin() + rng.uniformInt(dst.size() + 1),
+                       blk);
+        } else if (move == 1) {
+            // Swap two blocks across dies.
+            if (trial.order[0].empty() || trial.order[1].empty())
+                continue;
+            std::size_t a = rng.uniformInt(trial.order[0].size());
+            std::size_t b = rng.uniformInt(trial.order[1].size());
+            std::swap(trial.order[0][a], trial.order[1][b]);
+        } else {
+            // Reorder within a die (changes packing position).
+            unsigned die = unsigned(rng.uniformInt(2));
+            if (trial.order[die].size() < 2)
+                continue;
+            std::size_t a = rng.uniformInt(trial.order[die].size());
+            std::size_t b = rng.uniformInt(trial.order[die].size());
+            std::swap(trial.order[die][a], trial.order[die][b]);
+        }
+
+        double t_wl = 0.0, t_ratio = 0.0;
+        double cost = evaluate(trial, t_wl, t_ratio);
+        if (cost <= best_cost) {
+            best_cost = cost;
+            current = trial;
+            wl = t_wl;
+            ratio = t_ratio;
+            ++accepted;
+        }
+    }
+
+    PlannerResult result{
+        materialize(blocks, current, width, height,
+                    planar.name() + "_3d", planar.nets()),
+        wl, weightedWirelength(planar), ratio, accepted};
+    return result;
+}
+
+} // namespace floorplan
+} // namespace stack3d

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Iterative Logic+Logic stacking planner. Implements the paper's
+ * "simple iterative process of placing blocks, observing the new
+ * power densities and repairing outliers": blocks of a planar
+ * floorplan are distributed over two half-footprint dies, shelf-
+ * packed for legality, and improved by randomized moves that trade
+ * off net wirelength against stacked power density.
+ */
+
+#ifndef STACK3D_FLOORPLAN_PLANNER_HH
+#define STACK3D_FLOORPLAN_PLANNER_HH
+
+#include "common/random.hh"
+#include "floorplan/floorplan.hh"
+
+namespace stack3d {
+namespace floorplan {
+
+/** Planner knobs. */
+struct PlannerParams
+{
+    /** Optimization moves attempted. */
+    unsigned iterations = 4000;
+
+    /** Weight of total weighted wirelength (per metre). */
+    double alpha_wire = 1.0;
+
+    /**
+     * Peak stacked density ceiling, as a multiple of the planar
+     * floorplan's peak block density; overshoot is penalized
+     * quadratically. The paper's repaired plan reaches ~1.3x.
+     */
+    double density_cap_ratio = 1.35;
+
+    /** Penalty weight for exceeding the density cap. */
+    double beta_density = 5.0;
+
+    /** Lateral slack of the two-die outline vs. area/2 (>= 1). */
+    double outline_slack = 1.12;
+
+    std::uint64_t seed = 1;
+};
+
+/** Result of a planning run. */
+struct PlannerResult
+{
+    Floorplan plan;
+    double wirelength = 0.0;          ///< weighted total, metres
+    double planar_wirelength = 0.0;   ///< same metric on the input
+    double peak_density_ratio = 0.0;  ///< vs planar peak density
+    unsigned accepted_moves = 0;
+};
+
+/**
+ * Fold @p planar onto two dies of ~half the footprint.
+ * The input must have at least two blocks; nets drive wirelength.
+ */
+PlannerResult planStacking(const Floorplan &planar,
+                           const PlannerParams &params = {});
+
+} // namespace floorplan
+} // namespace stack3d
+
+#endif // STACK3D_FLOORPLAN_PLANNER_HH

@@ -1,0 +1,338 @@
+#include "reference.hh"
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace floorplan {
+
+namespace {
+
+constexpr double mm = 1e-3;
+
+/** Add one Core 2 core's blocks, mirrored for the second core. */
+void
+addCore2Core(Floorplan &fp, unsigned core, double die_width)
+{
+    struct Spec
+    {
+        const char *name;
+        double x, y, w, h;   // mm, core-0 coordinates
+        double power;
+    };
+    // Core region: x in [0, 6.75), y in [5.3, 10.6) mm. The FP unit,
+    // reservation stations, and load/store unit are the hot spots
+    // Figure 6(b) points at.
+    static const Spec specs[] = {
+        {"l1d", 0.30, 5.50, 2.00, 1.50, 2.9},
+        {"ldst", 2.50, 5.50, 1.55, 1.35, 6.3},
+        {"fp", 4.30, 5.50, 1.55, 1.60, 7.2},
+        {"rs", 2.50, 7.00, 1.40, 1.40, 6.0},
+        {"alu", 4.00, 7.30, 1.50, 1.40, 6.3},
+        {"rob", 1.00, 7.20, 1.20, 1.10, 4.0},
+        {"decode", 0.30, 8.70, 2.00, 1.20, 5.4},
+        {"ifu", 2.80, 8.80, 2.00, 1.50, 4.4},
+    };
+
+    for (const Spec &s : specs) {
+        Block b;
+        b.name = std::string("core") + std::to_string(core) + "." +
+                 s.name;
+        b.width = s.w * mm;
+        b.height = s.h * mm;
+        b.y = s.y * mm;
+        b.power = s.power;
+        if (core == 0)
+            b.x = s.x * mm;
+        else
+            b.x = die_width - (s.x + s.w) * mm;   // mirrored
+        fp.addBlock(b);
+    }
+}
+
+} // anonymous namespace
+
+Floorplan
+makeCore2Duo()
+{
+    const double w = 13.5 * mm;
+    const double h = 10.6 * mm;
+    Floorplan fp("core2duo", w, h);
+
+    // Shared 4 MB L2: the bottom ~50% of the die.
+    Block l2;
+    l2.name = "l2";
+    l2.x = 0.0;
+    l2.y = 0.0;
+    l2.width = w;
+    l2.height = 5.3 * mm;
+    l2.power = budgets::core2_l2_sram_4mb;
+    fp.addBlock(l2);
+
+    addCore2Core(fp, 0, w);
+    addCore2Core(fp, 1, w);
+
+    stack3d_assert(fp.validateNoOverlap(), "core2duo blocks overlap");
+    return fp;
+}
+
+Floorplan
+makeCore2BaseDie32M()
+{
+    // The 4 MB SRAM is gone; a ~2 MB tag array replaces it. Die
+    // height shrinks from 10.6 mm to 7.0 mm (cores + tag strip).
+    const double w = 13.5 * mm;
+    const double h = 7.0 * mm;
+    Floorplan fp("core2_base_32m", w, h);
+
+    Block tags;
+    tags.name = "dram_tags";
+    tags.x = 0.0;
+    tags.y = 0.0;
+    tags.width = w;
+    tags.height = 1.7 * mm;
+    tags.power = 3.5;
+    fp.addBlock(tags);
+
+    // Cores sit where they were, shifted down by the removed cache:
+    // reuse the standard core layout but offset y by -3.6 mm.
+    Floorplan donor("donor", 13.5 * mm, 10.6 * mm);
+    addCore2Core(donor, 0, w);
+    addCore2Core(donor, 1, w);
+    for (Block b : donor.blocks()) {
+        b.y -= 3.6 * mm;
+        fp.addBlock(b);
+    }
+
+    stack3d_assert(fp.validateNoOverlap(),
+                   "core2 32M base blocks overlap");
+    return fp;
+}
+
+Floorplan
+makeCore2BaseDie32MKeepOutline()
+{
+    const double w = 13.5 * mm;
+    const double h = 10.6 * mm;
+    Floorplan fp("core2_base_32m_full", w, h);
+
+    Block tags;
+    tags.name = "dram_tags";
+    tags.x = 0.0;
+    tags.y = 0.0;
+    tags.width = w;
+    tags.height = 1.7 * mm;
+    tags.power = 3.5;
+    fp.addBlock(tags);
+
+    addCore2Core(fp, 0, w);
+    addCore2Core(fp, 1, w);
+
+    stack3d_assert(fp.validateNoOverlap(),
+                   "core2 32M full-outline blocks overlap");
+    return fp;
+}
+
+Floorplan
+makeCacheDie(const Floorplan &base, const char *name, double watts)
+{
+    Floorplan fp(name, base.width(), base.height());
+    Block cache;
+    cache.name = "stacked_cache";
+    cache.x = 0.0;
+    cache.y = 0.0;
+    cache.width = base.width();
+    cache.height = base.height();
+    cache.power = watts;
+    cache.die = 1;
+    fp.addBlock(cache);
+    return fp;
+}
+
+Floorplan
+stackFloorplans(const Floorplan &die0, const Floorplan &die1,
+                const char *name)
+{
+    if (die0.width() != die1.width() ||
+        die0.height() != die1.height()) {
+        stack3d_fatal("stacked dies have different outlines: ",
+                      die0.name(), " vs ", die1.name());
+    }
+    Floorplan fp(name, die0.width(), die0.height());
+    for (const Block &b : die0.blocks()) {
+        Block copy = b;
+        copy.die = 0;
+        fp.addBlock(copy);
+    }
+    for (const Block &b : die1.blocks()) {
+        Block copy = b;
+        copy.die = 1;
+        fp.addBlock(copy);
+    }
+    return fp;
+}
+
+namespace {
+
+/** Table 4's performance-critical paths as nets. */
+void
+addP4Nets(Floorplan &fp)
+{
+    fp.addNet({"dcache", "falu", 2.0});        // load-to-use
+    fp.addNet({"rf", "fp", 2.0});              // FP register read
+    fp.addNet({"rf", "simd", 1.5});            // SIMD register read
+    fp.addNet({"trace_cache", "frontend", 1.0});
+    fp.addNet({"frontend", "rename", 1.0});
+    fp.addNet({"rename", "sched", 1.0});
+    fp.addNet({"sched", "falu", 1.5});
+    fp.addNet({"dcache", "fp", 1.0});          // FP load
+    fp.addNet({"ldst", "dcache", 1.5});        // store pipeline
+    fp.addNet({"rob", "rename", 1.0});         // retire-to-dealloc
+    fp.addNet({"sched", "rob", 1.0});
+}
+
+} // anonymous namespace
+
+Floorplan
+makePentium4Planar()
+{
+    const double w = 11.0 * mm;
+    const double h = 10.0 * mm;
+    Floorplan fp("p4_planar", w, h);
+
+    struct Spec
+    {
+        const char *name;
+        double x, y, ww, hh;   // mm
+        double power;
+    };
+    // Figure 9's arrangement: D$ and the integer functional units
+    // (F) along the top, the FP / SIMD / RF row beneath them (SIMD
+    // deliberately between RF and FP — the planar plan optimizes
+    // SIMD at the cost of 2 cycles on every FP register read), the
+    // front end and L2 at the bottom.
+    static const Spec specs[] = {
+        {"l2", 0.0, 0.0, 11.0, 2.5, 11.5},
+        {"dcache", 0.4, 7.2, 2.6, 2.2, 12.0},
+        {"falu", 3.3, 7.1, 2.5, 2.5, 18.0},
+        {"sched", 6.1, 7.2, 2.4, 2.35, 16.0},
+        {"rename", 8.8, 7.3, 1.0, 1.8, 5.0},
+        {"fp", 0.3, 4.3, 3.4, 2.2, 15.0},
+        {"simd", 3.9, 4.4, 2.1, 2.0, 12.0},
+        {"rf", 6.2, 4.3, 1.8, 2.4, 8.0},
+        {"ldst", 8.1, 2.7, 1.7, 2.5, 12.0},
+        {"trace_cache", 0.3, 2.8, 3.0, 1.4, 10.0},
+        {"frontend", 3.5, 2.8, 2.4, 1.4, 8.0},
+        {"rob", 6.1, 2.8, 1.9, 1.4, 7.5},
+        {"misc", 9.9, 2.8, 1.0, 5.6, 12.0},
+    };
+    for (const Spec &s : specs) {
+        Block b;
+        b.name = s.name;
+        b.x = s.x * mm;
+        b.y = s.y * mm;
+        b.width = s.ww * mm;
+        b.height = s.hh * mm;
+        b.power = s.power;
+        fp.addBlock(b);
+    }
+
+    addP4Nets(fp);
+    stack3d_assert(fp.validateNoOverlap(), "p4 planar blocks overlap");
+    stack3d_assert(fp.totalPower() == budgets::p4_total,
+                   "p4 planar power must sum to 147 W, got ",
+                   fp.totalPower());
+    return fp;
+}
+
+Floorplan
+makePentium43D(double power_scale)
+{
+    // Half the footprint: 7.8 x 7.3 mm (~57 mm^2). The hot execution
+    // cluster concentrates on die 0 (next to the heat sink). Die 1
+    // carries the D$ folded directly over falu/sched and the FP unit
+    // folded directly over the RF (Figure 10: SIMD no longer
+    // separates them, eliminating the 2 planar cycles), with the L2
+    // spread over the remainder. Positions follow the paper's
+    // iterative density-repair discipline: the D$ and FP blocks are
+    // large/cool enough that every vertical pair stays near 1.3x the
+    // planar peak density.
+    const double w = 7.8 * mm;
+    const double h = 7.3 * mm;
+    Floorplan fp("p4_3d", w, h);
+
+    struct Spec
+    {
+        const char *name;
+        unsigned die;
+        double x, y, ww, hh;   // mm
+        double power;
+    };
+    static const Spec specs[] = {
+        // Die 0: execution cluster, register file, front end.
+        {"falu", 0, 0.1, 4.6, 2.5, 2.5, 18.0},
+        {"sched", 0, 2.7, 4.6, 2.4, 2.35, 16.0},
+        {"rf", 0, 5.3, 4.6, 1.8, 2.4, 8.0},
+        {"ldst", 0, 0.2, 2.0, 1.7, 2.5, 12.0},
+        {"simd", 0, 2.1, 2.3, 2.1, 2.0, 12.0},
+        {"rename", 0, 5.3, 2.4, 1.0, 1.8, 5.0},
+        {"frontend", 0, 0.2, 0.3, 2.4, 1.4, 8.0},
+        {"misc", 0, 3.6, 0.2, 2.7, 2.0, 12.0},
+        {"trace_cache", 0, 6.4, 0.3, 1.4, 3.0, 10.0},
+        // Die 1: D$ over falu/sched; FP directly over the RF; the
+        // enlarged ROB over misc; L2 strips over the rest.
+        {"dcache", 1, 0.3, 4.7, 2.6, 2.2, 12.0},
+        {"fp", 1, 5.2, 4.3, 2.6, 2.9, 15.0},
+        {"rob", 1, 4.0, 0.3, 2.2, 1.8, 7.5},
+        {"l2a", 1, 0.2, 0.3, 3.6, 2.0, 5.75},
+        {"l2b", 1, 0.2, 2.5, 4.8, 2.0, 5.75},
+    };
+    for (const Spec &s : specs) {
+        Block b;
+        b.name = s.name;
+        b.die = s.die;
+        b.x = s.x * mm;
+        b.y = s.y * mm;
+        b.width = s.ww * mm;
+        b.height = s.hh * mm;
+        b.power = s.power * power_scale;
+        fp.addBlock(b);
+    }
+
+    addP4Nets(fp);
+    stack3d_assert(fp.validateNoOverlap(), "p4 3D blocks overlap");
+    return fp;
+}
+
+Floorplan
+makePentium43DWorstCase()
+{
+    // No power savings, and the naive fold stacks hot logic over hot
+    // logic: the FP unit lands on the integer execution block and
+    // the load/store unit on the scheduler, doubling the peak
+    // vertical power density.
+    Floorplan fp = makePentium43D(/*power_scale=*/1.0);
+
+    Block &fpu = fp.mutableBlock("fp");
+    fpu.x = 0.2 * mm;
+    fpu.y = 4.4 * mm;   // over falu
+
+    Block &ldst = fp.mutableBlock("ldst");
+    ldst.die = 1;
+    ldst.x = 2.8 * mm;
+    ldst.y = 4.6 * mm;  // over sched
+
+    Block &dcache = fp.mutableBlock("dcache");
+    dcache.x = 5.2 * mm;
+    dcache.y = 4.5 * mm;   // displaced over the (cool) RF
+
+    // Slide the second L2 strip down so the relocated FP unit fits.
+    Block &l2b = fp.mutableBlock("l2b");
+    l2b.y = 2.4 * mm;
+
+    stack3d_assert(fp.validateNoOverlap(),
+                   "p4 3D worst-case blocks overlap");
+    return fp;
+}
+
+} // namespace floorplan
+} // namespace stack3d

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reference floorplans entered from the paper's figures:
+ *
+ *  - the Intel Core 2 Duo baseline (Figures 4 and 6): two cores plus
+ *    a 4 MB shared L2 occupying ~50% of the die, 92 W total;
+ *  - the Figure 7 stacking variants (cache-only second dies and the
+ *    shrunk 32 MB-option base die);
+ *  - the Pentium 4-class deeply pipelined processor, planar
+ *    (Figure 9) and folded onto two dies (Figure 10), with the nets
+ *    of the performance-critical paths of Table 4.
+ */
+
+#ifndef STACK3D_FLOORPLAN_REFERENCE_HH
+#define STACK3D_FLOORPLAN_REFERENCE_HH
+
+#include "floorplan/floorplan.hh"
+
+namespace stack3d {
+namespace floorplan {
+
+/** Power budgets from the paper (Figure 7 and Section 4). */
+namespace budgets {
+
+constexpr double core2_total = 92.0;        ///< baseline 92 W skew
+constexpr double core2_l2_sram_4mb = 7.0;   ///< 4 MB SRAM
+constexpr double stacked_sram_8mb = 14.0;   ///< +14 W for +8 MB
+constexpr double stacked_dram_32mb = 3.1;
+constexpr double stacked_dram_64mb = 6.2;
+constexpr double p4_total = 147.0;          ///< Table 5 baseline
+
+} // namespace budgets
+
+/** Baseline planar Core 2 Duo: 13.5 x 10.6 mm, 92 W (Figure 6). */
+Floorplan makeCore2Duo();
+
+/**
+ * Base die for the 32 MB DRAM option (Figure 7c): the 4 MB SRAM is
+ * removed, a 2 MB tag array is added, and the die shrinks.
+ */
+Floorplan makeCore2BaseDie32M();
+
+/**
+ * Same logical content as makeCore2BaseDie32M() but keeping the
+ * baseline die outline (the vacated cache area left unpowered).
+ * This is the thermally conservative reading used for Figure 8's
+ * option (c): the cores keep their full lateral silicon spreading.
+ */
+Floorplan makeCore2BaseDie32MKeepOutline();
+
+/**
+ * A uniform-power cache-only die matching @p base's outline (the
+ * stacked SRAM or DRAM die of Figure 7). Blocks land on die 1.
+ */
+Floorplan makeCacheDie(const Floorplan &base, const char *name,
+                       double watts);
+
+/**
+ * Merge a base-die floorplan (die 0) with a stacked-die floorplan
+ * (blocks re-tagged to die 1) into one two-die plan.
+ */
+Floorplan stackFloorplans(const Floorplan &die0, const Floorplan &die1,
+                          const char *name);
+
+/** Planar Pentium 4-class floorplan, 147 W (Figure 9), with the
+ *  Table 4 critical-path nets attached. */
+Floorplan makePentium4Planar();
+
+/**
+ * The hand-optimized two-die Pentium 4 floorplan of Figure 10:
+ * 50% footprint, D$ folded over the functional units, RF adjacent
+ * to both FP and SIMD, and every block's power scaled by
+ * @p power_scale (0.85 for the paper's 15% reduction; 1.0 for the
+ * "3D worst case" bar of Figure 11).
+ */
+Floorplan makePentium43D(double power_scale = 0.85);
+
+/**
+ * The Figure 11 "3D Worstcase" configuration: no power savings and
+ * naive stacking that doubles the peak power density (the scheduler
+ * of one die lands under the execution cluster of the other).
+ */
+Floorplan makePentium43DWorstCase();
+
+} // namespace floorplan
+} // namespace stack3d
+
+#endif // STACK3D_FLOORPLAN_REFERENCE_HH

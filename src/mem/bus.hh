@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Off-die front-side bus model: a single shared channel with finite
+ * bandwidth (Table 3: 16 GB/s). Transactions serialize on the
+ * channel; the model tracks total bytes moved so off-die bandwidth
+ * and bus power (20 mW/Gb/s) can be reported per Figure 5.
+ */
+
+#ifndef STACK3D_MEM_BUS_HH
+#define STACK3D_MEM_BUS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "mem/params.hh"
+
+namespace stack3d {
+namespace mem {
+
+/** A bandwidth-limited, in-order off-die bus. */
+class Bus
+{
+  public:
+    explicit Bus(const BusParams &params) : _params(params)
+    {
+        stack3d_assert(params.bandwidth_gbps > 0.0 &&
+                           params.core_freq_ghz > 0.0,
+                       "bus bandwidth/frequency must be positive");
+        _bytes_per_cycle = params.bytesPerCycle();
+    }
+
+    /**
+     * Transfer @p bytes no earlier than @p start. The channel is a
+     * single serialized resource — unlike the DRAM banks there is no
+     * demand-priority lane, because every byte genuinely occupies
+     * the same wires (bandwidth conservation); the speculative flag
+     * is accepted for interface symmetry and recorded in the stats.
+     *
+     * @return cycle at which the transfer completes.
+     */
+    Cycles
+    transfer(std::uint64_t bytes, Cycles start, bool speculative = false)
+    {
+        auto occupancy =
+            Cycles(double(bytes) / _bytes_per_cycle + 0.5);
+        if (occupancy == 0)
+            occupancy = 1;
+        Cycles begin = std::max(start, _next_free);
+        _next_free = begin + occupancy;
+        _total_bytes += bytes;
+        if (speculative)
+            _speculative_bytes += bytes;
+        ++_transactions;
+        return _next_free;
+    }
+
+    /** Earliest cycle a new transfer could begin (queue backlog). */
+    Cycles nextFree() const { return _next_free; }
+
+    /** Bytes moved by speculative traffic (prefetch, writeback). */
+    std::uint64_t speculativeBytes() const { return _speculative_bytes; }
+
+    std::uint64_t totalBytes() const { return _total_bytes; }
+    std::uint64_t transactions() const { return _transactions; }
+
+    /** Achieved bandwidth in GB/s over @p total_cycles. */
+    double
+    achievedGBps(Cycles total_cycles) const
+    {
+        if (total_cycles == 0)
+            return 0.0;
+        double seconds =
+            double(total_cycles) / (_params.core_freq_ghz * 1e9);
+        return units::toGBps(double(_total_bytes), seconds);
+    }
+
+    /** Bus power in watts at the achieved bandwidth (20 mW/Gb/s). */
+    double
+    powerWatts(Cycles total_cycles) const
+    {
+        double gbit_per_s = achievedGBps(total_cycles) * 8.0;
+        return gbit_per_s * _params.mw_per_gbit * 1e-3;
+    }
+
+    const BusParams &params() const { return _params; }
+
+  private:
+    BusParams _params;
+    double _bytes_per_cycle;
+    Cycles _next_free = 0;
+    std::uint64_t _total_bytes = 0;
+    std::uint64_t _speculative_bytes = 0;
+    std::uint64_t _transactions = 0;
+};
+
+} // namespace mem
+} // namespace stack3d
+
+#endif // STACK3D_MEM_BUS_HH

@@ -1,0 +1,169 @@
+#include "cache.hh"
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace mem {
+
+Cache::Cache(const CacheParams &params, std::string name)
+    : _params(params), _name(std::move(name))
+{
+    if (params.size_bytes == 0 || params.assoc == 0)
+        stack3d_fatal("cache '", _name, "' has zero size or assoc");
+    if (!units::isPowerOfTwo(params.line_bytes))
+        stack3d_fatal("cache '", _name, "' line size not a power of two");
+    _num_sets =
+        params.size_bytes / (std::uint64_t(params.line_bytes) *
+                             params.assoc);
+    if (_num_sets == 0 || !units::isPowerOfTwo(_num_sets)) {
+        stack3d_fatal("cache '", _name, "': ", _num_sets,
+                      " sets (must be a non-zero power of two; adjust "
+                      "associativity)");
+    }
+    _line_shift = units::floorLog2(params.line_bytes);
+    _lines.resize(_num_sets * params.assoc);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> _line_shift) & (_num_sets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> _line_shift;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &_lines[set * _params.assoc];
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_store)
+{
+    CacheAccessResult res;
+    ++_tick;
+
+    if (Line *line = findLine(addr)) {
+        ++_ctr.hits;
+        res.hit = true;
+        line->lru = _tick;
+        if (is_store)
+            line->dirty = true;
+        return res;
+    }
+
+    ++_ctr.misses;
+
+    // Choose a victim: invalid way if any, else LRU.
+    std::uint64_t set = setIndex(addr);
+    Line *base = &_lines[set * _params.assoc];
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+
+    if (victim->valid) {
+        ++_ctr.evictions;
+        res.evicted = true;
+        res.victim_addr = victim->tag << _line_shift;
+        res.victim_presence = victim->presence;
+        if (victim->dirty) {
+            ++_ctr.writebacks;
+            res.writeback = true;
+        }
+    }
+
+    victim->tag = tagOf(addr);
+    victim->valid = true;
+    victim->dirty = is_store;
+    victim->presence = 0;
+    victim->lru = _tick;
+    return res;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        ++_ctr.invalidations;
+        bool was_dirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        line->presence = 0;
+        return was_dirty;
+    }
+    return false;
+}
+
+void
+Cache::setPresence(Addr addr, unsigned cpu)
+{
+    stack3d_assert(cpu < 8, "presence bitmap supports 8 cpus");
+    if (Line *line = findLine(addr))
+        line->presence |= std::uint8_t(1u << cpu);
+}
+
+void
+Cache::clearPresence(Addr addr, unsigned cpu)
+{
+    stack3d_assert(cpu < 8, "presence bitmap supports 8 cpus");
+    if (Line *line = findLine(addr))
+        line->presence &= std::uint8_t(~(1u << cpu));
+}
+
+std::uint8_t
+Cache::presence(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? line->presence : 0;
+}
+
+bool
+Cache::markDirty(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->dirty = true;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : _lines)
+        line = Line{};
+    _tick = 0;
+}
+
+} // namespace mem
+} // namespace stack3d

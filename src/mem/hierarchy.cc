@@ -1,0 +1,418 @@
+#include "hierarchy.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace stack3d {
+namespace mem {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+    : _params(params), _bus(params.bus), _main_memory(params.main_memory)
+{
+    if (params.num_cpus == 0 || params.num_cpus > 8)
+        stack3d_fatal("hierarchy supports 1-8 cpus, got ",
+                      params.num_cpus);
+
+    for (unsigned c = 0; c < params.num_cpus; ++c) {
+        _l1d.push_back(std::make_unique<Cache>(
+            params.l1d, "l1d" + std::to_string(c)));
+        _l1i.push_back(std::make_unique<Cache>(
+            params.l1i, "l1i" + std::to_string(c)));
+    }
+
+    _streams.resize(params.num_cpus);
+    for (auto &table : _streams)
+        table.resize(params.prefetcher.num_streams);
+
+    if (_params.usesDramCache()) {
+        _dram_cache = std::make_unique<DramCacheArray>(
+            params.dram_cache, "dram_cache");
+        _dram_banks = std::make_unique<DramBankEngine>(
+            params.dram_cache.num_banks, params.dram_cache.page_bytes,
+            params.dram_cache.timing, "dram_cache_banks");
+    } else {
+        _l2 = std::make_unique<Cache>(params.l2, "l2");
+    }
+}
+
+Addr
+MemoryHierarchy::lineAddr(Addr addr) const
+{
+    return addr & ~Addr(_params.l1d.line_bytes - 1);
+}
+
+Cycles
+MemoryHierarchy::access(unsigned cpu, Addr addr, trace::MemOp op,
+                        Cycles start)
+{
+    stack3d_assert(cpu < _params.num_cpus, "cpu index out of range");
+    ++_ctr.accesses;
+    bool is_store = false;
+    Cache *l1 = nullptr;
+    switch (op) {
+      case trace::MemOp::Load:
+        ++_ctr.loads;
+        l1 = _l1d[cpu].get();
+        break;
+      case trace::MemOp::Store:
+        ++_ctr.stores;
+        is_store = true;
+        l1 = _l1d[cpu].get();
+        break;
+      case trace::MemOp::Ifetch:
+        ++_ctr.ifetches;
+        l1 = _l1i[cpu].get();
+        break;
+    }
+
+    Addr line = lineAddr(addr);
+    Cycles t_l1 = start + l1->params().latency;
+    CacheAccessResult res = l1->access(line, is_store);
+
+    if (is_store)
+        coherenceOnStore(cpu, line);
+    if (res.evicted)
+        handleL1Victim(cpu, res, t_l1);
+    if (_params.prefetcher.enable && op != trace::MemOp::Ifetch)
+        trainPrefetcher(cpu, line, t_l1, res.hit);
+    if (res.hit)
+        return t_l1;
+
+    if (op != trace::MemOp::Ifetch)
+        ++_ctr.demand_l1d_misses;
+    return llcAccess(cpu, line, is_store, t_l1,
+                     /*speculative=*/false);
+}
+
+void
+MemoryHierarchy::trainPrefetcher(unsigned cpu, Addr line, Cycles when,
+                                 bool was_hit)
+{
+    const PrefetcherParams &pp = _params.prefetcher;
+    auto &table = _streams[cpu];
+    ++_stream_clock;
+    auto line_bytes = std::int64_t(_params.l1d.line_bytes);
+
+    // Streams advance on any demand access that reaches their
+    // expected next line (hits on previously prefetched lines keep
+    // the stream alive and pull the window forward).
+    for (StreamEntry &entry : table) {
+        if (!entry.valid || entry.next_line != line)
+            continue;
+        entry.last_use = _stream_clock;
+        entry.next_line =
+            Addr(std::int64_t(line) + entry.stride * line_bytes);
+        if (entry.confidence < pp.train_threshold) {
+            ++entry.confidence;
+            return;
+        }
+        if (entry.confidence == pp.train_threshold) {
+            // Just confirmed: establish the full lookahead window.
+            ++entry.confidence;
+            Addr pf = entry.next_line;
+            for (unsigned d = 0; d < pp.degree; ++d) {
+                prefetchLine(cpu, pf, when);
+                pf = Addr(std::int64_t(pf) + entry.stride * line_bytes);
+            }
+        } else {
+            // Steady state: one line per demand keeps the window
+            // `degree` lines deep.
+            Addr pf = Addr(std::int64_t(line) +
+                           entry.stride * line_bytes *
+                               std::int64_t(pp.degree));
+            prefetchLine(cpu, pf, when);
+        }
+        return;
+    }
+
+    // New streams are allocated on demand misses only.
+    if (was_hit)
+        return;
+
+    StreamEntry *lru = &table[0];
+    for (StreamEntry &entry : table) {
+        if (!entry.valid) {
+            lru = &entry;
+            break;
+        }
+        if (entry.last_use < lru->last_use)
+            lru = &entry;
+    }
+    lru->valid = true;
+    lru->stride = 1;
+    lru->confidence = 0;
+    lru->last_use = _stream_clock;
+    lru->next_line = line + Addr(line_bytes);
+}
+
+void
+MemoryHierarchy::prefetchLine(unsigned cpu, Addr line, Cycles when)
+{
+    if (_l1d[cpu]->probe(line))
+        return;
+
+    // Flow control: skip the prefetch when the resource it would
+    // occupy is already booked far into the future; demand misses
+    // must not starve behind speculative traffic.
+    Cycles horizon = when + _params.prefetcher.max_backlog;
+    bool llc_hit = _l2 ? _l2->probe(line)
+                       : (_dram_cache && _dram_cache->probe(line));
+    if (llc_hit) {
+        if (_dram_banks && _dram_banks->busyUntil(line) > horizon)
+            return;
+    } else {
+        if (_bus.nextFree() > horizon)
+            return;
+    }
+
+    ++_ctr.prefetches;
+    // Fill through the normal LLC path (reserving bus/bank time) and
+    // install in the L1; completion time is discarded — prefetches
+    // are off the critical path.
+    llcAccess(cpu, line, /*is_store=*/false, when, /*speculative=*/true);
+    CacheAccessResult res = _l1d[cpu]->access(line, /*is_store=*/false);
+    if (res.evicted)
+        handleL1Victim(cpu, res, when);
+}
+
+void
+MemoryHierarchy::coherenceOnStore(unsigned cpu, Addr line)
+{
+    for (unsigned other = 0; other < _params.num_cpus; ++other) {
+        if (other == cpu)
+            continue;
+        if (_l1d[other]->probe(line)) {
+            bool was_dirty = _l1d[other]->invalidate(line);
+            ++_ctr.coherence_invalidations;
+            if (was_dirty) {
+                // The remote dirty copy drains into the LLC.
+                if (_l2) {
+                    _l2->markDirty(line);
+                } else if (_dram_cache &&
+                           !_dram_cache->markSectorDirty(line)) {
+                    _ctr.offdie_writeback_bytes +=
+                        _params.l1d.line_bytes;
+                }
+            }
+        }
+    }
+}
+
+void
+MemoryHierarchy::handleL1Victim(unsigned cpu, const CacheAccessResult &res,
+                                Cycles when)
+{
+    (void)cpu;
+    if (!res.writeback)
+        return;
+    // Dirty L1 victim drains into the LLC; inclusion normally
+    // guarantees the line is there. If it is not (evicted between the
+    // fill and this eviction), the data goes straight off die.
+    if (_l2) {
+        if (!_l2->markDirty(res.victim_addr)) {
+            _bus.transfer(_params.l1d.line_bytes, when,
+                          /*speculative=*/true);
+            _main_memory.write(res.victim_addr, when);
+            _ctr.offdie_writeback_bytes += _params.l1d.line_bytes;
+        }
+    } else if (_dram_cache) {
+        if (!_dram_cache->markSectorDirty(res.victim_addr)) {
+            _bus.transfer(_params.l1d.line_bytes, when,
+                          /*speculative=*/true);
+            _main_memory.write(res.victim_addr, when);
+            _ctr.offdie_writeback_bytes += _params.l1d.line_bytes;
+        }
+    }
+}
+
+void
+MemoryHierarchy::backInvalidateL1s(Addr line_addr)
+{
+    for (unsigned c = 0; c < _params.num_cpus; ++c) {
+        if (_l1d[c]->probe(line_addr)) {
+            bool dirty = _l1d[c]->invalidate(line_addr);
+            if (dirty) {
+                // Dirty data from the L1 accompanies the LLC victim
+                // off die.
+                _ctr.offdie_writeback_bytes += _params.l1d.line_bytes;
+            }
+        }
+        if (_l1i[c]->probe(line_addr))
+            _l1i[c]->invalidate(line_addr);
+    }
+}
+
+Cycles
+MemoryHierarchy::missToMemory(Addr line, std::uint64_t bytes,
+                              Cycles when, bool speculative)
+{
+    Cycles mem_ready = _main_memory.read(line, when, speculative);
+    Cycles t_data = _bus.transfer(bytes, mem_ready, speculative);
+    _ctr.offdie_fill_bytes += bytes;
+    return t_data;
+}
+
+Cycles
+MemoryHierarchy::llcAccess(unsigned cpu, Addr line, bool is_store,
+                           Cycles when, bool speculative)
+{
+    (void)cpu;
+    (void)is_store;
+
+    if (_l2) {
+        // SRAM LLC. Fills are reads: dirtiness arrives later via L1
+        // victim drains.
+        Cycles t_l2 = when + _l2->params().latency;
+        CacheAccessResult res = _l2->access(line, /*is_store=*/false);
+        if (res.evicted) {
+            backInvalidateL1s(res.victim_addr);
+            if (res.writeback) {
+                _bus.transfer(_l2->params().line_bytes, t_l2,
+                              /*speculative=*/true);
+                _main_memory.write(res.victim_addr, t_l2);
+                _ctr.offdie_writeback_bytes += _l2->params().line_bytes;
+            }
+        }
+        if (res.hit)
+            return t_l2;
+        return missToMemory(line, _l2->params().line_bytes, t_l2,
+                            speculative);
+    }
+
+    // Stacked DRAM cache: on-die tag lookup first, then the data
+    // array access crosses the die-to-die interface.
+    const DramCacheParams &dp = _params.dram_cache;
+    Cycles t_tag = when + dp.tag_latency;
+    DramCacheResult res = _dram_cache->access(line, /*is_store=*/false);
+
+    if (res.evicted) {
+        // Back-invalidate every sector of the victim page and drain
+        // its dirty sectors off die.
+        for (unsigned s = 0; s * dp.sector_bytes < dp.page_bytes; ++s)
+            backInvalidateL1s(res.victim_page + s * dp.sector_bytes);
+        if (res.victim_dirty_sectors > 0) {
+            std::uint64_t bytes =
+                std::uint64_t(res.victim_dirty_sectors) *
+                dp.sector_bytes;
+            _bus.transfer(bytes, t_tag, /*speculative=*/true);
+            _main_memory.write(res.victim_page, t_tag);
+            _ctr.offdie_writeback_bytes += bytes;
+        }
+    }
+
+    if (res.sector_hit) {
+        Cycles t_data = _dram_banks->access(line, t_tag + dp.d2d_latency,
+                                            speculative);
+        return t_data + dp.d2d_latency;
+    }
+
+    // Sector fill from main memory; the arriving sector is written
+    // into the stacked DRAM (bank occupancy, off the critical path).
+    Cycles t_data =
+        missToMemory(line, dp.sector_bytes, t_tag, speculative);
+    _dram_banks->access(line, t_data + dp.d2d_latency,
+                        /*speculative=*/true);
+    return t_data;
+}
+
+void
+MemoryHierarchy::dumpStats(std::ostream &os) const
+{
+    using stats::Formula;
+    using stats::StatGroup;
+
+    StatGroup root("hierarchy");
+    std::vector<std::unique_ptr<Formula>> stats;
+    auto add = [&](StatGroup &group, const char *name, const char *desc,
+                   double value) {
+        stats.push_back(std::make_unique<Formula>(
+            &group, name, desc, [value] { return value; }));
+    };
+
+    add(root, "accesses", "total references", double(_ctr.accesses));
+    add(root, "loads", "load references", double(_ctr.loads));
+    add(root, "stores", "store references", double(_ctr.stores));
+    add(root, "ifetches", "ifetch references", double(_ctr.ifetches));
+    add(root, "prefetches", "prefetch fills issued",
+        double(_ctr.prefetches));
+    add(root, "demand_l1d_misses", "non-prefetch L1D misses",
+        double(_ctr.demand_l1d_misses));
+    add(root, "coherence_invals", "cross-core invalidations",
+        double(_ctr.coherence_invalidations));
+    add(root, "offdie_fill_bytes", "fills over the bus",
+        double(_ctr.offdie_fill_bytes));
+    add(root, "offdie_wb_bytes", "writebacks over the bus",
+        double(_ctr.offdie_writeback_bytes));
+
+    std::vector<std::unique_ptr<StatGroup>> groups;
+    for (unsigned c = 0; c < _params.num_cpus; ++c) {
+        auto group = std::make_unique<StatGroup>(
+            "l1d" + std::to_string(c), &root);
+        const CacheCounters &ctr = _l1d[c]->counters();
+        add(*group, "hits", "L1D hits", double(ctr.hits));
+        add(*group, "misses", "L1D misses", double(ctr.misses));
+        add(*group, "writebacks", "dirty victims",
+            double(ctr.writebacks));
+        add(*group, "miss_rate", "miss ratio", ctr.missRate());
+        groups.push_back(std::move(group));
+    }
+
+    if (_l2) {
+        auto group = std::make_unique<StatGroup>("l2", &root);
+        const CacheCounters &ctr = _l2->counters();
+        add(*group, "hits", "L2 hits", double(ctr.hits));
+        add(*group, "misses", "L2 misses", double(ctr.misses));
+        add(*group, "writebacks", "dirty victims",
+            double(ctr.writebacks));
+        add(*group, "miss_rate", "miss ratio", ctr.missRate());
+        groups.push_back(std::move(group));
+    }
+    if (_dram_cache) {
+        auto group = std::make_unique<StatGroup>("dram_cache", &root);
+        const DramCacheCounters &ctr = _dram_cache->counters();
+        add(*group, "sector_hits", "sector hits",
+            double(ctr.sector_hits));
+        add(*group, "sector_misses", "page present, sector absent",
+            double(ctr.sector_misses));
+        add(*group, "page_misses", "page allocations",
+            double(ctr.page_misses));
+        add(*group, "wb_sectors", "dirty sectors written back",
+            double(ctr.writeback_sectors));
+        add(*group, "miss_rate", "miss ratio", ctr.missRate());
+        groups.push_back(std::move(group));
+
+        auto banks = std::make_unique<StatGroup>("dram_banks", &root);
+        const DramBankCounters &bc = _dram_banks->counters();
+        add(*banks, "page_hits", "open-page CAS accesses",
+            double(bc.page_hits));
+        add(*banks, "page_opens", "idle-bank activations",
+            double(bc.page_misses));
+        add(*banks, "conflicts", "precharge+activate accesses",
+            double(bc.page_conflicts));
+        groups.push_back(std::move(banks));
+    }
+
+    {
+        auto group = std::make_unique<StatGroup>("bus", &root);
+        add(*group, "bytes", "total bytes moved",
+            double(_bus.totalBytes()));
+        add(*group, "speculative_bytes",
+            "prefetch/writeback share of bytes",
+            double(_bus.speculativeBytes()));
+        add(*group, "transactions", "bus transactions",
+            double(_bus.transactions()));
+        groups.push_back(std::move(group));
+    }
+    {
+        auto group = std::make_unique<StatGroup>("memory", &root);
+        add(*group, "reads", "DDR reads", double(_main_memory.reads()));
+        add(*group, "writes", "DDR writes (buffered)",
+            double(_main_memory.writes()));
+        groups.push_back(std::move(group));
+    }
+
+    root.dump(os);
+}
+
+} // namespace mem
+} // namespace stack3d

@@ -1,0 +1,85 @@
+#include "params.hh"
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace mem {
+
+const char *
+stackOptionName(StackOption opt)
+{
+    switch (opt) {
+      case StackOption::Baseline4MB:
+        return "2D 4MB";
+      case StackOption::Sram12MB:
+        return "3D 12MB";
+      case StackOption::Dram32MB:
+        return "3D 32MB";
+      case StackOption::Dram64MB:
+        return "3D 64MB";
+    }
+    return "unknown";
+}
+
+unsigned
+stackOptionCapacityMB(StackOption opt)
+{
+    switch (opt) {
+      case StackOption::Baseline4MB:
+        return 4;
+      case StackOption::Sram12MB:
+        return 12;
+      case StackOption::Dram32MB:
+        return 32;
+      case StackOption::Dram64MB:
+        return 64;
+    }
+    return 0;
+}
+
+HierarchyParams
+makeHierarchyParams(StackOption opt)
+{
+    HierarchyParams p;
+    p.stack = opt;
+
+    switch (opt) {
+      case StackOption::Baseline4MB:
+        p.l2 = CacheParams{units::fromMiB(4), 64, 16, 16};
+        break;
+
+      case StackOption::Sram12MB:
+        // 8 MB of stacked SRAM on top of the baseline 4 MB; modelled
+        // as one 12 MB array at the paper's 24-cycle latency.
+        p.l2 = CacheParams{units::fromMiB(12), 64, 24, 24};
+        break;
+
+      case StackOption::Dram32MB:
+        p.dram_cache.size_bytes = units::fromMiB(32);
+        // The dense face-to-face d2d via interface moves a 64 B
+        // sector in ~2 core cycles (the paper: the all-copper d2d
+        // interconnect has ~1/3 the RC of a conventional via stack).
+        p.dram_cache.timing.burst = 2;
+        // Cache-purpose DRAM: 512 B pages are small subarrays, and
+        // activations to different pages of a bank group pipeline.
+        p.dram_cache.timing.pipelined_activate = true;
+        // Tags for the 32 MB DRAM sit on the processor die in a
+        // dedicated (smaller than 4 MB) SRAM array: faster than the
+        // 16-cycle 4 MB L2 lookup.
+        p.dram_cache.tag_latency = 12;
+        break;
+
+      case StackOption::Dram64MB:
+        p.dram_cache.size_bytes = units::fromMiB(64);
+        p.dram_cache.timing.burst = 2;
+        p.dram_cache.timing.pipelined_activate = true;
+        // Tags stored in the former 4 MB SRAM L2: full 16-cycle
+        // lookup before the DRAM access can start.
+        p.dram_cache.tag_latency = 16;
+        break;
+    }
+    return p;
+}
+
+} // namespace mem
+} // namespace stack3d

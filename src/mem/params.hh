@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Configuration structures for the memory-hierarchy simulator,
+ * mirroring Table 3 of the paper and the four stacking options of
+ * Figure 7.
+ */
+
+#ifndef STACK3D_MEM_PARAMS_HH
+#define STACK3D_MEM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace stack3d {
+namespace mem {
+
+/** Parameters of a conventional SRAM cache. */
+struct CacheParams
+{
+    std::uint64_t size_bytes = 0;
+    std::uint32_t line_bytes = 64;
+    std::uint32_t assoc = 8;
+    Cycles latency = 4;
+
+    std::uint64_t
+    numSets() const
+    {
+        return size_bytes / (std::uint64_t(line_bytes) * assoc);
+    }
+};
+
+/** DRAM bank timing (Table 3, in CPU cycles). */
+struct DramTiming
+{
+    Cycles page_open = 50;   ///< RAS: activate a page
+    Cycles precharge = 54;   ///< close the open page
+    Cycles read = 50;        ///< CAS: column access latency
+    /**
+     * Bank data-burst occupancy per column access. CAS is a
+     * *latency*; back-to-back column reads to an open page pipeline
+     * at the burst rate, so a 64 B transfer holds the bank far
+     * shorter than the CAS latency.
+     */
+    Cycles burst = 8;
+
+    /**
+     * Idle auto-precharge: a bank idle longer than this has closed
+     * its page in the background, so the next access to a different
+     * page pays activate+CAS instead of precharge+activate+CAS.
+     * Standard DRAM-controller policy; 0 disables.
+     */
+    Cycles idle_close = 24;
+
+    /**
+     * When true, activate/precharge add latency but do not hold the
+     * bank (only the data burst does): each address-interleaved
+     * "bank" is a cluster of small independent subarrays, so
+     * back-to-back activations of different pages pipeline. This is
+     * the stacked DRAM cache's organization (512 B pages = small,
+     * fast subarrays designed for cache use); commodity DDR main
+     * memory keeps the conventional tRC-style full occupancy.
+     */
+    bool pipelined_activate = false;
+};
+
+/** Parameters of the 3D-stacked DRAM cache (options c and d). */
+struct DramCacheParams
+{
+    std::uint64_t size_bytes = 0;
+    std::uint32_t page_bytes = 512;
+    std::uint32_t sector_bytes = 64;
+    std::uint32_t assoc = 8;          ///< page-granularity associativity
+    std::uint32_t num_banks = 16;     ///< address-interleaved banks
+    DramTiming timing;
+    /** On-die tag array lookup latency (tags live on the CPU die). */
+    Cycles tag_latency = 12;
+    /** Die-to-die via crossing, each direction. */
+    Cycles d2d_latency = 1;
+};
+
+/** Parameters of the off-die DDR main memory. */
+struct MainMemoryParams
+{
+    std::uint32_t num_banks = 16;
+    std::uint32_t page_bytes = 4096;
+    DramTiming timing;
+    /**
+     * Fixed off-die overhead (controller, DDR interface, board
+     * flight) added to each access so a page-hit read totals the
+     * paper's 192-cycle main-memory latency.
+     */
+    Cycles fixed_overhead = 132;
+};
+
+/** Parameters of the off-die front-side bus. */
+struct BusParams
+{
+    /** Peak bandwidth (Table 3: 16 GB/s). */
+    double bandwidth_gbps = 16.0;
+    /** Core clock used to convert GB/s to bytes/cycle (Core 2 era). */
+    double core_freq_ghz = 2.4;
+    /** Bus energy cost, used for the paper's 20 mW/Gb/s figure. */
+    double mw_per_gbit = 20.0;
+
+    double
+    bytesPerCycle() const
+    {
+        return bandwidth_gbps / core_freq_ghz;
+    }
+};
+
+/**
+ * Hardware stream-prefetcher parameters (the baseline Core 2 class
+ * processor prefetches detected streams into its caches; without
+ * this, streaming workloads would expose the full LLC latency on
+ * every line, which the product does not).
+ */
+struct PrefetcherParams
+{
+    bool enable = true;
+    /** Tracked streams per core. */
+    unsigned num_streams = 16;
+    /** Lines fetched ahead once a stream is confirmed. */
+    unsigned degree = 2;
+    /** Consecutive next-line misses needed to confirm a stream. */
+    unsigned train_threshold = 2;
+
+    /**
+     * Flow control: a prefetch is dropped when its target resource
+     * (bus or DRAM bank) is already booked more than this many
+     * cycles into the future. Must sit above the main-memory round
+     * trip (~240 cycles), because a demand miss books the bus at its
+     * data-return time; the margin beyond that is the allowed
+     * speculative queueing. Prevents prefetch traffic from starving
+     * demand misses.
+     */
+    Cycles max_backlog = 700;
+};
+
+/** Which last-level-cache organization is simulated (Figure 7). */
+enum class StackOption
+{
+    Baseline4MB,   ///< (a) planar, 4 MB shared SRAM L2
+    Sram12MB,      ///< (b) +8 MB stacked SRAM, 12 MB total L2
+    Dram32MB,      ///< (c) 32 MB stacked DRAM L2, SRAM removed
+    Dram64MB,      ///< (d) 64 MB stacked DRAM, tags in the 4 MB SRAM
+};
+
+/** Display name matching Figure 8's x-axis. */
+const char *stackOptionName(StackOption opt);
+
+/** LLC capacity in MB for Figure 5's x-axis groups. */
+unsigned stackOptionCapacityMB(StackOption opt);
+
+/** Full hierarchy configuration. */
+struct HierarchyParams
+{
+    unsigned num_cpus = 2;
+
+    CacheParams l1d{units::fromKiB(32), 64, 8, 4};
+    CacheParams l1i{units::fromKiB(32), 64, 8, 4};
+
+    StackOption stack = StackOption::Baseline4MB;
+
+    /** SRAM L2 (options a and b). */
+    CacheParams l2{units::fromMiB(4), 64, 16, 16};
+
+    /** Stacked DRAM cache (options c and d). */
+    DramCacheParams dram_cache;
+
+    MainMemoryParams main_memory;
+    BusParams bus;
+    PrefetcherParams prefetcher;
+
+    bool usesDramCache() const
+    {
+        return stack == StackOption::Dram32MB ||
+               stack == StackOption::Dram64MB;
+    }
+};
+
+/**
+ * Build the Table 3 configuration for one of the Figure 7 stacking
+ * options: (a) 4 MB SRAM 16 cyc; (b) 12 MB SRAM 24 cyc; (c) 32 MB
+ * stacked DRAM with on-die tags; (d) 64 MB stacked DRAM with tags in
+ * the former 4 MB SRAM.
+ */
+HierarchyParams makeHierarchyParams(StackOption opt);
+
+} // namespace mem
+} // namespace stack3d
+
+#endif // STACK3D_MEM_PARAMS_HH

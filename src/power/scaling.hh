@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Power models for the Logic+Logic study: the analytic roll-up that
+ * yields the 3D floorplan's 15% power reduction (fewer repeaters,
+ * fewer repeating latches, a halved clock grid, less global wire),
+ * the voltage/frequency scaling laws of Table 5 (1% frequency per 1%
+ * Vcc; 0.82% performance per 1% frequency; P ~ V^2 f), and the
+ * Figure 7 cache power budgets.
+ */
+
+#ifndef STACK3D_POWER_SCALING_HH
+#define STACK3D_POWER_SCALING_HH
+
+#include <vector>
+
+#include "mem/params.hh"
+
+namespace stack3d {
+namespace power {
+
+/**
+ * Decomposition of the planar design's power by wire-related
+ * category, with the 3D floorplan's reduction factor per category.
+ * The defaults reproduce the paper's overall ~15% reduction:
+ * repeaters and repeating latches halve (the removed pipe stages are
+ * dominated by long global metal), the shared clock grid loses half
+ * its metal RC, and eliminated pipe stages drop their latches.
+ */
+struct LogicPowerBreakdown
+{
+    /** Fraction of total power in global-wire repeaters. */
+    double repeater_fraction = 0.10;
+    /** Fraction in repeating (staging) latches. */
+    double repeating_latch_fraction = 0.07;
+    /** Fraction in the clock grid. */
+    double clock_fraction = 0.10;
+    /** Fraction in pipeline latches. */
+    double pipeline_latch_fraction = 0.08;
+
+    /** 3D reduction factors per category. */
+    double repeater_reduction = 0.50;         ///< 50% fewer repeaters
+    double repeating_latch_reduction = 0.50;  ///< 50% fewer
+    double clock_reduction = 0.50;            ///< 50% less metal RC
+    double pipeline_latch_reduction = 0.25;   ///< 25% of stages gone
+
+    /** Overall relative power of the 3D design (~0.85). */
+    double
+    stackedRelativePower() const
+    {
+        return 1.0 -
+               (repeater_fraction * repeater_reduction +
+                repeating_latch_fraction * repeating_latch_reduction +
+                clock_fraction * clock_reduction +
+                pipeline_latch_fraction * pipeline_latch_reduction);
+    }
+};
+
+/** Table 5's conversion laws. */
+struct VfScalingModel
+{
+    /** Performance change per unit frequency change (0.82%/1%). */
+    double perf_per_freq = 0.82;
+    /** Frequency change per unit Vcc change (1%/1%). */
+    double freq_per_vcc = 1.0;
+
+    /** Relative performance at relative frequency @p f. */
+    double
+    relativePerf(double f) const
+    {
+        return 1.0 + perf_per_freq * (f - 1.0);
+    }
+
+    /** Relative frequency at relative voltage @p v. */
+    double relativeFreq(double v) const
+    {
+        return 1.0 + freq_per_vcc * (v - 1.0);
+    }
+
+    /** Relative dynamic power at voltage @p v and frequency @p f. */
+    double relativePower(double v, double f) const { return v * v * f; }
+};
+
+/** One operating point (a row of Table 5). */
+struct OperatingPoint
+{
+    const char *label = "";
+    double power_w = 0.0;
+    double power_rel = 1.0;   ///< vs the 2D baseline
+    double perf_rel = 1.0;    ///< vs the 2D baseline
+    double vcc = 1.0;
+    double freq = 1.0;
+};
+
+/**
+ * Compute Table 5's rows analytically (temperatures are attached by
+ * the caller via the thermal solver).
+ *
+ * @param baseline_watts  planar design power (147 W)
+ * @param perf_gain_3d    3D IPC gain at constant frequency (~0.15)
+ * @param power_saving_3d 3D power reduction at constant V/f (~0.15)
+ */
+std::vector<OperatingPoint> computeTable5Points(
+    double baseline_watts, double perf_gain_3d, double power_saving_3d,
+    const VfScalingModel &model = {});
+
+/** Figure 7 cache power budgets for a stacking option. */
+double cachePowerWatts(mem::StackOption option);
+
+/**
+ * Off-die bus power at the given achieved bandwidth (the paper's
+ * 20 mW/Gb/s figure).
+ */
+double busPowerWatts(double achieved_gbps, double mw_per_gbit = 20.0);
+
+} // namespace power
+} // namespace stack3d
+
+#endif // STACK3D_POWER_SCALING_HH

@@ -1,0 +1,230 @@
+#include "mesh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stack3d {
+namespace thermal {
+
+unsigned
+StackGeometry::layerIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i].name == name)
+            return unsigned(i);
+    }
+    stack3d_fatal("no layer named '", name, "' in stack");
+}
+
+double
+StackGeometry::totalThickness() const
+{
+    double total = 0.0;
+    for (const Layer &layer : layers)
+        total += layer.thickness;
+    return total;
+}
+
+Mesh::Mesh(const StackGeometry &geom, unsigned die_nx, unsigned die_ny)
+    : _geom(geom), _die_nx(die_nx), _die_ny(die_ny)
+{
+    if (die_nx == 0 || die_ny == 0)
+        stack3d_fatal("mesh needs a non-empty lateral grid");
+    if (geom.layers.empty())
+        stack3d_fatal("stack has no layers");
+    if (geom.width <= 0.0 || geom.height <= 0.0)
+        stack3d_fatal("stack has non-positive die extent");
+    if (geom.margin < 0.0)
+        stack3d_fatal("stack margin must be non-negative");
+    for (const Layer &layer : geom.layers) {
+        if (layer.thickness <= 0.0 || layer.conductivity <= 0.0 ||
+            layer.nz == 0) {
+            stack3d_fatal("layer '", layer.name,
+                          "' has non-positive thickness, conductivity, "
+                          "or cell count");
+        }
+    }
+
+    _dx = geom.width / die_nx;
+    _dy = geom.height / die_ny;
+    _margin_cells_x = unsigned(std::lround(geom.margin / _dx));
+    _margin_cells_y = unsigned(std::lround(geom.margin / _dy));
+    _nx = die_nx + 2 * _margin_cells_x;
+    _ny = die_ny + 2 * _margin_cells_y;
+
+    for (std::size_t l = 0; l < geom.layers.size(); ++l) {
+        const Layer &layer = geom.layers[l];
+        _layer_z_begin.push_back(_nz_total);
+        for (unsigned z = 0; z < layer.nz; ++z) {
+            _dz.push_back(layer.thickness / layer.nz);
+            _layer_of_z.push_back(unsigned(l));
+        }
+        _nz_total += layer.nz;
+    }
+
+    assemble();
+}
+
+unsigned
+Mesh::layerZBegin(unsigned layer_index) const
+{
+    stack3d_assert(layer_index < _geom.layers.size(), "layer index");
+    return _layer_z_begin[layer_index];
+}
+
+unsigned
+Mesh::layerZEnd(unsigned layer_index) const
+{
+    stack3d_assert(layer_index < _geom.layers.size(), "layer index");
+    return _layer_z_begin[layer_index] + _geom.layers[layer_index].nz;
+}
+
+double
+Mesh::cellK(unsigned i, unsigned j, unsigned z) const
+{
+    const Layer &layer = _geom.layers[_layer_of_z[z]];
+    if (layer.margin_conductivity > 0.0 && !inDieWindow(i, j))
+        return layer.margin_conductivity;
+    return layer.conductivity;
+}
+
+void
+Mesh::assemble()
+{
+    double cell_area = _dx * _dy;
+    std::size_t n = numCells();
+    _gx.assign(n, 0.0);
+    _gy.assign(n, 0.0);
+    _gz.assign(n, 0.0);
+    _rhs.assign(n, 0.0);
+    _diag.assign(n, 0.0);
+
+    // Face conductances from harmonic means of the two cell halves.
+    for (unsigned z = 0; z < _nz_total; ++z) {
+        double dz = _dz[z];
+        for (unsigned j = 0; j < _ny; ++j) {
+            for (unsigned i = 0; i < _nx; ++i) {
+                std::size_t c = cellIndex(i, j, z);
+                double k0 = cellK(i, j, z);
+                if (i + 1 < _nx) {
+                    double k1 = cellK(i + 1, j, z);
+                    double r = _dx / (2.0 * k0) + _dx / (2.0 * k1);
+                    _gx[c] = (_dy * dz) / r;
+                }
+                if (j + 1 < _ny) {
+                    double k1 = cellK(i, j + 1, z);
+                    double r = _dy / (2.0 * k0) + _dy / (2.0 * k1);
+                    _gy[c] = (_dx * dz) / r;
+                }
+                if (z + 1 < _nz_total) {
+                    double k1 = cellK(i, j, z + 1);
+                    double r = dz / (2.0 * k0) +
+                               _dz[z + 1] / (2.0 * k1);
+                    _gz[c] = cell_area / r;
+                }
+            }
+        }
+    }
+
+    double g_top = _geom.h_top * cell_area;
+    double g_bottom = _geom.h_bottom * cell_area;
+    std::size_t plane = std::size_t(_nx) * _ny;
+
+    for (unsigned z = 0; z < _nz_total; ++z) {
+        for (unsigned j = 0; j < _ny; ++j) {
+            for (unsigned i = 0; i < _nx; ++i) {
+                std::size_t c = cellIndex(i, j, z);
+                double d = 0.0;
+                if (z == 0) {
+                    d += g_top;
+                    _rhs[c] += g_top * _geom.ambient;
+                } else {
+                    d += _gz[c - plane];
+                }
+                if (z + 1 < _nz_total) {
+                    d += _gz[c];
+                } else {
+                    d += g_bottom;
+                    _rhs[c] += g_bottom * _geom.ambient;
+                }
+                if (i > 0)
+                    d += _gx[c - 1];
+                if (i + 1 < _nx)
+                    d += _gx[c];
+                if (j > 0)
+                    d += _gy[c - _nx];
+                if (j + 1 < _ny)
+                    d += _gy[c];
+                _diag[c] = d;
+            }
+        }
+    }
+}
+
+double
+Mesh::cellHeatCapacity(unsigned i, unsigned j, unsigned z) const
+{
+    (void)i;
+    (void)j;
+    const Layer &layer = _geom.layers[_layer_of_z[z]];
+    return layer.volumetric_heat_capacity * _dx * _dy * _dz[z];
+}
+
+void
+Mesh::setLayerPower(unsigned layer_index, const PowerMap &map)
+{
+    stack3d_assert(layer_index < _geom.layers.size(),
+                   "layer index out of range");
+    if (!_geom.layers[layer_index].is_active) {
+        stack3d_fatal("layer '", _geom.layers[layer_index].name,
+                      "' is not an active (power) layer");
+    }
+    if (map.nx() != _die_nx || map.ny() != _die_ny) {
+        stack3d_fatal("power map resolution ", map.nx(), "x", map.ny(),
+                      " does not match the die window ", _die_nx, "x",
+                      _die_ny);
+    }
+    unsigned z = layerZBegin(layer_index);
+    for (unsigned j = 0; j < _die_ny; ++j) {
+        for (unsigned i = 0; i < _die_nx; ++i) {
+            std::size_t c = cellIndex(i + _margin_cells_x,
+                                      j + _margin_cells_y, z);
+            _rhs[c] += map.cell(i, j);
+        }
+    }
+}
+
+void
+Mesh::applyOperator(const std::vector<double> &x,
+                    std::vector<double> &y) const
+{
+    stack3d_assert(x.size() == numCells(), "operator input size");
+    y.resize(numCells());
+
+    std::size_t plane = std::size_t(_nx) * _ny;
+    for (unsigned z = 0; z < _nz_total; ++z) {
+        for (unsigned j = 0; j < _ny; ++j) {
+            std::size_t row = cellIndex(0, j, z);
+            for (unsigned i = 0; i < _nx; ++i) {
+                std::size_t c = row + i;
+                double acc = _diag[c] * x[c];
+                if (z > 0)
+                    acc -= _gz[c - plane] * x[c - plane];
+                if (z + 1 < _nz_total)
+                    acc -= _gz[c] * x[c + plane];
+                if (i > 0)
+                    acc -= _gx[c - 1] * x[c - 1];
+                if (i + 1 < _nx)
+                    acc -= _gx[c] * x[c + 1];
+                if (j > 0)
+                    acc -= _gy[c - _nx] * x[c - _nx];
+                if (j + 1 < _ny)
+                    acc -= _gy[c] * x[c + _nx];
+                y[c] = acc;
+            }
+        }
+    }
+}
+
+} // namespace thermal
+} // namespace stack3d

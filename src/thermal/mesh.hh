@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Layered 3-D thermal mesh of the stacked-die / package / board
+ * system (Figures 1 and 2). The geometry is a vertical stack of
+ * homogeneous layers; the lateral domain extends a configurable
+ * margin beyond the die outline so that heat spreading in the heat
+ * sink, IHS, package and board — which are all much larger than the
+ * die — is captured. Layers confined to the die (silicon, metal,
+ * bond) specify a distinct conductivity for the surrounding margin
+ * material (underfill / air / molding compound).
+ *
+ * The conservation-of-energy equation (1) with convection boundary
+ * conditions (2) is discretized with the finite-volume method —
+ * equivalent to lowest-order FEM on this hexahedral mesh — giving a
+ * 7-point conductance stencil solved by thermal::solveSteadyState.
+ */
+
+#ifndef STACK3D_THERMAL_MESH_HH
+#define STACK3D_THERMAL_MESH_HH
+
+#include <string>
+#include <vector>
+
+#include "thermal/power_map.hh"
+
+namespace stack3d {
+namespace thermal {
+
+/** One homogeneous layer of the vertical stack. */
+struct Layer
+{
+    std::string name;
+    /** Thickness in metres. */
+    double thickness = 0.0;
+    /** Conductivity within the die window, W/(m K). */
+    double conductivity = 0.0;
+    /** Vertical cells this layer is divided into. */
+    unsigned nz = 1;
+    /** True if a power map may be attached (an active Si plane). */
+    bool is_active = false;
+    /**
+     * Conductivity in the margin region outside the die window;
+     * 0 means the layer material extends across the whole domain
+     * (heat sink, IHS, package, board).
+     */
+    double margin_conductivity = 0.0;
+
+    /**
+     * Volumetric heat capacity (rho * c), J/(m^3 K). Only used by
+     * the transient solver; the default is silicon-class. Table 2
+     * gives conductivities only, so transient results use standard
+     * material capacities.
+     */
+    double volumetric_heat_capacity = 1.65e6;
+};
+
+/** The full stack description with boundary conditions. */
+struct StackGeometry
+{
+    /** Die outline in metres. */
+    double width = 0.0;
+    double height = 0.0;
+
+    /**
+     * Lateral margin of package/heat-sink material surrounding the
+     * die on every side, metres.
+     */
+    double margin = 0.0;
+
+    /** Layers ordered from the heat-sink side (top) downwards. */
+    std::vector<Layer> layers;
+
+    /**
+     * Heat-transfer coefficient at the heat-sink surface (forced
+     * convection with fin-area folding), W/(m^2 K), applied over the
+     * whole domain.
+     */
+    double h_top = 0.0;
+
+    /** Natural convection at the motherboard face, W/(m^2 K). */
+    double h_bottom = 0.0;
+
+    /** Ambient temperature, degrees C (Table 2: 40 C). */
+    double ambient = 40.0;
+
+    /** Index of the layer named @p name; fatal if absent. */
+    unsigned layerIndex(const std::string &name) const;
+
+    /** Total stack thickness in metres. */
+    double totalThickness() const;
+};
+
+/**
+ * The assembled finite-volume mesh: cell-centred temperatures over
+ * the domain (die + margins) with per-face conductances and a power
+ * (source) vector.
+ */
+class Mesh
+{
+  public:
+    /**
+     * Build the mesh. @p die_nx x @p die_ny cells span the die
+     * window; the margin is discretized with cells of the same size.
+     */
+    Mesh(const StackGeometry &geom, unsigned die_nx, unsigned die_ny);
+
+    /**
+     * Attach a power map to active layer @p layer_index. The map
+     * spans the die window, so its resolution must be
+     * dieNx() x dieNy(). Power enters that layer's top plane.
+     */
+    void setLayerPower(unsigned layer_index, const PowerMap &map);
+
+    unsigned nx() const { return _nx; }
+    unsigned ny() const { return _ny; }
+    unsigned dieNx() const { return _die_nx; }
+    unsigned dieNy() const { return _die_ny; }
+    unsigned dieI0() const { return _margin_cells_x; }
+    unsigned dieJ0() const { return _margin_cells_y; }
+    unsigned nzTotal() const { return _nz_total; }
+
+    std::size_t numCells() const
+    {
+        return std::size_t(_nx) * _ny * _nz_total;
+    }
+
+    const StackGeometry &geometry() const { return _geom; }
+
+    /** First global z-index of layer @p layer_index. */
+    unsigned layerZBegin(unsigned layer_index) const;
+    /** One past the last z-index of layer @p layer_index. */
+    unsigned layerZEnd(unsigned layer_index) const;
+
+    /** Flattened cell index. */
+    std::size_t
+    cellIndex(unsigned i, unsigned j, unsigned z) const
+    {
+        return (std::size_t(z) * _ny + j) * _nx + i;
+    }
+
+    /** True if lateral cell (i, j) lies within the die window. */
+    bool
+    inDieWindow(unsigned i, unsigned j) const
+    {
+        return i >= _margin_cells_x && i < _margin_cells_x + _die_nx &&
+               j >= _margin_cells_y && j < _margin_cells_y + _die_ny;
+    }
+
+    /**
+     * y = A x where A is the finite-volume conduction operator
+     * (including convection diagonal terms). Used by the CG solver.
+     */
+    void applyOperator(const std::vector<double> &x,
+                       std::vector<double> &y) const;
+
+    /** Right-hand side: power sources + convection ambient terms. */
+    const std::vector<double> &rhs() const { return _rhs; }
+
+    /** Diagonal of the operator (Jacobi preconditioner). */
+    const std::vector<double> &diagonal() const { return _diag; }
+
+    /** Per-cell heat capacity (rho c V), J/K, for transient solves. */
+    double cellHeatCapacity(unsigned i, unsigned j, unsigned z) const;
+
+  private:
+    void assemble();
+    double cellK(unsigned i, unsigned j, unsigned z) const;
+
+    StackGeometry _geom;
+    unsigned _die_nx, _die_ny;
+    unsigned _margin_cells_x = 0, _margin_cells_y = 0;
+    unsigned _nx, _ny;
+    unsigned _nz_total = 0;
+    double _dx, _dy;
+
+    /** Per-global-z layer id, z size. */
+    std::vector<unsigned> _layer_of_z;
+    std::vector<double> _dz;
+    std::vector<unsigned> _layer_z_begin;
+
+    /** Face conductances: _gx[c] couples c and c+1 in x (0 on the
+     *  last column); _gy similarly in y; _gz[c] couples c to the
+     *  plane below (0 on the last plane). */
+    std::vector<double> _gx, _gy, _gz;
+
+    std::vector<double> _rhs;
+    std::vector<double> _diag;
+};
+
+} // namespace thermal
+} // namespace stack3d
+
+#endif // STACK3D_THERMAL_MESH_HH

@@ -1,0 +1,79 @@
+#include "power_map.hh"
+
+#include <algorithm>
+
+namespace stack3d {
+namespace thermal {
+
+PowerMap::PowerMap(unsigned nx, unsigned ny, double width, double height)
+    : _nx(nx), _ny(ny), _width(width), _height(height),
+      _watts(std::size_t(nx) * ny, 0.0)
+{
+    stack3d_assert(nx > 0 && ny > 0, "power map needs non-empty grid");
+    stack3d_assert(width > 0.0 && height > 0.0,
+                   "power map needs positive extent");
+}
+
+void
+PowerMap::addRect(double x0, double y0, double x1, double y1,
+                  double watts)
+{
+    if (x1 <= x0 || y1 <= y0)
+        stack3d_fatal("degenerate power rectangle");
+    double area = (x1 - x0) * (y1 - y0);
+    double dx = _width / _nx;
+    double dy = _height / _ny;
+
+    for (unsigned j = 0; j < _ny; ++j) {
+        double cy0 = j * dy;
+        double cy1 = cy0 + dy;
+        double oy = std::min(cy1, y1) - std::max(cy0, y0);
+        if (oy <= 0.0)
+            continue;
+        for (unsigned i = 0; i < _nx; ++i) {
+            double cx0 = i * dx;
+            double cx1 = cx0 + dx;
+            double ox = std::min(cx1, x1) - std::max(cx0, x0);
+            if (ox <= 0.0)
+                continue;
+            _watts[j * _nx + i] += watts * (ox * oy) / area;
+        }
+    }
+}
+
+void
+PowerMap::addUniform(double watts)
+{
+    double per_cell = watts / double(_watts.size());
+    for (double &w : _watts)
+        w += per_cell;
+}
+
+double
+PowerMap::totalWatts() const
+{
+    double total = 0.0;
+    for (double w : _watts)
+        total += w;
+    return total;
+}
+
+double
+PowerMap::peakDensity() const
+{
+    double cell_area = (_width / _nx) * (_height / _ny);
+    double peak = 0.0;
+    for (double w : _watts)
+        peak = std::max(peak, w);
+    return peak / cell_area;
+}
+
+void
+PowerMap::scale(double factor)
+{
+    for (double &w : _watts)
+        w *= factor;
+}
+
+} // namespace thermal
+} // namespace stack3d

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lateral power-density maps. A PowerMap discretizes the power
+ * dissipated in one active layer onto the thermal solver's x-y grid;
+ * it is built from floorplan block rectangles (Figure 6a's power map)
+ * or filled uniformly (cache-only dies).
+ */
+
+#ifndef STACK3D_THERMAL_POWER_MAP_HH
+#define STACK3D_THERMAL_POWER_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace thermal {
+
+/** Power (watts) per cell over an nx-by-ny lateral grid. */
+class PowerMap
+{
+  public:
+    /**
+     * @param nx,ny   grid resolution
+     * @param width   physical x extent in metres
+     * @param height  physical y extent in metres
+     */
+    PowerMap(unsigned nx, unsigned ny, double width, double height);
+
+    unsigned nx() const { return _nx; }
+    unsigned ny() const { return _ny; }
+    double width() const { return _width; }
+    double height() const { return _height; }
+
+    /** Watts in cell (i, j). */
+    double
+    cell(unsigned i, unsigned j) const
+    {
+        stack3d_assert(i < _nx && j < _ny, "power map index range");
+        return _watts[j * _nx + i];
+    }
+
+    /**
+     * Deposit @p watts uniformly over the rectangle [x0,x1)x[y0,y1)
+     * (metres). Partial cell overlap is handled by area weighting.
+     */
+    void addRect(double x0, double y0, double x1, double y1,
+                 double watts);
+
+    /** Deposit @p watts uniformly over the whole map. */
+    void addUniform(double watts);
+
+    /** Sum of all cells. */
+    double totalWatts() const;
+
+    /** Peak cell power density in W/m^2. */
+    double peakDensity() const;
+
+    /** Scale every cell by @p factor (voltage/frequency scaling). */
+    void scale(double factor);
+
+  private:
+    unsigned _nx, _ny;
+    double _width, _height;
+    std::vector<double> _watts;
+};
+
+} // namespace thermal
+} // namespace stack3d
+
+#endif // STACK3D_THERMAL_POWER_MAP_HH

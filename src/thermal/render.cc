@@ -1,0 +1,80 @@
+#include "render.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <vector>
+
+namespace stack3d {
+namespace thermal {
+
+namespace {
+
+const char kShades[] = " .:-=+*#%@";
+constexpr unsigned kNumShades = sizeof(kShades) - 1;
+
+void
+renderGrid(std::ostream &os, const std::vector<double> &values,
+           unsigned nx, unsigned ny, unsigned max_cols,
+           const char *unit)
+{
+    double lo = *std::min_element(values.begin(), values.end());
+    double hi = *std::max_element(values.begin(), values.end());
+    double span = hi - lo;
+    if (span <= 0.0)
+        span = 1.0;
+
+    unsigned step = std::max(1u, (nx + max_cols - 1) / max_cols);
+
+    for (unsigned j = 0; j < ny; j += step) {
+        os << "    ";
+        for (unsigned i = 0; i < nx; i += step) {
+            // Average the downsampled block.
+            double acc = 0.0;
+            unsigned count = 0;
+            for (unsigned jj = j; jj < std::min(j + step, ny); ++jj) {
+                for (unsigned ii = i; ii < std::min(i + step, nx);
+                     ++ii) {
+                    acc += values[jj * nx + ii];
+                    ++count;
+                }
+            }
+            double v = acc / count;
+            auto shade =
+                unsigned((v - lo) / span * (kNumShades - 1) + 0.5);
+            os << kShades[std::min(shade, kNumShades - 1)];
+        }
+        os << "\n";
+    }
+    os << "    scale: '" << kShades[0] << "' = " << std::fixed
+       << std::setprecision(2) << lo << " " << unit << ", '"
+       << kShades[kNumShades - 1] << "' = " << hi << " " << unit
+       << "\n";
+}
+
+} // anonymous namespace
+
+void
+renderLayerMap(std::ostream &os, const TemperatureField &field,
+               unsigned layer_index, unsigned max_cols)
+{
+    const Mesh &mesh = field.mesh();
+    unsigned z = mesh.layerZBegin(layer_index);
+    std::vector<double> values(std::size_t(mesh.nx()) * mesh.ny());
+    for (unsigned j = 0; j < mesh.ny(); ++j)
+        for (unsigned i = 0; i < mesh.nx(); ++i)
+            values[j * mesh.nx() + i] = field.at(i, j, z);
+    renderGrid(os, values, mesh.nx(), mesh.ny(), max_cols, "C");
+}
+
+void
+renderPowerMap(std::ostream &os, const PowerMap &map, unsigned max_cols)
+{
+    std::vector<double> values(std::size_t(map.nx()) * map.ny());
+    for (unsigned j = 0; j < map.ny(); ++j)
+        for (unsigned i = 0; i < map.nx(); ++i)
+            values[j * map.nx() + i] = map.cell(i, j);
+    renderGrid(os, values, map.nx(), map.ny(), max_cols, "W/cell");
+}
+
+} // namespace thermal
+} // namespace stack3d

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * ASCII rendering of lateral temperature / power maps, used by the
+ * benches to print Figure 6 / Figure 8(b) style thermal maps.
+ */
+
+#ifndef STACK3D_THERMAL_RENDER_HH
+#define STACK3D_THERMAL_RENDER_HH
+
+#include <ostream>
+#include <string>
+
+#include "thermal/solver.hh"
+
+namespace stack3d {
+namespace thermal {
+
+/**
+ * Render one layer of the temperature field as an ASCII heat map
+ * (characters " .:-=+*#%@" from coolest to hottest) with a scale
+ * legend. Downsamples to at most @p max_cols columns.
+ */
+void renderLayerMap(std::ostream &os, const TemperatureField &field,
+                    unsigned layer_index, unsigned max_cols = 48);
+
+/** Render a power map the same way (W per cell). */
+void renderPowerMap(std::ostream &os, const PowerMap &map,
+                    unsigned max_cols = 48);
+
+} // namespace thermal
+} // namespace stack3d
+
+#endif // STACK3D_THERMAL_RENDER_HH

@@ -1,0 +1,144 @@
+#include "solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace thermal {
+
+double
+TemperatureField::peak() const
+{
+    return *std::max_element(_temps.begin(), _temps.end());
+}
+
+double
+TemperatureField::minimum() const
+{
+    return *std::min_element(_temps.begin(), _temps.end());
+}
+
+double
+TemperatureField::layerPeak(unsigned layer_index) const
+{
+    double best = -1e300;
+    for (unsigned z = _mesh->layerZBegin(layer_index);
+         z < _mesh->layerZEnd(layer_index); ++z) {
+        for (unsigned j = 0; j < _mesh->ny(); ++j)
+            for (unsigned i = 0; i < _mesh->nx(); ++i)
+                best = std::max(best, at(i, j, z));
+    }
+    return best;
+}
+
+double
+TemperatureField::layerMin(unsigned layer_index) const
+{
+    double best = 1e300;
+    for (unsigned z = _mesh->layerZBegin(layer_index);
+         z < _mesh->layerZEnd(layer_index); ++z) {
+        for (unsigned j = 0; j < _mesh->ny(); ++j)
+            for (unsigned i = 0; i < _mesh->nx(); ++i)
+                best = std::min(best, at(i, j, z));
+    }
+    return best;
+}
+
+std::pair<unsigned, unsigned>
+TemperatureField::layerPeakCell(unsigned layer_index) const
+{
+    double best = -1e300;
+    std::pair<unsigned, unsigned> where{0, 0};
+    unsigned z = _mesh->layerZBegin(layer_index);
+    for (unsigned j = 0; j < _mesh->ny(); ++j) {
+        for (unsigned i = 0; i < _mesh->nx(); ++i) {
+            if (at(i, j, z) > best) {
+                best = at(i, j, z);
+                where = {i, j};
+            }
+        }
+    }
+    return where;
+}
+
+TemperatureField
+solveSteadyState(const Mesh &mesh, double tolerance, unsigned max_iters,
+                 SolveInfo *info)
+{
+    std::size_t n = mesh.numCells();
+    const std::vector<double> &b = mesh.rhs();
+    const std::vector<double> &diag = mesh.diagonal();
+
+    // Jacobi-preconditioned CG, warm-started at ambient.
+    std::vector<double> x(n, mesh.geometry().ambient);
+    std::vector<double> r(n), z(n), p(n), ap(n);
+
+    mesh.applyOperator(x, ap);
+    double b_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - ap[i];
+        b_norm += b[i] * b[i];
+    }
+    b_norm = std::sqrt(b_norm);
+    if (b_norm == 0.0)
+        b_norm = 1.0;
+
+    auto precond = [&](const std::vector<double> &in,
+                       std::vector<double> &out) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = in[i] / diag[i];
+    };
+
+    precond(r, z);
+    p = z;
+    double rz = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        rz += r[i] * z[i];
+
+    SolveInfo local;
+    for (unsigned iter = 0; iter < max_iters; ++iter) {
+        mesh.applyOperator(p, ap);
+        double p_ap = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            p_ap += p[i] * ap[i];
+        stack3d_assert(p_ap > 0.0,
+                       "thermal operator lost positive definiteness");
+
+        double alpha = rz / p_ap;
+        double r_norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            r_norm += r[i] * r[i];
+        }
+        r_norm = std::sqrt(r_norm);
+        local.iterations = iter + 1;
+        local.residual = r_norm / b_norm;
+        if (local.residual < tolerance) {
+            local.converged = true;
+            break;
+        }
+
+        precond(r, z);
+        double rz_new = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            rz_new += r[i] * z[i];
+        double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = z[i] + beta * p[i];
+    }
+
+    if (!local.converged) {
+        warn("thermal solve did not converge: residual ",
+             local.residual, " after ", local.iterations, " iterations");
+    }
+    if (info)
+        *info = local;
+    return TemperatureField(mesh, std::move(x));
+}
+
+} // namespace thermal
+} // namespace stack3d

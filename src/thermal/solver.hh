@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Steady-state solution of the finite-volume heat equation with a
+ * Jacobi-preconditioned conjugate-gradient solver (the operator is
+ * symmetric positive definite thanks to the convection terms).
+ */
+
+#ifndef STACK3D_THERMAL_SOLVER_HH
+#define STACK3D_THERMAL_SOLVER_HH
+
+#include <vector>
+
+#include "thermal/mesh.hh"
+
+namespace stack3d {
+namespace thermal {
+
+/** A solved temperature field with convenience queries. */
+class TemperatureField
+{
+  public:
+    TemperatureField(const Mesh &mesh, std::vector<double> temps)
+        : _mesh(&mesh), _temps(std::move(temps))
+    {
+    }
+
+    /** Temperature of cell (i, j, z) in degrees C. */
+    double
+    at(unsigned i, unsigned j, unsigned z) const
+    {
+        return _temps[_mesh->cellIndex(i, j, z)];
+    }
+
+    /** Peak temperature over the whole mesh. */
+    double peak() const;
+
+    /** Minimum temperature over the whole mesh. */
+    double minimum() const;
+
+    /** Peak temperature within one layer. */
+    double layerPeak(unsigned layer_index) const;
+
+    /** Minimum temperature within one layer. */
+    double layerMin(unsigned layer_index) const;
+
+    /** Location (i, j) of the layer's hottest cell. */
+    std::pair<unsigned, unsigned> layerPeakCell(
+        unsigned layer_index) const;
+
+    const Mesh &mesh() const { return *_mesh; }
+    const std::vector<double> &raw() const { return _temps; }
+
+  private:
+    const Mesh *_mesh;
+    std::vector<double> _temps;
+};
+
+/** Convergence report of a solve. */
+struct SolveInfo
+{
+    unsigned iterations = 0;
+    double residual = 0.0;
+    bool converged = false;
+};
+
+/**
+ * Solve the mesh's steady-state system.
+ * @param mesh       assembled mesh with power attached
+ * @param tolerance  relative residual target
+ * @param max_iters  iteration cap
+ * @param info       optional convergence report
+ */
+TemperatureField solveSteadyState(const Mesh &mesh,
+                                  double tolerance = 1e-8,
+                                  unsigned max_iters = 20000,
+                                  SolveInfo *info = nullptr);
+
+} // namespace thermal
+} // namespace stack3d
+
+#endif // STACK3D_THERMAL_SOLVER_HH

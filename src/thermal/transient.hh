@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Transient thermal solution — the time-dependent form of the
+ * paper's Equation (1), rho c dT/dt = div(k grad T) + Q, integrated
+ * with implicit (backward) Euler so large time steps stay stable.
+ * Used to answer questions the steady-state solver cannot: how fast
+ * does a die stack heat up after a power step, and what is its
+ * thermal time constant? (An extension beyond the paper's
+ * steady-state analysis.)
+ */
+
+#ifndef STACK3D_THERMAL_TRANSIENT_HH
+#define STACK3D_THERMAL_TRANSIENT_HH
+
+#include <vector>
+
+#include "thermal/solver.hh"
+
+namespace stack3d {
+namespace thermal {
+
+/** One sample of the transient trace. */
+struct TransientSample
+{
+    double time_s = 0.0;
+    double peak_c = 0.0;
+};
+
+/** Result of a transient integration. */
+struct TransientResult
+{
+    /** Peak temperature over time (one sample per step). */
+    std::vector<TransientSample> samples;
+
+    /** Field at the final time. */
+    TemperatureField final_field;
+
+    /**
+     * Time to close 63.2% of the gap between the initial peak and
+     * the steady-state peak (the dominant thermal time constant),
+     * linearly interpolated; 0 if never reached within the horizon.
+     */
+    double time_constant_s = 0.0;
+};
+
+/**
+ * Integrate the mesh's transient response from a uniform initial
+ * temperature with its attached power maps applied as a step at
+ * t = 0.
+ *
+ * @param mesh       assembled mesh with power attached
+ * @param duration   simulated seconds
+ * @param dt         implicit-Euler step (stable for any dt)
+ * @param initial_c  uniform initial temperature (defaults to ambient)
+ */
+TransientResult solveTransient(const Mesh &mesh, double duration,
+                               double dt, double initial_c = -1.0);
+
+} // namespace thermal
+} // namespace stack3d
+
+#endif // STACK3D_THERMAL_TRANSIENT_HH

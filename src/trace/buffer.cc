@@ -1,0 +1,82 @@
+#include "buffer.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace stack3d {
+namespace trace {
+
+const char *
+memOpName(MemOp op)
+{
+    switch (op) {
+      case MemOp::Load:
+        return "load";
+      case MemOp::Store:
+        return "store";
+      case MemOp::Ifetch:
+        return "ifetch";
+    }
+    return "unknown";
+}
+
+TraceBuffer::TraceBuffer(std::vector<TraceRecord> records)
+    : _records(std::move(records))
+{
+}
+
+bool
+TraceBuffer::validate() const
+{
+    for (std::size_t i = 0; i < _records.size(); ++i) {
+        const TraceRecord &rec = _records[i];
+        if (rec.hasDep() && rec.dep >= i)
+            return false;
+        if (rec.size == 0 || rec.size > 64)
+            return false;
+    }
+    return true;
+}
+
+TraceStats
+TraceBuffer::computeStats() const
+{
+    TraceStats st;
+    st.num_records = _records.size();
+
+    std::unordered_set<Addr> lines;
+    // depth[i] = length of the dependency chain ending at record i.
+    std::vector<std::uint32_t> depth(_records.size(), 1);
+
+    for (std::size_t i = 0; i < _records.size(); ++i) {
+        const TraceRecord &rec = _records[i];
+        switch (rec.op) {
+          case MemOp::Load:
+            ++st.num_loads;
+            break;
+          case MemOp::Store:
+            ++st.num_stores;
+            break;
+          case MemOp::Ifetch:
+            ++st.num_ifetches;
+            break;
+        }
+        if (rec.hasDep()) {
+            ++st.num_with_dep;
+            depth[i] = depth[rec.dep] + 1;
+        }
+        st.max_dep_chain = std::max<std::uint64_t>(st.max_dep_chain,
+                                                   depth[i]);
+        if (rec.cpu == 0)
+            ++st.records_cpu0;
+        else
+            ++st.records_cpu1;
+        lines.insert(rec.addr >> 6);
+    }
+    st.footprint_lines = lines.size();
+    st.footprint_bytes = st.footprint_lines * 64;
+    return st;
+}
+
+} // namespace trace
+} // namespace stack3d

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * In-memory trace container with summary statistics (operation mix,
+ * footprint, dependency-chain properties). Traces are immutable once
+ * built by a writer; the memory-hierarchy engine iterates them.
+ */
+
+#ifndef STACK3D_TRACE_BUFFER_HH
+#define STACK3D_TRACE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace stack3d {
+namespace trace {
+
+/** Summary statistics of a trace. */
+struct TraceStats
+{
+    std::uint64_t num_records = 0;
+    std::uint64_t num_loads = 0;
+    std::uint64_t num_stores = 0;
+    std::uint64_t num_ifetches = 0;
+    std::uint64_t num_with_dep = 0;
+    /** Unique 64 B lines touched. */
+    std::uint64_t footprint_lines = 0;
+    /** Footprint in bytes (lines * 64). */
+    std::uint64_t footprint_bytes = 0;
+    /** Longest dependency chain (records). */
+    std::uint64_t max_dep_chain = 0;
+    std::uint64_t records_cpu0 = 0;
+    std::uint64_t records_cpu1 = 0;
+};
+
+/** An immutable sequence of trace records. */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+    explicit TraceBuffer(std::vector<TraceRecord> records);
+
+    const TraceRecord &operator[](std::size_t i) const { return _records[i]; }
+    std::size_t size() const { return _records.size(); }
+    bool empty() const { return _records.empty(); }
+
+    auto begin() const { return _records.begin(); }
+    auto end() const { return _records.end(); }
+
+    const std::vector<TraceRecord> &records() const { return _records; }
+
+    /**
+     * Validate structural invariants: every dependency points at an
+     * earlier record. @return true if well-formed.
+     */
+    bool validate() const;
+
+    /** Compute summary statistics (O(n), walks the whole trace). */
+    TraceStats computeStats() const;
+
+  private:
+    std::vector<TraceRecord> _records;
+};
+
+} // namespace trace
+} // namespace stack3d
+
+#endif // STACK3D_TRACE_BUFFER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The memory-trace record format.
+ *
+ * Mirrors the trace the paper's generator emits (Section 2.1): one
+ * record per memory instruction with the usual fields (cpu id, access
+ * address, instruction pointer) plus the unique identification number
+ * of an earlier record this record depends upon. The memory-hierarchy
+ * simulator honors that dependency when issuing accesses.
+ */
+
+#ifndef STACK3D_TRACE_RECORD_HH
+#define STACK3D_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace stack3d {
+namespace trace {
+
+/** Kind of memory operation a trace record describes. */
+enum class MemOp : std::uint8_t
+{
+    Load = 0,
+    Store = 1,
+    Ifetch = 2,
+};
+
+/** Human-readable name of a MemOp. */
+const char *memOpName(MemOp op);
+
+/** Sentinel: record has no dependency. */
+constexpr std::uint64_t kNoDep = ~std::uint64_t(0);
+
+/**
+ * One memory instruction in a trace. Records are identified by their
+ * position (index) in the trace; @ref dep refers to such an index and
+ * must be smaller than the record's own index.
+ */
+struct TraceRecord
+{
+    /** Virtual/physical address accessed (byte granularity). */
+    Addr addr = 0;
+
+    /** Instruction pointer of the memory instruction. */
+    Addr ip = 0;
+
+    /** Index of the earlier record this one depends on, or kNoDep. */
+    std::uint64_t dep = kNoDep;
+
+    /** Issuing processor (0-based). */
+    std::uint8_t cpu = 0;
+
+    /** Operation kind. */
+    MemOp op = MemOp::Load;
+
+    /** Access size in bytes (power of two, <= 64). */
+    std::uint8_t size = 8;
+
+    bool hasDep() const { return dep != kNoDep; }
+
+    bool
+    operator==(const TraceRecord &other) const
+    {
+        return addr == other.addr && ip == other.ip && dep == other.dep &&
+               cpu == other.cpu && op == other.op && size == other.size;
+    }
+};
+
+} // namespace trace
+} // namespace stack3d
+
+#endif // STACK3D_TRACE_RECORD_HH

@@ -1,0 +1,118 @@
+#include "writer.hh"
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace trace {
+
+RecordId
+ThreadTracer::push(TraceRecord rec)
+{
+    RecordId id = _records.size();
+    stack3d_assert(!rec.hasDep() || rec.dep < id,
+                   "dependency must reference an earlier record");
+    _records.push_back(rec);
+    return id;
+}
+
+RecordId
+ThreadTracer::load(Addr addr, Addr ip, RecordId addr_dep, std::uint8_t size)
+{
+    TraceRecord rec;
+    rec.addr = addr;
+    rec.ip = ip;
+    rec.cpu = _cpu;
+    rec.op = MemOp::Load;
+    rec.size = size;
+
+    if (addr_dep != kNone) {
+        rec.dep = addr_dep;
+    } else if (_track_raw) {
+        auto it = _last_writer.find(addr >> 6);
+        if (it != _last_writer.end())
+            rec.dep = it->second;
+    }
+    return push(rec);
+}
+
+RecordId
+ThreadTracer::store(Addr addr, Addr ip, RecordId data_dep, std::uint8_t size)
+{
+    TraceRecord rec;
+    rec.addr = addr;
+    rec.ip = ip;
+    rec.cpu = _cpu;
+    rec.op = MemOp::Store;
+    rec.size = size;
+    if (data_dep != kNone)
+        rec.dep = data_dep;
+
+    RecordId id = push(rec);
+    if (_track_raw)
+        _last_writer[addr >> 6] = id;
+    return id;
+}
+
+RecordId
+ThreadTracer::ifetch(Addr addr, std::uint8_t size)
+{
+    TraceRecord rec;
+    rec.addr = addr;
+    rec.ip = addr;
+    rec.cpu = _cpu;
+    rec.op = MemOp::Ifetch;
+    rec.size = size;
+    return push(rec);
+}
+
+std::vector<TraceRecord>
+ThreadTracer::take()
+{
+    _last_writer.clear();
+    return std::move(_records);
+}
+
+TraceBuffer
+TraceMerger::merge(std::vector<std::vector<TraceRecord>> thread_traces) const
+{
+    stack3d_assert(_chunk > 0, "merge chunk must be positive");
+
+    std::size_t total = 0;
+    for (const auto &tt : thread_traces)
+        total += tt.size();
+
+    std::vector<TraceRecord> merged;
+    merged.reserve(total);
+
+    // For each thread, map local record id -> merged id.
+    std::vector<std::vector<std::uint64_t>> remap(thread_traces.size());
+    for (std::size_t t = 0; t < thread_traces.size(); ++t)
+        remap[t].resize(thread_traces[t].size());
+
+    std::vector<std::size_t> pos(thread_traces.size(), 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t t = 0; t < thread_traces.size(); ++t) {
+            auto &src = thread_traces[t];
+            std::size_t take_n = std::min(_chunk, src.size() - pos[t]);
+            for (std::size_t k = 0; k < take_n; ++k) {
+                std::size_t local = pos[t] + k;
+                TraceRecord rec = src[local];
+                if (rec.hasDep())
+                    rec.dep = remap[t][rec.dep];
+                remap[t][local] = merged.size();
+                merged.push_back(rec);
+            }
+            pos[t] += take_n;
+            progress = progress || take_n > 0;
+        }
+    }
+
+    TraceBuffer buf(std::move(merged));
+    stack3d_assert(buf.validate(), "merged trace failed validation");
+    return buf;
+}
+
+} // namespace trace
+} // namespace stack3d

@@ -1,0 +1,56 @@
+#include "registry.hh"
+
+#include <functional>
+#include <utility>
+
+#include "common/logging.hh"
+#include "workloads/rms_factories.hh"
+
+namespace stack3d {
+namespace workloads {
+
+namespace {
+
+using Factory = std::unique_ptr<RmsKernel> (*)();
+
+const std::pair<const char *, Factory> kKernels[] = {
+    {"conj", detail::makeConj},     {"dSym", detail::makeDSym},
+    {"gauss", detail::makeGauss},   {"pcg", detail::makePcg},
+    {"sMVM", detail::makeSMvm},     {"sSym", detail::makeSSym},
+    {"sTrans", detail::makeSTrans}, {"sAVDF", detail::makeSAvdf},
+    {"sAVIF", detail::makeSAvif},   {"sUS", detail::makeSUs},
+    {"svd", detail::makeSvd},       {"svm", detail::makeSvm},
+};
+
+} // anonymous namespace
+
+std::vector<std::string>
+rmsKernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : kKernels)
+        names.emplace_back(name);
+    return names;
+}
+
+std::unique_ptr<RmsKernel>
+makeRmsKernel(const std::string &name)
+{
+    for (const auto &[kname, factory] : kKernels) {
+        if (name == kname)
+            return factory();
+    }
+    stack3d_fatal("unknown RMS kernel '", name, "'");
+}
+
+std::vector<std::unique_ptr<RmsKernel>>
+makeAllRmsKernels()
+{
+    std::vector<std::unique_ptr<RmsKernel>> all;
+    for (const auto &[name, factory] : kKernels)
+        all.push_back(factory());
+    return all;
+}
+
+} // namespace workloads
+} // namespace stack3d

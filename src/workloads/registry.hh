@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Registry of the RMS workload kernels (the paper's Table 1).
+ */
+
+#ifndef STACK3D_WORKLOADS_REGISTRY_HH
+#define STACK3D_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel.hh"
+
+namespace stack3d {
+namespace workloads {
+
+/** Names of all RMS kernels, in Figure 5's order. */
+std::vector<std::string> rmsKernelNames();
+
+/**
+ * Create the kernel with the given Figure 5 name (e.g. "gauss").
+ * Calls stack3d_fatal() for unknown names.
+ */
+std::unique_ptr<RmsKernel> makeRmsKernel(const std::string &name);
+
+/** Create all 12 kernels in Figure 5's order. */
+std::vector<std::unique_ptr<RmsKernel>> makeAllRmsKernels();
+
+} // namespace workloads
+} // namespace stack3d
+
+#endif // STACK3D_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Dense-matrix RMS kernels: dSym (dense matrix multiplication),
+ * gauss (Gauss-Jordan linear solver), svd (Jacobi SVD).
+ *
+ * Footprints at scale 1.0 are calibrated against the Figure 5
+ * capacity points: dSym and svd fit inside the 4 MB baseline L2
+ * (capacity-insensitive), gauss's active matrix (~6.5 MB) fits only
+ * from the 12 MB configuration up.
+ */
+
+#include "workloads/rms_factories.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stack3d {
+namespace workloads {
+namespace detail {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// dSym: blocked dense matrix multiplication C = A * B.
+// ---------------------------------------------------------------------
+
+struct DSymState : KernelState
+{
+    std::uint64_t n = 0;     // matrix dimension
+    std::uint64_t nb = 0;    // blocks per dimension
+    ArrayRef a, b, c;        // n x n doubles each
+};
+
+class DSymKernel : public RmsKernel
+{
+  public:
+    const char *name() const override { return "dSym"; }
+
+    const char *
+    description() const override
+    {
+        return "Dense Matrix Multiplication";
+    }
+
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        std::uint64_t n = dim(cfg);
+        return 3 * n * n * 8;
+    }
+
+  protected:
+    static constexpr std::uint64_t kBlock = 64;
+
+    static std::uint64_t
+    dim(const WorkloadConfig &cfg)
+    {
+        // 320 -> 3 * 320^2 * 8 B = 2.46 MB (fits the 4 MB baseline).
+        auto n = std::uint64_t(320 * std::sqrt(cfg.scale));
+        n = std::max<std::uint64_t>(n, 2 * kBlock);
+        return (n / kBlock) * kBlock;
+    }
+
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        auto st = std::make_unique<DSymState>();
+        st->n = dim(setup.config());
+        st->nb = st->n / kBlock;
+        st->a = setup.alloc(st->n * st->n, 8);
+        st->b = setup.alloc(st->n * st->n, 8);
+        st->c = setup.alloc(st->n * st->n, 8);
+        return st;
+    }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const DSymState &>(state);
+        auto [ib_lo, ib_hi] = ctx.myRange(st.nb);
+        constexpr std::uint64_t row_bytes = kBlock * 8;
+
+        while (!ctx.done()) {
+            // One full multiplication over this thread's C block rows.
+            for (std::uint64_t ib = ib_lo; ib < ib_hi && !ctx.done();
+                 ++ib) {
+                for (std::uint64_t jb = 0; jb < st.nb; ++jb) {
+                    for (std::uint64_t kb = 0; kb < st.nb; ++kb) {
+                        // Stream the 64x64 blocks of A and B, then
+                        // read-modify-write the C block, row by row.
+                        for (std::uint64_t r = 0; r < kBlock; ++r) {
+                            std::uint64_t a_row =
+                                (ib * kBlock + r) * st.n + kb * kBlock;
+                            std::uint64_t b_row =
+                                (kb * kBlock + r) * st.n + jb * kBlock;
+                            std::uint64_t c_row =
+                                (ib * kBlock + r) * st.n + jb * kBlock;
+                            ctx.streamLoad(st.a, a_row, row_bytes, 16, 10);
+                            ctx.streamLoad(st.b, b_row, row_bytes, 16, 11);
+                            ctx.streamLoad(st.c, c_row, row_bytes, 16, 12);
+                            ctx.streamStore(st.c, c_row, row_bytes, 16, 13);
+                        }
+                    }
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// gauss: Gauss-Jordan elimination with partial pivoting over an
+// augmented dense system. The trace covers the leading pivots of the
+// elimination; each pivot sweeps the active submatrix.
+// ---------------------------------------------------------------------
+
+struct GaussState : KernelState
+{
+    std::uint64_t n = 0;
+    ArrayRef m;    // n x (n+1) doubles, augmented matrix
+};
+
+class GaussKernel : public RmsKernel
+{
+  public:
+    const char *name() const override { return "gauss"; }
+
+    const char *
+    description() const override
+    {
+        return "Linear Equation Solver using Gauss-Jordan Elimination";
+    }
+
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        std::uint64_t n = dim(cfg);
+        return n * (n + 1) * 8;
+    }
+
+  protected:
+    static std::uint64_t
+    dim(const WorkloadConfig &cfg)
+    {
+        // 900 -> 900*901*8 B = 6.49 MB: misses in 4 MB, fits in 12 MB.
+        return std::max<std::uint64_t>(
+            std::uint64_t(900 * std::sqrt(cfg.scale)), 64);
+    }
+
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        auto st = std::make_unique<GaussState>();
+        st->n = dim(setup.config());
+        st->m = setup.alloc(st->n * (st->n + 1), 8);
+        return st;
+    }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const GaussState &>(state);
+        std::uint64_t cols = st.n + 1;
+
+        std::uint64_t k = 0;
+        while (!ctx.done()) {
+            // Pivot search: scan column k of the active rows.
+            for (std::uint64_t r = k; r < st.n; r += 8)
+                ctx.load(st.m, r * cols + k, 20);
+
+            // Eliminate column k from every other active row; rows
+            // are partitioned between the threads.
+            std::uint64_t row_bytes = (cols - k) * 8;
+            auto [r_lo, r_hi] = ctx.myRange(st.n);
+            for (std::uint64_t r = std::max(r_lo, k + 1); r < r_hi;
+                 ++r) {
+                // Pivot-row reload (cache-resident in practice).
+                ctx.streamLoad(st.m, k * cols + k, row_bytes, 64, 21);
+                // Row update: read-modify-write the active segment.
+                ctx.streamLoad(st.m, r * cols + k, row_bytes, 16, 22);
+                ctx.streamStore(st.m, r * cols + k, row_bytes, 16, 23);
+                if (ctx.done())
+                    break;
+            }
+
+            // Advance the pivot; restart the elimination once the
+            // active submatrix becomes trivially small.
+            k = (k + 1) % std::max<std::uint64_t>(st.n / 4, 1);
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// svd: one-sided Jacobi SVD. Each rotation reads and rewrites a pair
+// of columns of the working matrix and of the accumulated V.
+// ---------------------------------------------------------------------
+
+struct SvdState : KernelState
+{
+    std::uint64_t n = 0;
+    ArrayRef a;    // n x n doubles, column-major working matrix
+    ArrayRef v;    // n x n doubles, accumulated right vectors
+};
+
+class SvdKernel : public RmsKernel
+{
+  public:
+    const char *name() const override { return "svd"; }
+
+    const char *
+    description() const override
+    {
+        return "Singular Value Decomposition with Jacobi Method";
+    }
+
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        std::uint64_t n = dim(cfg);
+        return 2 * n * n * 8;
+    }
+
+  protected:
+    static std::uint64_t
+    dim(const WorkloadConfig &cfg)
+    {
+        // 400 -> 2 * 400^2 * 8 B = 2.56 MB (fits the 4 MB baseline).
+        return std::max<std::uint64_t>(
+            std::uint64_t(400 * std::sqrt(cfg.scale)), 64);
+    }
+
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        auto st = std::make_unique<SvdState>();
+        st->n = dim(setup.config());
+        st->a = setup.alloc(st->n * st->n, 8);
+        st->v = setup.alloc(st->n * st->n, 8);
+        return st;
+    }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const SvdState &>(state);
+        std::uint64_t col_bytes = st.n * 8;
+
+        // Round-robin sweep over column pairs; threads own disjoint
+        // halves of the pair space (cyclic Jacobi ordering).
+        std::uint64_t i = ctx.threadId();
+        std::uint64_t j = i + 1;
+        while (!ctx.done()) {
+            // Dot products a_i . a_i, a_j . a_j, a_i . a_j.
+            ctx.streamLoad(st.a, i * st.n, col_bytes, 16, 30);
+            ctx.streamLoad(st.a, j * st.n, col_bytes, 16, 31);
+            // Apply the rotation to both columns of A and V.
+            ctx.streamStore(st.a, i * st.n, col_bytes, 16, 32);
+            ctx.streamStore(st.a, j * st.n, col_bytes, 16, 33);
+            ctx.streamLoad(st.v, i * st.n, col_bytes, 16, 34);
+            ctx.streamLoad(st.v, j * st.n, col_bytes, 16, 35);
+            ctx.streamStore(st.v, i * st.n, col_bytes, 16, 36);
+            ctx.streamStore(st.v, j * st.n, col_bytes, 16, 37);
+
+            j += ctx.numThreads();
+            if (j >= st.n) {
+                i = (i + 1) % (st.n - 1);
+                j = i + 1 + ctx.threadId();
+                if (j >= st.n)
+                    j = i + 1;
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<RmsKernel>
+makeDSym()
+{
+    return std::make_unique<DSymKernel>();
+}
+
+std::unique_ptr<RmsKernel>
+makeGauss()
+{
+    return std::make_unique<GaussKernel>();
+}
+
+std::unique_ptr<RmsKernel>
+makeSvd()
+{
+    return std::make_unique<SvdKernel>();
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace stack3d

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal factory functions for the 12 RMS kernels (Table 1).
+ * Users go through workloads/registry.hh instead.
+ */
+
+#ifndef STACK3D_WORKLOADS_RMS_FACTORIES_HH
+#define STACK3D_WORKLOADS_RMS_FACTORIES_HH
+
+#include <memory>
+
+#include "workloads/kernel.hh"
+
+namespace stack3d {
+namespace workloads {
+namespace detail {
+
+std::unique_ptr<RmsKernel> makeConj();   ///< Conjugate gradient solver
+std::unique_ptr<RmsKernel> makeDSym();   ///< Dense matrix multiplication
+std::unique_ptr<RmsKernel> makeGauss();  ///< Gauss-Jordan elimination
+std::unique_ptr<RmsKernel> makePcg();    ///< Preconditioned CG (red-black)
+std::unique_ptr<RmsKernel> makeSMvm();   ///< Sparse matrix-vector mult
+std::unique_ptr<RmsKernel> makeSSym();   ///< Symmetric sparse MVM
+std::unique_ptr<RmsKernel> makeSTrans(); ///< Transposed sparse MVM
+std::unique_ptr<RmsKernel> makeSAvdf();  ///< Structural rigidity, AVDF
+std::unique_ptr<RmsKernel> makeSAvif();  ///< Structural rigidity, AVIF
+std::unique_ptr<RmsKernel> makeSUs();    ///< Structural rigidity, US
+std::unique_ptr<RmsKernel> makeSvd();    ///< Jacobi SVD
+std::unique_ptr<RmsKernel> makeSvm();    ///< SVM face recognition
+
+} // namespace detail
+} // namespace workloads
+} // namespace stack3d
+
+#endif // STACK3D_WORKLOADS_RMS_FACTORIES_HH

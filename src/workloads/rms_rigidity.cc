@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Structural-rigidity RMS kernels (sAVDF, sAVIF, sUS): finite-element
+ * style assembly sweeps over an unstructured tetrahedral mesh. Per
+ * element the kernel loads the connectivity record, gathers the four
+ * node positions (addresses depend on the connectivity load), streams
+ * the element's stiffness data, and scatters accumulations back to
+ * the nodes.
+ *
+ * The three kernels share the traversal but differ in element-data
+ * width and mesh size: sAVDF (~2.5 MB) and sAVIF (~3.5 MB) fit the
+ * 4 MB baseline; sUS (~39 MB) fits only the 64 MB configuration.
+ */
+
+#include "workloads/rms_factories.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+
+namespace stack3d {
+namespace workloads {
+namespace detail {
+
+namespace {
+
+struct RigidityState : KernelState
+{
+    std::uint64_t num_elems = 0;
+    std::uint64_t num_nodes = 0;
+    std::vector<std::uint32_t> conn;   // 4 node ids per element
+    ArrayRef conn_arr;   // num_elems x 16 B connectivity records
+    ArrayRef node_pos;   // num_nodes x 24 B coordinates
+    ArrayRef node_acc;   // num_nodes x 24 B force accumulators
+    ArrayRef elem_data;  // num_elems x data_bytes stiffness data
+};
+
+/**
+ * Shared rigidity-kernel skeleton; subclasses pick the mesh size and
+ * per-element data width.
+ */
+class RigidityKernelBase : public RmsKernel
+{
+  protected:
+    virtual std::uint64_t numElems(const WorkloadConfig &cfg) const = 0;
+    virtual std::uint32_t elemDataBytes() const = 0;
+
+    /** Nodes ~= elements / 3.3 for a typical tet mesh. */
+    static std::uint64_t
+    numNodes(std::uint64_t elems)
+    {
+        return std::max<std::uint64_t>(elems * 3 / 10, 16);
+    }
+
+  public:
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        std::uint64_t e = numElems(cfg);
+        std::uint64_t n = numNodes(e);
+        return e * 16 + 2 * n * 24 + e * elemDataBytes();
+    }
+
+  protected:
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        auto st = std::make_unique<RigidityState>();
+        st->num_elems = numElems(setup.config());
+        st->num_nodes = numNodes(st->num_elems);
+
+        // Connectivity with spatial locality: elements reference
+        // nodes near a moving front, plus occasional far links.
+        st->conn.resize(st->num_elems * 4);
+        Random &rng = setup.rng();
+        for (std::uint64_t e = 0; e < st->num_elems; ++e) {
+            std::uint64_t center =
+                (e * st->num_nodes) / st->num_elems;
+            for (unsigned k = 0; k < 4; ++k) {
+                std::uint64_t node;
+                if (rng.chance(0.85)) {
+                    std::uint64_t span = 128;
+                    std::uint64_t off = rng.uniformInt(2 * span + 1);
+                    std::int64_t v = std::int64_t(center) +
+                                     std::int64_t(off) -
+                                     std::int64_t(span);
+                    v = std::clamp<std::int64_t>(
+                        v, 0, std::int64_t(st->num_nodes) - 1);
+                    node = std::uint64_t(v);
+                } else {
+                    node = rng.uniformInt(st->num_nodes);
+                }
+                st->conn[e * 4 + k] = std::uint32_t(node);
+            }
+        }
+
+        st->conn_arr = setup.alloc(st->num_elems, 16);
+        st->node_pos = setup.alloc(st->num_nodes, 24);
+        st->node_acc = setup.alloc(st->num_nodes, 24);
+        st->elem_data = setup.alloc(st->num_elems, elemDataBytes());
+        return st;
+    }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const RigidityState &>(state);
+        auto [e_lo, e_hi] = ctx.myRange(st.num_elems);
+        std::uint32_t data_bytes = elemDataBytes();
+
+        while (!ctx.done()) {
+            for (std::uint64_t e = e_lo; e < e_hi; ++e) {
+                // Connectivity record -> node addresses.
+                auto conn_rec = ctx.load(st.conn_arr, e, 110);
+                // Gather node positions.
+                trace::RecordId gathers[4];
+                for (unsigned k = 0; k < 4; ++k) {
+                    gathers[k] = ctx.load(
+                        st.node_pos, st.conn[e * 4 + k], 111, conn_rec);
+                }
+                // Element stiffness data streams past once.
+                ctx.streamLoad(st.elem_data, e, data_bytes,
+                               16, 112);
+                // Scatter accumulate into the four nodes.
+                for (unsigned k = 0; k < 4; ++k) {
+                    auto acc = ctx.load(st.node_acc, st.conn[e * 4 + k],
+                                        113, gathers[k]);
+                    ctx.store(st.node_acc, st.conn[e * 4 + k], 114, acc);
+                }
+                if (ctx.done())
+                    return;
+            }
+        }
+    }
+};
+
+class SAvdfKernel : public RigidityKernelBase
+{
+  public:
+    const char *name() const override { return "sAVDF"; }
+
+    const char *
+    description() const override
+    {
+        return "Structural Rigidity Computation with AVDF Kernel";
+    }
+
+  protected:
+    std::uint64_t
+    numElems(const WorkloadConfig &cfg) const override
+    {
+        return std::max<std::uint64_t>(
+            std::uint64_t(40000 * cfg.scale), 64);
+    }
+
+    std::uint32_t elemDataBytes() const override { return 32; }
+};
+
+class SAvifKernel : public RigidityKernelBase
+{
+  public:
+    const char *name() const override { return "sAVIF"; }
+
+    const char *
+    description() const override
+    {
+        return "Structural Rigidity Computation with AVIF Kernel";
+    }
+
+  protected:
+    std::uint64_t
+    numElems(const WorkloadConfig &cfg) const override
+    {
+        return std::max<std::uint64_t>(
+            std::uint64_t(50000 * cfg.scale), 64);
+    }
+
+    std::uint32_t elemDataBytes() const override { return 40; }
+};
+
+class SUsKernel : public RigidityKernelBase
+{
+  public:
+    const char *name() const override { return "sUS"; }
+
+    const char *
+    description() const override
+    {
+        return "Structural Rigidity Computation with US Kernel";
+    }
+
+  protected:
+    std::uint64_t
+    numElems(const WorkloadConfig &cfg) const override
+    {
+        // 250k elements x 128 B stiffness blocks -> ~39 MB:
+        // thrashes even the 32 MB option, fits only in 64 MB.
+        return std::max<std::uint64_t>(
+            std::uint64_t(250000 * cfg.scale), 64);
+    }
+
+    std::uint32_t elemDataBytes() const override { return 128; }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<RmsKernel>
+makeSAvdf()
+{
+    return std::make_unique<SAvdfKernel>();
+}
+
+std::unique_ptr<RmsKernel>
+makeSAvif()
+{
+    return std::make_unique<SAvifKernel>();
+}
+
+std::unique_ptr<RmsKernel>
+makeSUs()
+{
+    return std::make_unique<SUsKernel>();
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace stack3d

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Iterative solver RMS kernels: conj (conjugate gradient on a 3-D
+ * 7-point stencil) and pcg (preconditioned conjugate gradient with a
+ * red-black-reordered Cholesky preconditioner on a 2-D 5-point grid).
+ *
+ * conj's four solution vectors total ~3.5 MB (capacity-insensitive);
+ * pcg's five vectors total ~16.4 MB, fitting only from 32 MB up.
+ */
+
+#include "workloads/rms_factories.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stack3d {
+namespace workloads {
+namespace detail {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// conj: CG with an implicit (matrix-free) 3-D 7-point stencil.
+// ---------------------------------------------------------------------
+
+struct ConjState : KernelState
+{
+    std::uint64_t nx = 0, ny = 0, nz = 0, n = 0;
+    ArrayRef x, r, p, q;   // solution, residual, direction, A*p
+};
+
+class ConjKernel : public RmsKernel
+{
+  public:
+    const char *name() const override { return "conj"; }
+
+    const char *
+    description() const override
+    {
+        return "Conjugate Gradient Solver";
+    }
+
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        std::uint64_t nx = dim(cfg);
+        return 4 * nx * nx * nx * 8;
+    }
+
+  protected:
+    static std::uint64_t
+    dim(const WorkloadConfig &cfg)
+    {
+        // 48^3 nodes -> 4 vectors * 0.88 MB = 3.5 MB (fits 4 MB).
+        return std::max<std::uint64_t>(
+            std::uint64_t(48 * std::cbrt(cfg.scale)), 8);
+    }
+
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        auto st = std::make_unique<ConjState>();
+        st->nx = st->ny = st->nz = dim(setup.config());
+        st->n = st->nx * st->ny * st->nz;
+        st->x = setup.alloc(st->n, 8);
+        st->r = setup.alloc(st->n, 8);
+        st->p = setup.alloc(st->n, 8);
+        st->q = setup.alloc(st->n, 8);
+        return st;
+    }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const ConjState &>(state);
+        std::uint64_t plane = st.nx * st.ny;
+        auto [z_lo, z_hi] = ctx.myRange(st.nz);
+
+        while (!ctx.done()) {
+            // q = A p over this thread's z-slab: 7-point stencil,
+            // traced per 4-node vector group (32 B).
+            for (std::uint64_t z = z_lo; z < z_hi; ++z) {
+                for (std::uint64_t y = 0; y < st.ny; ++y) {
+                    std::uint64_t row = z * plane + y * st.nx;
+                    for (std::uint64_t i = 0; i < st.nx; i += 4) {
+                        std::uint64_t c = row + i;
+                        ctx.load(st.p, c, 70);                 // centre
+                        if (i + 4 < st.nx)
+                            ctx.load(st.p, c + 4, 71);         // +x
+                        if (y + 1 < st.ny)
+                            ctx.load(st.p, c + st.nx, 72);     // +y
+                        if (y > 0)
+                            ctx.load(st.p, c - st.nx, 73);     // -y
+                        if (z + 1 < st.nz)
+                            ctx.load(st.p, c + plane, 74);     // +z
+                        if (z > 0)
+                            ctx.load(st.p, c - plane, 75);     // -z
+                        ctx.store(st.q, c, 76);
+                    }
+                }
+                if (ctx.done())
+                    return;
+            }
+
+            // alpha = r.r / p.q; x += alpha p; r -= alpha q;
+            // beta, p = r + beta p -- all streaming vector sweeps.
+            std::uint64_t lo = z_lo * plane;
+            std::uint64_t bytes = (z_hi - z_lo) * plane * 8;
+            ctx.streamLoad(st.p, lo, bytes, 16, 77);
+            ctx.streamLoad(st.q, lo, bytes, 16, 78);
+            ctx.streamLoad(st.x, lo, bytes, 16, 79);
+            ctx.streamStore(st.x, lo, bytes, 16, 80);
+            ctx.streamLoad(st.r, lo, bytes, 16, 81);
+            ctx.streamStore(st.r, lo, bytes, 16, 82);
+            ctx.streamStore(st.p, lo, bytes, 16, 83);
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// pcg: preconditioned CG, red-black Gauss-Seidel/IC-style
+// preconditioner on a 2-D 5-point grid.
+// ---------------------------------------------------------------------
+
+struct PcgState : KernelState
+{
+    std::uint64_t nx = 0, ny = 0, n = 0;
+    ArrayRef x, r, p, q, z;
+};
+
+class PcgKernel : public RmsKernel
+{
+  public:
+    const char *name() const override { return "pcg"; }
+
+    const char *
+    description() const override
+    {
+        return "Preconditioned Conjugate Gradient Solver using "
+               "Cholesky Preconditioner, Red-Black Reordering";
+    }
+
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        std::uint64_t nx = dim(cfg);
+        return 5 * nx * nx * 8;
+    }
+
+  protected:
+    static std::uint64_t
+    dim(const WorkloadConfig &cfg)
+    {
+        // 640^2 nodes -> 5 vectors * 3.28 MB = 16.4 MB (needs 32 MB).
+        return std::max<std::uint64_t>(
+            std::uint64_t(640 * std::sqrt(cfg.scale)), 16);
+    }
+
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        auto st = std::make_unique<PcgState>();
+        st->nx = st->ny = dim(setup.config());
+        st->n = st->nx * st->ny;
+        st->x = setup.alloc(st->n, 8);
+        st->r = setup.alloc(st->n, 8);
+        st->p = setup.alloc(st->n, 8);
+        st->q = setup.alloc(st->n, 8);
+        st->z = setup.alloc(st->n, 8);
+        return st;
+    }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const PcgState &>(state);
+        auto [y_lo, y_hi] = ctx.myRange(st.ny);
+        std::uint64_t lo = y_lo * st.nx;
+        std::uint64_t bytes = (y_hi - y_lo) * st.nx * 8;
+
+        while (!ctx.done()) {
+            // q = A p: 5-point stencil per 8-node group (64 B).
+            for (std::uint64_t y = y_lo; y < y_hi; ++y) {
+                std::uint64_t row = y * st.nx;
+                for (std::uint64_t i = 0; i < st.nx; i += 8) {
+                    std::uint64_t c = row + i;
+                    ctx.load(st.p, c, 90);
+                    if (y + 1 < st.ny)
+                        ctx.load(st.p, c + st.nx, 91);
+                    if (y > 0)
+                        ctx.load(st.p, c - st.nx, 92);
+                    ctx.store(st.q, c, 93);
+                }
+                if (ctx.done())
+                    return;
+            }
+
+            // Preconditioner z = M^-1 r: red sweep then black sweep,
+            // each reading r and the opposite colour of z.
+            for (unsigned colour = 0; colour < 2; ++colour) {
+                for (std::uint64_t y = y_lo; y < y_hi; ++y) {
+                    std::uint64_t row = y * st.nx;
+                    for (std::uint64_t i = 0; i < st.nx; i += 16) {
+                        std::uint64_t c = row + i;
+                        ctx.load(st.r, c, 94);
+                        ctx.load(st.z, c, 95);
+                        if (y + 1 < st.ny)
+                            ctx.load(st.z, c + st.nx, 96);
+                        ctx.store(st.z, c, 97);
+                    }
+                }
+                if (ctx.done())
+                    return;
+            }
+
+            // Vector updates: beta/p, alpha/x, r.
+            ctx.streamLoad(st.z, lo, bytes, 16, 98);
+            ctx.streamLoad(st.p, lo, bytes, 16, 99);
+            ctx.streamStore(st.p, lo, bytes, 16, 100);
+            ctx.streamLoad(st.x, lo, bytes, 16, 101);
+            ctx.streamStore(st.x, lo, bytes, 16, 102);
+            ctx.streamLoad(st.q, lo, bytes, 16, 103);
+            ctx.streamLoad(st.r, lo, bytes, 16, 104);
+            ctx.streamStore(st.r, lo, bytes, 16, 105);
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<RmsKernel>
+makeConj()
+{
+    return std::make_unique<ConjKernel>();
+}
+
+std::unique_ptr<RmsKernel>
+makePcg()
+{
+    return std::make_unique<PcgKernel>();
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace stack3d

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Sparse matrix-vector RMS kernels: sMVM (CSR SpMV), sSym (symmetric
+ * SpMV touching both x[col] and y[col]), sTrans (transposed SpMV with
+ * scatter updates).
+ *
+ * The defining memory behaviour is the indirection chain: the column
+ * index load produces the address of the x/y element access, which is
+ * expressed as a trace dependency and limits memory-level parallelism
+ * exactly the way the paper's dependency-annotated traces do.
+ */
+
+#include "workloads/rms_factories.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/sparse_util.hh"
+
+namespace stack3d {
+namespace workloads {
+namespace detail {
+
+namespace {
+
+/** Shared state for all three sparse kernels. */
+struct SparseState : KernelState
+{
+    CsrPattern csr;
+    ArrayRef vals;     // nnz doubles
+    ArrayRef cols;     // nnz uint32 column indices
+    ArrayRef row_ptr;  // rows+1 uint64
+    ArrayRef x;        // cols doubles
+    ArrayRef y;        // rows doubles
+};
+
+/** Common setup: build a CSR pattern and place the arrays. */
+std::unique_ptr<SparseState>
+buildSparse(SetupContext &setup, std::uint64_t rows, unsigned nnz_per_row)
+{
+    auto st = std::make_unique<SparseState>();
+    st->csr = makeRandomCsr(rows, rows, nnz_per_row, setup.rng());
+    st->vals = setup.alloc(st->csr.nnz(), 8);
+    st->cols = setup.alloc(st->csr.nnz(), 4);
+    st->row_ptr = setup.alloc(rows + 1, 8);
+    st->x = setup.alloc(rows, 8);
+    st->y = setup.alloc(rows, 8);
+    return st;
+}
+
+std::uint64_t
+sparseFootprint(std::uint64_t rows, unsigned nnz_per_row)
+{
+    std::uint64_t nnz = rows * nnz_per_row;
+    return nnz * 8 + nnz * 4 + (rows + 1) * 8 + 2 * rows * 8;
+}
+
+/** Base class factoring the common y = A x traversal skeleton. */
+class SparseKernelBase : public RmsKernel
+{
+  protected:
+    virtual std::uint64_t rows(const WorkloadConfig &cfg) const = 0;
+    virtual unsigned nnzPerRow() const = 0;
+
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        return buildSparse(setup, rows(setup.config()), nnzPerRow());
+    }
+
+  public:
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        return sparseFootprint(rows(cfg), nnzPerRow());
+    }
+};
+
+// ---------------------------------------------------------------------
+// sMVM: y = A x, CSR gather form.
+// ---------------------------------------------------------------------
+
+class SMvmKernel : public SparseKernelBase
+{
+  public:
+    const char *name() const override { return "sMVM"; }
+
+    const char *
+    description() const override
+    {
+        return "Sparse Matrix Multiplication";
+    }
+
+  protected:
+    std::uint64_t
+    rows(const WorkloadConfig &cfg) const override
+    {
+        // 120k rows x 8 nnz -> ~13.4 MB: fits only from 32 MB up.
+        return std::max<std::uint64_t>(
+            std::uint64_t(120000 * cfg.scale), 512);
+    }
+
+    unsigned nnzPerRow() const override { return 8; }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const SparseState &>(state);
+        auto [r_lo, r_hi] = ctx.myRange(st.csr.rows);
+
+        while (!ctx.done()) {
+            for (std::uint64_t r = r_lo; r < r_hi; ++r) {
+                std::uint64_t lo = st.csr.row_ptr[r];
+                std::uint64_t hi = st.csr.row_ptr[r + 1];
+                ctx.load(st.row_ptr, r, 40);
+                // Column indices and values stream in vector chunks.
+                auto col_rec = ctx.streamLoad(st.cols, lo, (hi - lo) * 4,
+                                              16, 41);
+                ctx.streamLoad(st.vals, lo, (hi - lo) * 8, 16, 42);
+                // Gather x[col]: address depends on the index load.
+                for (std::uint64_t e = lo; e < hi; ++e)
+                    ctx.load(st.x, st.csr.col_idx[e], 43, col_rec);
+                ctx.store(st.y, r, 44);
+                if (ctx.done())
+                    return;
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// sSym: symmetric SpMV; each stored element (r, c) updates both
+// y[r] += v * x[c] and y[c] += v * x[r].
+// ---------------------------------------------------------------------
+
+class SSymKernel : public SparseKernelBase
+{
+  public:
+    const char *name() const override { return "sSym"; }
+
+    const char *
+    description() const override
+    {
+        return "Symmetrical Sparse Matrix Multiplication";
+    }
+
+  protected:
+    std::uint64_t
+    rows(const WorkloadConfig &cfg) const override
+    {
+        // 40k rows x 6 nnz -> ~3.2 MB: fits the 4 MB baseline.
+        return std::max<std::uint64_t>(
+            std::uint64_t(40000 * cfg.scale), 512);
+    }
+
+    unsigned nnzPerRow() const override { return 6; }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const SparseState &>(state);
+        auto [r_lo, r_hi] = ctx.myRange(st.csr.rows);
+
+        while (!ctx.done()) {
+            for (std::uint64_t r = r_lo; r < r_hi; ++r) {
+                std::uint64_t lo = st.csr.row_ptr[r];
+                std::uint64_t hi = st.csr.row_ptr[r + 1];
+                ctx.load(st.row_ptr, r, 50);
+                auto col_rec = ctx.streamLoad(st.cols, lo, (hi - lo) * 4,
+                                              16, 51);
+                ctx.streamLoad(st.vals, lo, (hi - lo) * 8, 16, 52);
+                ctx.load(st.x, r, 53);
+                for (std::uint64_t e = lo; e < hi; ++e) {
+                    std::uint32_t c = st.csr.col_idx[e];
+                    ctx.load(st.x, c, 54, col_rec);
+                    // Scatter side: read-modify-write y[c].
+                    auto y_old = ctx.load(st.y, c, 55, col_rec);
+                    ctx.store(st.y, c, 56, y_old);
+                }
+                ctx.store(st.y, r, 57);
+                if (ctx.done())
+                    return;
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// sTrans: y = A^T x; CSR rows become scatter updates of y.
+// ---------------------------------------------------------------------
+
+class STransKernel : public SparseKernelBase
+{
+  public:
+    const char *name() const override { return "sTrans"; }
+
+    const char *
+    description() const override
+    {
+        return "Transposed Sparse Matrix Multiplication";
+    }
+
+  protected:
+    std::uint64_t
+    rows(const WorkloadConfig &cfg) const override
+    {
+        // 200k rows x 4 nnz -> ~12.8 MB: fits only from 32 MB up.
+        return std::max<std::uint64_t>(
+            std::uint64_t(200000 * cfg.scale), 512);
+    }
+
+    unsigned nnzPerRow() const override { return 4; }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const SparseState &>(state);
+        auto [r_lo, r_hi] = ctx.myRange(st.csr.rows);
+
+        while (!ctx.done()) {
+            for (std::uint64_t r = r_lo; r < r_hi; ++r) {
+                std::uint64_t lo = st.csr.row_ptr[r];
+                std::uint64_t hi = st.csr.row_ptr[r + 1];
+                ctx.load(st.row_ptr, r, 60);
+                auto x_rec = ctx.load(st.x, r, 61);
+                auto col_rec = ctx.streamLoad(st.cols, lo, (hi - lo) * 4,
+                                              16, 62);
+                ctx.streamLoad(st.vals, lo, (hi - lo) * 8, 16, 63);
+                for (std::uint64_t e = lo; e < hi; ++e) {
+                    std::uint32_t c = st.csr.col_idx[e];
+                    // y[c] += v * x[r]: RMW dependent on both the
+                    // column index and the x load.
+                    auto y_old = ctx.load(st.y, c, 64, col_rec);
+                    (void)x_rec;
+                    ctx.store(st.y, c, 65, y_old);
+                }
+                if (ctx.done())
+                    return;
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<RmsKernel>
+makeSMvm()
+{
+    return std::make_unique<SMvmKernel>();
+}
+
+std::unique_ptr<RmsKernel>
+makeSSym()
+{
+    return std::make_unique<SSymKernel>();
+}
+
+std::unique_ptr<RmsKernel>
+makeSTrans()
+{
+    return std::make_unique<STransKernel>();
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace stack3d

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * svm: support-vector-machine scoring for face recognition in images.
+ * Classifying one image region evaluates the kernel function of the
+ * query feature vector against every support vector, streaming the
+ * whole support-vector matrix (~24.6 MB) per query. The matrix is
+ * re-used across queries, so CPMA collapses once the last-level cache
+ * reaches 32 MB — svm is the paper's best-case benchmark (up to 55%).
+ */
+
+#include "workloads/rms_factories.hh"
+
+#include <algorithm>
+
+namespace stack3d {
+namespace workloads {
+namespace detail {
+
+namespace {
+
+struct SvmState : KernelState
+{
+    std::uint64_t num_sv = 0;      // support vectors
+    std::uint64_t dim = 0;         // features per vector (floats)
+    ArrayRef sv;                   // num_sv x dim floats
+    ArrayRef alpha;                // num_sv doubles
+    ArrayRef query;                // num_queries x dim floats
+    std::uint64_t num_queries = 0;
+    /** Streaming camera frames: each query classifies a freshly
+     *  captured image window, so this region is touched exactly
+     *  once (compulsory traffic at every cache size). */
+    ArrayRef frames;
+    std::uint64_t frame_bytes = 0; // per query
+};
+
+class SvmKernel : public RmsKernel
+{
+  public:
+    const char *name() const override { return "svm"; }
+
+    const char *
+    description() const override
+    {
+        return "Pattern Recognition Algorithm for Face Recognition "
+               "in Images";
+    }
+
+    std::uint64_t
+    nominalFootprintBytes(const WorkloadConfig &cfg) const override
+    {
+        return numSv(cfg) * kDim * 4 + numSv(cfg) * 8;
+    }
+
+  protected:
+    static constexpr std::uint64_t kDim = 1024;
+    static constexpr std::uint64_t kQueries = 64;
+
+    static std::uint64_t
+    numSv(const WorkloadConfig &cfg)
+    {
+        // 6000 SVs x 1024 floats -> 24.6 MB (fits only from 32 MB up).
+        return std::max<std::uint64_t>(
+            std::uint64_t(6000 * cfg.scale), 16);
+    }
+
+    std::unique_ptr<KernelState>
+    buildState(SetupContext &setup) const override
+    {
+        auto st = std::make_unique<SvmState>();
+        st->num_sv = numSv(setup.config());
+        st->dim = kDim;
+        st->num_queries = kQueries;
+        st->sv = setup.alloc(st->num_sv * st->dim, 4);
+        st->alpha = setup.alloc(st->num_sv, 8);
+        st->query = setup.alloc(st->num_queries * st->dim, 4);
+        // A large circular frame region, re-read only after ~256
+        // queries (far beyond any cache's reach).
+        st->frame_bytes = 384 * 1024;   // one camera window
+        st->frames = setup.alloc(256 * st->frame_bytes / 512, 512);
+        return st;
+    }
+
+    void
+    runThread(KernelContext &ctx, const KernelState &state) const override
+    {
+        const auto &st = static_cast<const SvmState &>(state);
+        auto [sv_lo, sv_hi] = ctx.myRange(st.num_sv);
+        std::uint64_t row_bytes = st.dim * 4;
+
+        std::uint64_t q = 0;
+        std::uint64_t frame_pos = ctx.threadId();
+        while (!ctx.done()) {
+            // Ingest the freshly captured frame window (feature
+            // extraction reads it once; compulsory misses).
+            {
+                std::uint64_t frames_total = st.frames.count;
+                std::uint64_t chunk =
+                    st.frame_bytes / st.frames.elem_size /
+                    ctx.numThreads();
+                for (std::uint64_t f = 0; f < chunk; ++f) {
+                    std::uint64_t idx =
+                        (frame_pos + f * ctx.numThreads()) %
+                        frames_total;
+                    ctx.streamLoad(st.frames, idx,
+                                   st.frames.elem_size, 16, 123);
+                }
+                frame_pos = (frame_pos + chunk * ctx.numThreads()) %
+                            frames_total;
+            }
+
+            // Score query q against this thread's share of the SVs.
+            for (std::uint64_t s = sv_lo; s < sv_hi; ++s) {
+                // Kernel evaluation K(sv_s, query_q): both vectors
+                // stream through SIMD loads (64 B per record).
+                ctx.streamLoad(st.sv, s * st.dim, row_bytes, 16, 120);
+                ctx.streamLoad(st.query, q * st.dim, row_bytes, 64, 121);
+                ctx.load(st.alpha, s, 122);
+                if (ctx.done())
+                    return;
+            }
+            q = (q + 1) % st.num_queries;
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<RmsKernel>
+makeSvm()
+{
+    return std::make_unique<SvmKernel>();
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace stack3d

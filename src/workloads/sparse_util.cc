@@ -1,0 +1,60 @@
+#include "sparse_util.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace workloads {
+
+CsrPattern
+makeRandomCsr(std::uint64_t rows, std::uint64_t cols,
+              unsigned nnz_per_row, Random &rng, double locality,
+              std::uint64_t bandwidth)
+{
+    stack3d_assert(rows > 0 && cols > 0, "degenerate CSR dimensions");
+    stack3d_assert(nnz_per_row > 0 && nnz_per_row <= cols,
+                   "nnz per row out of range");
+
+    CsrPattern csr;
+    csr.rows = rows;
+    csr.cols = cols;
+    csr.row_ptr.resize(rows + 1);
+    csr.col_idx.reserve(rows * nnz_per_row);
+
+    std::vector<std::uint32_t> row;
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        csr.row_ptr[r] = csr.col_idx.size();
+        row.clear();
+        while (row.size() < nnz_per_row) {
+            std::uint64_t c;
+            if (rng.chance(locality)) {
+                // Banded draw around the diagonal (clamped).
+                std::uint64_t center =
+                    cols == rows ? r : (r * cols) / rows;
+                std::uint64_t span = 2 * bandwidth + 1;
+                std::uint64_t off = rng.uniformInt(span);
+                std::int64_t c_signed =
+                    std::int64_t(center) + std::int64_t(off) -
+                    std::int64_t(bandwidth);
+                if (c_signed < 0)
+                    c_signed = 0;
+                if (c_signed >= std::int64_t(cols))
+                    c_signed = std::int64_t(cols) - 1;
+                c = std::uint64_t(c_signed);
+            } else {
+                c = rng.uniformInt(cols);
+            }
+            auto c32 = std::uint32_t(c);
+            if (std::find(row.begin(), row.end(), c32) == row.end())
+                row.push_back(c32);
+        }
+        std::sort(row.begin(), row.end());
+        csr.col_idx.insert(csr.col_idx.end(), row.begin(), row.end());
+    }
+    csr.row_ptr[rows] = csr.col_idx.size();
+    return csr;
+}
+
+} // namespace workloads
+} // namespace stack3d

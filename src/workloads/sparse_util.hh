@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sparse-matrix structure generation shared by the sparse RMS
+ * kernels. Structures are deterministic given a seed so traces are
+ * reproducible run to run.
+ */
+
+#ifndef STACK3D_WORKLOADS_SPARSE_UTIL_HH
+#define STACK3D_WORKLOADS_SPARSE_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace stack3d {
+namespace workloads {
+
+/** Compressed-sparse-row structure (pattern only, no values). */
+struct CsrPattern
+{
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    /** row_ptr[r]..row_ptr[r+1] index into col_idx. */
+    std::vector<std::uint64_t> row_ptr;
+    std::vector<std::uint32_t> col_idx;
+
+    std::uint64_t nnz() const { return col_idx.size(); }
+};
+
+/**
+ * Build a random CSR pattern with exactly @p nnz_per_row sorted,
+ * distinct column indices per row. Column draws mix local (banded)
+ * and global (uniform) positions with probability @p locality of a
+ * near-diagonal draw, matching the banded-plus-fill structure of
+ * assembled FEM/graph matrices.
+ */
+CsrPattern makeRandomCsr(std::uint64_t rows, std::uint64_t cols,
+                         unsigned nnz_per_row, Random &rng,
+                         double locality = 0.7,
+                         std::uint64_t bandwidth = 512);
+
+} // namespace workloads
+} // namespace stack3d
+
+#endif // STACK3D_WORKLOADS_SPARSE_UTIL_HH

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Unit tests for the common substrate: logging, statistics, RNG,
+ * units, tables, and the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+using namespace stack3d;
+
+// ---------------------------------------------------------------------
+// logging
+// ---------------------------------------------------------------------
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(stack3d_fatal("user error: ", 42), std::runtime_error);
+}
+
+TEST(Logging, WarnCounts)
+{
+    detail::setQuiet(true);
+    unsigned long before = detail::warnCount();
+    warn("something odd: ", 1);
+    warn("more oddities");
+    EXPECT_EQ(detail::warnCount(), before + 2);
+    detail::setQuiet(false);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(stack3d_panic("invariant broken"), "panic");
+}
+
+TEST(LoggingDeathTest, AssertAborts)
+{
+    EXPECT_DEATH(stack3d_assert(1 == 2, "math failed"), "assertion");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    stack3d_assert(true, "never shown");
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::StatGroup group("g");
+    stats::Scalar s(&group, "count", "a counter");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s = 7.0;
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageMean)
+{
+    stats::StatGroup group("g");
+    stats::Average avg(&group, "avg", "an average");
+    avg.sample(1.0);
+    avg.sample(2.0);
+    avg.sample(6.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 3.0);
+    EXPECT_EQ(avg.count(), 3u);
+    EXPECT_DOUBLE_EQ(avg.sum(), 9.0);
+}
+
+TEST(Stats, AverageEmptyIsZero)
+{
+    stats::StatGroup group("g");
+    stats::Average avg(&group, "avg", "empty");
+    EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+}
+
+TEST(Stats, DistributionBucketsAndMoments)
+{
+    stats::StatGroup group("g");
+    stats::Distribution d(&group, "d", "dist", 0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        d.sample(double(i) + 0.5);
+    d.sample(-1.0);   // underflow
+    d.sample(42.0);   // overflow
+
+    EXPECT_EQ(d.count(), 12u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    for (unsigned b = 0; b < 10; ++b)
+        EXPECT_EQ(d.bucketCount(b), 1u) << "bucket " << b;
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 42.0);
+    EXPECT_GT(d.stddev(), 0.0);
+}
+
+TEST(Stats, DistributionReset)
+{
+    stats::StatGroup group("g");
+    stats::Distribution d(&group, "d", "dist", 0.0, 1.0, 4);
+    d.sample(0.5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.bucketCount(2), 0u);
+}
+
+TEST(Stats, FormulaComputesAtReadTime)
+{
+    stats::StatGroup group("g");
+    stats::Scalar a(&group, "a", "");
+    stats::Scalar b(&group, "b", "");
+    stats::Formula ratio(&group, "ratio", "a/b", [&]() {
+        return b.value() != 0.0 ? a.value() / b.value() : 0.0;
+    });
+    a = 6.0;
+    b = 3.0;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.0);
+    b = 4.0;
+    EXPECT_DOUBLE_EQ(ratio.value(), 1.5);
+}
+
+TEST(Stats, GroupDumpContainsAll)
+{
+    stats::StatGroup root("sim");
+    stats::StatGroup child("cache", &root);
+    stats::Scalar hits(&child, "hits", "cache hits");
+    hits = 5;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sim.cache.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("cache hits"), std::string::npos);
+}
+
+TEST(Stats, GroupFindStat)
+{
+    stats::StatGroup group("g");
+    stats::Scalar s(&group, "present", "");
+    EXPECT_EQ(group.findStat("present"), &s);
+    EXPECT_EQ(group.findStat("absent"), nullptr);
+}
+
+TEST(Stats, GroupResetAllRecurses)
+{
+    stats::StatGroup root("r");
+    stats::StatGroup child("c", &root);
+    stats::Scalar s(&child, "s", "");
+    s = 9.0;
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// random
+// ---------------------------------------------------------------------
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+class RandomBoundTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomBoundTest, UniformIntStaysInBound)
+{
+    Random rng(7);
+    std::uint64_t bound = GetParam();
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.uniformInt(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RandomBoundTest,
+                         ::testing::Values(1, 2, 3, 10, 255, 1 << 20,
+                                           std::uint64_t(1) << 40));
+
+TEST(Random, UniformIntCoversSmallRange)
+{
+    Random rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(rng.uniformInt(4));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Random, UniformDoubleInUnitInterval)
+{
+    Random rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        double v = rng.uniformDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, UniformDoubleRange)
+{
+    Random rng(5);
+    for (int i = 0; i < 500; ++i) {
+        double v = rng.uniformDouble(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceApproximatesProbability)
+{
+    Random rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.02);
+}
+
+TEST(Random, RunLengthCapped)
+{
+    Random rng(17);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LE(rng.runLength(0.9, 5), 5u);
+}
+
+// ---------------------------------------------------------------------
+// units
+// ---------------------------------------------------------------------
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::fromMicrometres(750.0), 750e-6);
+    EXPECT_DOUBLE_EQ(units::fromMillimetres(13.5), 13.5e-3);
+    EXPECT_EQ(units::fromMiB(4), 4u << 20);
+    EXPECT_EQ(units::fromKiB(32), 32u << 10);
+}
+
+TEST(Units, BandwidthMath)
+{
+    // 16 GB over 1 second = 16 GB/s.
+    EXPECT_DOUBLE_EQ(units::toGBps(16e9, 1.0), 16.0);
+    EXPECT_DOUBLE_EQ(units::toGBps(1e9, 0.0), 0.0);
+}
+
+TEST(Units, PowerOfTwo)
+{
+    EXPECT_TRUE(units::isPowerOfTwo(1));
+    EXPECT_TRUE(units::isPowerOfTwo(4096));
+    EXPECT_FALSE(units::isPowerOfTwo(0));
+    EXPECT_FALSE(units::isPowerOfTwo(12288));
+}
+
+TEST(Units, FloorLog2)
+{
+    EXPECT_EQ(units::floorLog2(1), 0u);
+    EXPECT_EQ(units::floorLog2(64), 6u);
+    EXPECT_EQ(units::floorLog2(65), 6u);
+    EXPECT_EQ(units::floorLog2(std::uint64_t(1) << 40), 40u);
+}
+
+// ---------------------------------------------------------------------
+// table
+// ---------------------------------------------------------------------
+
+TEST(Table, PrintsAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.newRow().cell("a").cell(1.5, 1);
+    t.newRow().cell("long-name").cell((long long)42);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvFormat)
+{
+    TextTable t({"a", "b"});
+    t.newRow().cell("x").cell((long long)1);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(TableDeathTest, TooManyCellsPanics)
+{
+    TextTable t({"only"});
+    t.newRow().cell("one");
+    EXPECT_DEATH(t.cell("two"), "more cells");
+}
+
+// ---------------------------------------------------------------------
+// event queue
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesAreFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        q.schedule(q.now() + 5, [&] { ++fired; });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(15, [&] { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RunOneOnEmptyReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.runOne());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for floorplans: geometry, power maps, wire distances, the
+ * reference Core 2 Duo / Pentium 4 plans, and the stacking planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.hh"
+#include "floorplan/planner.hh"
+#include "floorplan/reference.hh"
+
+using namespace stack3d;
+using namespace stack3d::floorplan;
+
+// ---------------------------------------------------------------------
+// Floorplan basics
+// ---------------------------------------------------------------------
+
+namespace {
+
+Block
+makeBlock(const char *name, double x, double y, double w, double h,
+          double power, unsigned die = 0)
+{
+    Block b;
+    b.name = name;
+    b.x = x;
+    b.y = y;
+    b.width = w;
+    b.height = h;
+    b.power = power;
+    b.die = die;
+    return b;
+}
+
+} // anonymous namespace
+
+TEST(Floorplan, BlockGeometry)
+{
+    Block b = makeBlock("b", 1e-3, 2e-3, 2e-3, 1e-3, 4.0);
+    EXPECT_DOUBLE_EQ(b.area(), 2e-6);
+    EXPECT_DOUBLE_EQ(b.powerDensity(), 2e6);
+    EXPECT_DOUBLE_EQ(b.centerX(), 2e-3);
+    EXPECT_DOUBLE_EQ(b.centerY(), 2.5e-3);
+}
+
+TEST(Floorplan, RejectsOutOfBounds)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    EXPECT_THROW(
+        fp.addBlock(makeBlock("b", 9e-3, 0, 2e-3, 1e-3, 1.0)),
+        std::runtime_error);
+}
+
+TEST(Floorplan, RejectsDuplicateNames)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("b", 0, 0, 1e-3, 1e-3, 1.0));
+    EXPECT_THROW(
+        fp.addBlock(makeBlock("b", 5e-3, 5e-3, 1e-3, 1e-3, 1.0)),
+        std::runtime_error);
+}
+
+TEST(Floorplan, OverlapDetection)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("a", 0, 0, 2e-3, 2e-3, 1.0));
+    fp.addBlock(makeBlock("b", 1e-3, 1e-3, 2e-3, 2e-3, 1.0));
+    EXPECT_FALSE(fp.validateNoOverlap());
+
+    Floorplan ok("t2", 1e-2, 1e-2);
+    ok.addBlock(makeBlock("a", 0, 0, 2e-3, 2e-3, 1.0));
+    ok.addBlock(makeBlock("b", 2e-3, 0, 2e-3, 2e-3, 1.0));
+    EXPECT_TRUE(ok.validateNoOverlap());
+}
+
+TEST(Floorplan, CrossDieBlocksMayOverlap)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("a", 0, 0, 2e-3, 2e-3, 1.0, 0));
+    fp.addBlock(makeBlock("b", 0, 0, 2e-3, 2e-3, 1.0, 1));
+    EXPECT_TRUE(fp.validateNoOverlap());
+}
+
+TEST(Floorplan, PowerAccounting)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("a", 0, 0, 2e-3, 2e-3, 3.0, 0));
+    fp.addBlock(makeBlock("b", 4e-3, 0, 2e-3, 2e-3, 5.0, 1));
+    EXPECT_DOUBLE_EQ(fp.totalPower(), 8.0);
+    EXPECT_DOUBLE_EQ(fp.diePower(0), 3.0);
+    EXPECT_DOUBLE_EQ(fp.diePower(1), 5.0);
+    EXPECT_DOUBLE_EQ(fp.dieArea(0), 4e-6);
+}
+
+TEST(Floorplan, PowerMapConservesBlockPower)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("a", 1.3e-3, 2.7e-3, 2.4e-3, 3.1e-3, 7.5));
+    fp.addBlock(makeBlock("b", 6e-3, 6e-3, 3e-3, 3e-3, 2.5));
+    thermal::PowerMap map = fp.powerMap(17, 23, 0);
+    EXPECT_NEAR(map.totalWatts(), 10.0, 1e-9);
+}
+
+TEST(Floorplan, WireDistanceIsManhattanBetweenCenters)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("a", 0, 0, 2e-3, 2e-3, 1.0));
+    fp.addBlock(makeBlock("b", 4e-3, 4e-3, 2e-3, 2e-3, 1.0));
+    EXPECT_DOUBLE_EQ(fp.wireDistance("a", "b"), 8e-3);
+    EXPECT_DOUBLE_EQ(fp.wireDistance("b", "a"), 8e-3);
+}
+
+TEST(Floorplan, StackedDensitySumsAcrossDies)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("a", 0, 0, 2e-3, 2e-3, 4.0, 0));   // 1 W/mm2
+    fp.addBlock(makeBlock("b", 0, 0, 2e-3, 2e-3, 8.0, 1));   // 2 W/mm2
+    EXPECT_NEAR(fp.peakStackedDensity(100), 3e6, 0.1e6);
+}
+
+TEST(Floorplan, NetsRequireExistingBlocks)
+{
+    Floorplan fp("t", 1e-2, 1e-2);
+    fp.addBlock(makeBlock("a", 0, 0, 1e-3, 1e-3, 1.0));
+    EXPECT_THROW(fp.addNet({"a", "ghost", 1.0}), std::runtime_error);
+}
+
+TEST(WireModel, PipeStages)
+{
+    WireModel wire;
+    wire.reach_per_cycle = 2.5e-3;
+    EXPECT_EQ(wire.pipeStages(2.4e-3), 0u);
+    EXPECT_EQ(wire.pipeStages(2.6e-3), 1u);
+    EXPECT_EQ(wire.pipeStages(5.4e-3), 2u);
+}
+
+// ---------------------------------------------------------------------
+// reference floorplans
+// ---------------------------------------------------------------------
+
+TEST(Reference, Core2DuoMatchesPaperBudget)
+{
+    Floorplan fp = makeCore2Duo();
+    EXPECT_NEAR(fp.totalPower(), 92.0, 1e-9);
+    EXPECT_TRUE(fp.validateNoOverlap());
+    // The 4 MB L2 occupies ~50% of the die.
+    const Block &l2 = fp.block("l2");
+    EXPECT_NEAR(l2.area() / (fp.width() * fp.height()), 0.5, 0.02);
+    EXPECT_NEAR(l2.power, 7.0, 1e-9);
+    // Two mirrored cores.
+    EXPECT_NO_THROW(fp.block("core0.fp"));
+    EXPECT_NO_THROW(fp.block("core1.fp"));
+}
+
+TEST(Reference, Core2CoresAreMirrored)
+{
+    Floorplan fp = makeCore2Duo();
+    const Block &fp0 = fp.block("core0.fp");
+    const Block &fp1 = fp.block("core1.fp");
+    EXPECT_NEAR(fp0.centerX() + fp1.centerX(), fp.width(), 1e-9);
+    EXPECT_DOUBLE_EQ(fp0.y, fp1.y);
+    EXPECT_DOUBLE_EQ(fp0.power, fp1.power);
+}
+
+TEST(Reference, Base32DieVariants)
+{
+    Floorplan shrunk = makeCore2BaseDie32M();
+    EXPECT_LT(shrunk.height(), makeCore2Duo().height());
+    EXPECT_TRUE(shrunk.validateNoOverlap());
+    EXPECT_NO_THROW(shrunk.block("dram_tags"));
+
+    Floorplan full = makeCore2BaseDie32MKeepOutline();
+    EXPECT_DOUBLE_EQ(full.height(), makeCore2Duo().height());
+    // Both drop the 7 W SRAM and add 3.5 W of tags.
+    EXPECT_NEAR(full.totalPower(), 92.0 - 7.0 + 3.5, 1e-9);
+    EXPECT_NEAR(shrunk.totalPower(), full.totalPower(), 1e-9);
+}
+
+TEST(Reference, CacheDieAndStacking)
+{
+    Floorplan base = makeCore2Duo();
+    Floorplan cache = makeCacheDie(base, "sram8m", 14.0);
+    EXPECT_DOUBLE_EQ(cache.totalPower(), 14.0);
+    EXPECT_EQ(cache.blocks()[0].die, 1u);
+
+    Floorplan combined = stackFloorplans(base, cache, "both");
+    EXPECT_NEAR(combined.totalPower(), 106.0, 1e-9);
+    EXPECT_DOUBLE_EQ(combined.diePower(1), 14.0);
+}
+
+TEST(Reference, StackingMismatchedOutlinesIsFatal)
+{
+    Floorplan base = makeCore2Duo();
+    Floorplan other("small", 1e-3, 1e-3);
+    other.addBlock(makeBlock("x", 0, 0, 1e-3, 1e-3, 1.0));
+    EXPECT_THROW(stackFloorplans(base, other, "bad"),
+                 std::runtime_error);
+}
+
+TEST(Reference, Pentium4Budgets)
+{
+    Floorplan p2d = makePentium4Planar();
+    EXPECT_NEAR(p2d.totalPower(), 147.0, 1e-9);
+    EXPECT_TRUE(p2d.validateNoOverlap());
+    EXPECT_GE(p2d.nets().size(), 10u);
+
+    Floorplan p3d = makePentium43D(0.85);
+    EXPECT_NEAR(p3d.totalPower(), 147.0 * 0.85, 1e-6);
+    EXPECT_TRUE(p3d.validateNoOverlap());
+    // Half the footprint (within packing slack).
+    double area2d = p2d.width() * p2d.height();
+    double area3d = p3d.width() * p3d.height();
+    EXPECT_NEAR(area3d / area2d, 0.5, 0.05);
+}
+
+TEST(Reference, Pentium43DShortensCriticalWires)
+{
+    Floorplan p2d = makePentium4Planar();
+    Floorplan p3d = makePentium43D();
+    // Load-to-use: D$ folds over the functional units.
+    EXPECT_LT(p3d.wireDistance("dcache", "falu"),
+              0.5 * p2d.wireDistance("dcache", "falu"));
+    // FP register read: SIMD no longer separates RF and FP.
+    EXPECT_LT(p3d.wireDistance("rf", "fp"),
+              0.5 * p2d.wireDistance("rf", "fp"));
+}
+
+TEST(Reference, Pentium4DensityRatios)
+{
+    Floorplan p2d = makePentium4Planar();
+    double planar = p2d.peakBlockDensity(0);
+
+    double repaired =
+        makePentium43D(0.85).peakStackedDensity() / planar;
+    EXPECT_GT(repaired, 1.1);
+    EXPECT_LT(repaired, 1.55);   // paper: ~1.3x
+
+    double worst =
+        makePentium43DWorstCase().peakStackedDensity() / planar;
+    EXPECT_GT(worst, 1.8);       // paper: ~2x
+    EXPECT_LT(worst, 2.3);
+}
+
+// ---------------------------------------------------------------------
+// planner
+// ---------------------------------------------------------------------
+
+TEST(Planner, ProducesLegalTwoDiePlan)
+{
+    Floorplan p2d = makePentium4Planar();
+    PlannerParams params;
+    params.iterations = 1500;
+    PlannerResult result = planStacking(p2d, params);
+
+    // Oversize blocks (the full-width L2 strip, the tall misc
+    // column) may be split during the fold.
+    EXPECT_GE(result.plan.blocks().size(), p2d.blocks().size());
+    EXPECT_TRUE(result.plan.validateNoOverlap());
+    EXPECT_NEAR(result.plan.totalPower(), p2d.totalPower(), 1e-6);
+    // Both dies used.
+    EXPECT_GT(result.plan.dieArea(0), 0.0);
+    EXPECT_GT(result.plan.dieArea(1), 0.0);
+    // Roughly half footprint.
+    double ratio = (result.plan.width() * result.plan.height()) /
+                   (p2d.width() * p2d.height());
+    EXPECT_NEAR(ratio, 0.56, 0.12);
+}
+
+TEST(Planner, ShortensWirelength)
+{
+    Floorplan p2d = makePentium4Planar();
+    PlannerParams params;
+    params.iterations = 3000;
+    PlannerResult result = planStacking(p2d, params);
+    EXPECT_LT(result.wirelength, result.planar_wirelength);
+}
+
+TEST(Planner, DensityRepairBoundsPeak)
+{
+    Floorplan p2d = makePentium4Planar();
+    PlannerParams repair;
+    repair.iterations = 3000;
+    repair.beta_density = 10.0;
+    PlannerResult repaired = planStacking(p2d, repair);
+    // The repaired plan respects (approximately) the density cap.
+    EXPECT_LT(repaired.peak_density_ratio,
+              repair.density_cap_ratio + 0.35);
+}
+
+TEST(Planner, DeterministicPerSeed)
+{
+    Floorplan p2d = makePentium4Planar();
+    PlannerParams params;
+    params.iterations = 500;
+    PlannerResult a = planStacking(p2d, params);
+    PlannerResult b = planStacking(p2d, params);
+    EXPECT_DOUBLE_EQ(a.wirelength, b.wirelength);
+    EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+}
+
+TEST(Planner, TooFewBlocksIsFatal)
+{
+    Floorplan tiny("tiny", 1e-2, 1e-2);
+    tiny.addBlock(makeBlock("only", 0, 0, 1e-3, 1e-3, 1.0));
+    EXPECT_THROW(planStacking(tiny), std::runtime_error);
+}

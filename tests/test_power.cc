@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the power models: the 3D roll-up, the Table 5 V/f
+ * scaling laws, and the Figure 7 cache power budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/scaling.hh"
+
+using namespace stack3d;
+using namespace stack3d::power;
+
+TEST(Breakdown, RollUpNearFifteenPercent)
+{
+    LogicPowerBreakdown b;
+    double saving = 1.0 - b.stackedRelativePower();
+    EXPECT_NEAR(saving, 0.15, 0.025);
+}
+
+TEST(Breakdown, CategoriesCompose)
+{
+    LogicPowerBreakdown b;
+    b.repeater_fraction = 0.2;
+    b.repeater_reduction = 0.5;
+    b.repeating_latch_fraction = 0.0;
+    b.clock_fraction = 0.0;
+    b.pipeline_latch_fraction = 0.0;
+    EXPECT_DOUBLE_EQ(b.stackedRelativePower(), 0.9);
+}
+
+TEST(VfModel, PaperConversionLaws)
+{
+    VfScalingModel m;
+    // 0.82% performance per 1% frequency.
+    EXPECT_NEAR(m.relativePerf(1.18), 1.0 + 0.82 * 0.18, 1e-12);
+    // 1% frequency per 1% Vcc.
+    EXPECT_DOUBLE_EQ(m.relativeFreq(0.92), 0.92);
+    // P ~ V^2 f.
+    EXPECT_NEAR(m.relativePower(0.92, 0.92), 0.92 * 0.92 * 0.92,
+                1e-12);
+}
+
+TEST(Table5, RowsMatchThePaperStructure)
+{
+    // Use the paper's nominal design point: +15% perf, -15% power.
+    auto rows = computeTable5Points(147.0, 0.15, 0.15);
+    ASSERT_EQ(rows.size(), 5u);
+
+    EXPECT_STREQ(rows[0].label, "Baseline");
+    EXPECT_DOUBLE_EQ(rows[0].power_w, 147.0);
+    EXPECT_DOUBLE_EQ(rows[0].perf_rel, 1.0);
+
+    // Same Pwr: frequency spends the savings; paper: f 1.18, 129%.
+    EXPECT_STREQ(rows[1].label, "Same Pwr");
+    EXPECT_NEAR(rows[1].power_w, 147.0, 1e-9);
+    EXPECT_NEAR(rows[1].freq, 1.18, 0.01);
+    EXPECT_NEAR(rows[1].perf_rel, 1.30, 0.03);
+
+    // Same Freq: the plain 3D point; paper: 125 W, 115%.
+    EXPECT_STREQ(rows[2].label, "Same Freq.");
+    EXPECT_NEAR(rows[2].power_w, 125.0, 0.2);
+    EXPECT_NEAR(rows[2].perf_rel, 1.15, 1e-9);
+
+    // Same Temp: Vcc 0.92; paper: 97.28 W, 108%.
+    EXPECT_STREQ(rows[3].label, "Same Temp");
+    EXPECT_NEAR(rows[3].vcc, 0.92, 1e-9);
+    EXPECT_NEAR(rows[3].power_w, 97.28, 0.35);
+    EXPECT_NEAR(rows[3].perf_rel, 1.08, 0.01);
+
+    // Same Perf: performance back to 100%.
+    EXPECT_STREQ(rows[4].label, "Same Perf.");
+    EXPECT_NEAR(rows[4].perf_rel, 1.0, 1e-9);
+    EXPECT_LT(rows[4].power_w, 80.0);   // paper: 68.2 W
+    EXPECT_NEAR(rows[4].vcc, rows[4].freq, 1e-12);
+}
+
+TEST(Table5, PowerRelConsistent)
+{
+    auto rows = computeTable5Points(147.0, 0.15, 0.15);
+    for (const auto &row : rows)
+        EXPECT_NEAR(row.power_rel, row.power_w / 147.0, 1e-9);
+}
+
+TEST(CachePower, Figure7Budgets)
+{
+    EXPECT_DOUBLE_EQ(cachePowerWatts(mem::StackOption::Baseline4MB),
+                     7.0);
+    // 12 MB: 7 W on-die + 14 W stacked = 21 W total cache power.
+    EXPECT_DOUBLE_EQ(cachePowerWatts(mem::StackOption::Sram12MB),
+                     21.0);
+    EXPECT_DOUBLE_EQ(cachePowerWatts(mem::StackOption::Dram32MB), 3.1);
+    EXPECT_DOUBLE_EQ(cachePowerWatts(mem::StackOption::Dram64MB),
+                     13.2);
+}
+
+TEST(BusPower, TwentyMilliwattsPerGbit)
+{
+    // 16 GB/s = 128 Gb/s -> 2.56 W.
+    EXPECT_NEAR(busPowerWatts(16.0), 2.56, 1e-9);
+    EXPECT_DOUBLE_EQ(busPowerWatts(0.0), 0.0);
+}
+
+TEST(Table5, BadBaselineIsFatal)
+{
+    EXPECT_DEATH(computeTable5Points(0.0, 0.15, 0.15), "");
+}

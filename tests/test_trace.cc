@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: records, buffers, the
+ * dependency-tracking writer, the SMP merger, and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/buffer.hh"
+#include "trace/file.hh"
+#include "trace/record.hh"
+#include "trace/writer.hh"
+
+using namespace stack3d;
+using namespace stack3d::trace;
+
+// ---------------------------------------------------------------------
+// records and buffers
+// ---------------------------------------------------------------------
+
+TEST(Record, Defaults)
+{
+    TraceRecord rec;
+    EXPECT_FALSE(rec.hasDep());
+    EXPECT_EQ(rec.op, MemOp::Load);
+    EXPECT_EQ(rec.size, 8);
+}
+
+TEST(Record, OpNames)
+{
+    EXPECT_STREQ(memOpName(MemOp::Load), "load");
+    EXPECT_STREQ(memOpName(MemOp::Store), "store");
+    EXPECT_STREQ(memOpName(MemOp::Ifetch), "ifetch");
+}
+
+TEST(Buffer, ValidateAcceptsWellFormed)
+{
+    std::vector<TraceRecord> recs(3);
+    recs[1].dep = 0;
+    recs[2].dep = 1;
+    TraceBuffer buf(std::move(recs));
+    EXPECT_TRUE(buf.validate());
+}
+
+TEST(Buffer, ValidateRejectsForwardDep)
+{
+    std::vector<TraceRecord> recs(2);
+    recs[0].dep = 1;   // depends on a later record
+    TraceBuffer buf(std::move(recs));
+    EXPECT_FALSE(buf.validate());
+}
+
+TEST(Buffer, ValidateRejectsSelfDep)
+{
+    std::vector<TraceRecord> recs(1);
+    recs[0].dep = 0;
+    TraceBuffer buf(std::move(recs));
+    EXPECT_FALSE(buf.validate());
+}
+
+TEST(Buffer, ValidateRejectsBadSize)
+{
+    std::vector<TraceRecord> recs(1);
+    recs[0].size = 0;
+    EXPECT_FALSE(TraceBuffer(std::move(recs)).validate());
+
+    std::vector<TraceRecord> recs2(1);
+    recs2[0].size = 65;
+    EXPECT_FALSE(TraceBuffer(std::move(recs2)).validate());
+}
+
+TEST(Buffer, StatsCountsOpsAndFootprint)
+{
+    std::vector<TraceRecord> recs;
+    TraceRecord r;
+    r.addr = 0x1000;
+    r.op = MemOp::Load;
+    recs.push_back(r);
+    r.addr = 0x1008;   // same 64 B line
+    r.op = MemOp::Store;
+    recs.push_back(r);
+    r.addr = 0x2000;   // new line
+    r.op = MemOp::Ifetch;
+    r.cpu = 1;
+    recs.push_back(r);
+
+    TraceStats st = TraceBuffer(std::move(recs)).computeStats();
+    EXPECT_EQ(st.num_records, 3u);
+    EXPECT_EQ(st.num_loads, 1u);
+    EXPECT_EQ(st.num_stores, 1u);
+    EXPECT_EQ(st.num_ifetches, 1u);
+    EXPECT_EQ(st.footprint_lines, 2u);
+    EXPECT_EQ(st.footprint_bytes, 128u);
+    EXPECT_EQ(st.records_cpu0, 2u);
+    EXPECT_EQ(st.records_cpu1, 1u);
+}
+
+TEST(Buffer, StatsDependencyChain)
+{
+    std::vector<TraceRecord> recs(4);
+    recs[1].dep = 0;
+    recs[2].dep = 1;
+    recs[3].dep = 2;
+    TraceStats st = TraceBuffer(std::move(recs)).computeStats();
+    EXPECT_EQ(st.num_with_dep, 3u);
+    EXPECT_EQ(st.max_dep_chain, 4u);
+}
+
+// ---------------------------------------------------------------------
+// writer
+// ---------------------------------------------------------------------
+
+TEST(Writer, RecordsCarryCpuAndIp)
+{
+    ThreadTracer tracer(1);
+    tracer.load(0x100, 0x400000);
+    auto recs = tracer.take();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].cpu, 1);
+    EXPECT_EQ(recs[0].ip, 0x400000u);
+    EXPECT_EQ(recs[0].addr, 0x100u);
+}
+
+TEST(Writer, ExplicitDependencyWins)
+{
+    ThreadTracer tracer(0);
+    RecordId idx = tracer.load(0x100, 0x1);
+    tracer.store(0x200, 0x2);   // would set last-writer of 0x200
+    RecordId gather = tracer.load(0x200, 0x3, idx);
+    auto recs = tracer.take();
+    // The gather's dep is the explicit index load, not the store.
+    EXPECT_EQ(recs[gather].dep, idx);
+}
+
+TEST(Writer, RawThroughMemoryTracked)
+{
+    ThreadTracer tracer(0);
+    RecordId st = tracer.store(0x1000, 0x1);
+    RecordId ld = tracer.load(0x1008, 0x2);   // same 64 B line
+    auto recs = tracer.take();
+    EXPECT_EQ(recs[ld].dep, st);
+}
+
+TEST(Writer, NoRawAcrossDifferentLines)
+{
+    ThreadTracer tracer(0);
+    tracer.store(0x1000, 0x1);
+    RecordId ld = tracer.load(0x2000, 0x2);
+    auto recs = tracer.take();
+    EXPECT_FALSE(recs[ld].hasDep());
+}
+
+TEST(Writer, RawTrackingCanBeDisabled)
+{
+    ThreadTracer tracer(0, /*track_raw=*/false);
+    tracer.store(0x1000, 0x1);
+    RecordId ld = tracer.load(0x1000, 0x2);
+    auto recs = tracer.take();
+    EXPECT_FALSE(recs[ld].hasDep());
+}
+
+TEST(Writer, TakeResetsState)
+{
+    ThreadTracer tracer(0);
+    tracer.store(0x1000, 0x1);
+    (void)tracer.take();
+    EXPECT_EQ(tracer.size(), 0u);
+    // The last-writer map is cleared too: no stale RAW dep.
+    RecordId ld = tracer.load(0x1000, 0x2);
+    auto recs = tracer.take();
+    EXPECT_FALSE(recs[ld].hasDep());
+}
+
+// ---------------------------------------------------------------------
+// merger
+// ---------------------------------------------------------------------
+
+TEST(Merger, InterleavesInChunks)
+{
+    ThreadTracer t0(0), t1(1);
+    for (int i = 0; i < 4; ++i)
+        t0.load(0x1000 + i * 64, 0x1);
+    for (int i = 0; i < 4; ++i)
+        t1.load(0x2000 + i * 64, 0x2);
+
+    std::vector<std::vector<TraceRecord>> threads;
+    threads.push_back(t0.take());
+    threads.push_back(t1.take());
+    TraceBuffer merged = TraceMerger(2).merge(std::move(threads));
+
+    ASSERT_EQ(merged.size(), 8u);
+    // Chunk pattern: 0 0 1 1 0 0 1 1.
+    const std::uint8_t expect[] = {0, 0, 1, 1, 0, 0, 1, 1};
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(merged[i].cpu, expect[i]) << "at " << i;
+}
+
+TEST(Merger, RemapsDependencies)
+{
+    ThreadTracer t0(0), t1(1);
+    t0.load(0x1000, 0x1);
+    RecordId st1 = t1.store(0x2000, 0x2);
+    RecordId ld1 = t1.load(0x2000, 0x3);
+    (void)st1;
+    (void)ld1;
+    t0.load(0x1040, 0x4);
+
+    std::vector<std::vector<TraceRecord>> threads;
+    threads.push_back(t0.take());
+    threads.push_back(t1.take());
+    TraceBuffer merged = TraceMerger(1).merge(std::move(threads));
+
+    ASSERT_TRUE(merged.validate());
+    // Find the thread-1 load; its dep must point at the thread-1
+    // store in merged coordinates.
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        if (merged[i].cpu == 1 && merged[i].op == MemOp::Load) {
+            ASSERT_TRUE(merged[i].hasDep());
+            EXPECT_EQ(merged[merged[i].dep].op, MemOp::Store);
+            EXPECT_EQ(merged[merged[i].dep].cpu, 1);
+        }
+    }
+}
+
+TEST(Merger, HandlesUnevenThreads)
+{
+    ThreadTracer t0(0), t1(1);
+    for (int i = 0; i < 10; ++i)
+        t0.load(0x1000 + i * 64, 0x1);
+    t1.load(0x2000, 0x2);
+
+    std::vector<std::vector<TraceRecord>> threads;
+    threads.push_back(t0.take());
+    threads.push_back(t1.take());
+    TraceBuffer merged = TraceMerger(4).merge(std::move(threads));
+    EXPECT_EQ(merged.size(), 11u);
+    EXPECT_TRUE(merged.validate());
+}
+
+class MergerChunkTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MergerChunkTest, PreservesAllRecordsAndValidity)
+{
+    ThreadTracer t0(0), t1(1);
+    RecordId prev = kNone;
+    for (int i = 0; i < 37; ++i)
+        prev = t0.load(0x1000 + i * 8, 0x1, prev);
+    for (int i = 0; i < 53; ++i) {
+        t1.store(0x8000 + i * 8, 0x2);
+        t1.load(0x8000 + i * 8, 0x3);
+    }
+    std::vector<std::vector<TraceRecord>> threads;
+    threads.push_back(t0.take());
+    threads.push_back(t1.take());
+    TraceBuffer merged = TraceMerger(GetParam()).merge(
+        std::move(threads));
+    EXPECT_EQ(merged.size(), 37u + 106u);
+    EXPECT_TRUE(merged.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, MergerChunkTest,
+                         ::testing::Values(1, 2, 7, 64, 1000));
+
+// ---------------------------------------------------------------------
+// file I/O
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // anonymous namespace
+
+TEST(TraceFile, RoundTrip)
+{
+    ThreadTracer tracer(0);
+    RecordId prev = kNone;
+    for (int i = 0; i < 1000; ++i)
+        prev = tracer.load(0x1000 + i * 16, 0x400000 + i, prev, 16);
+    TraceBuffer original(tracer.take());
+
+    std::string path = tempPath("stack3d_trace_test.bin");
+    writeTraceFile(path, original);
+    TraceBuffer loaded = readTraceFile(path);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i)
+        EXPECT_TRUE(loaded[i] == original[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/path/trace.bin"),
+                 std::runtime_error);
+}
+
+TEST(TraceFile, BadMagicIsFatal)
+{
+    std::string path = tempPath("stack3d_bad_magic.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOT A TRACE FILE AT ALL........................";
+    }
+    EXPECT_THROW(readTraceFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedIsFatal)
+{
+    ThreadTracer tracer(0);
+    for (int i = 0; i < 100; ++i)
+        tracer.load(0x1000 + i * 64, 0x1);
+    TraceBuffer buf(tracer.take());
+    std::string path = tempPath("stack3d_truncated.bin");
+    writeTraceFile(path, buf);
+    std::filesystem::resize_file(path, 100);
+    EXPECT_THROW(readTraceFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}

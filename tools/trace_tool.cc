@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Command-line utility for stack3d trace files:
+ *
+ *   trace_tool gen <kernel> <out.trace> [records_per_thread]
+ *       Generate a benchmark's dependency-annotated trace to disk.
+ *
+ *   trace_tool info <file.trace>
+ *       Print the trace's statistics (mix, footprint, dep chains).
+ *
+ *   trace_tool run <file.trace> <4|12|32|64>
+ *       Simulate the trace against one Figure 7 cache organization
+ *       and print CPMA / bandwidth plus the full hierarchy stats.
+ *
+ * Traces written by `gen` are reusable across runs and across the
+ * four organizations, exactly like the paper's trace methodology.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "mem/engine.hh"
+#include "trace/file.hh"
+#include "workloads/registry.hh"
+
+using namespace stack3d;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  trace_tool gen <kernel> <out.trace> [records]\n"
+                 "  trace_tool info <file.trace>\n"
+                 "  trace_tool run <file.trace> <4|12|32|64>\n");
+    return 2;
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    workloads::WorkloadConfig cfg;
+    if (argc > 4)
+        cfg.records_per_thread = std::stoull(argv[4]);
+    auto kernel = workloads::makeRmsKernel(argv[2]);
+    trace::TraceBuffer buf = kernel->generate(cfg);
+    trace::writeTraceFile(argv[3], buf);
+    std::printf("wrote %zu records to %s (%s)\n", buf.size(), argv[3],
+                kernel->description());
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::TraceBuffer buf = trace::readTraceFile(argv[2]);
+    trace::TraceStats st = buf.computeStats();
+    std::printf("records:      %llu\n",
+                (unsigned long long)st.num_records);
+    std::printf("loads:        %llu (%.1f%%)\n",
+                (unsigned long long)st.num_loads,
+                100.0 * double(st.num_loads) / double(st.num_records));
+    std::printf("stores:       %llu (%.1f%%)\n",
+                (unsigned long long)st.num_stores,
+                100.0 * double(st.num_stores) / double(st.num_records));
+    std::printf("with dep:     %llu (%.1f%%)\n",
+                (unsigned long long)st.num_with_dep,
+                100.0 * double(st.num_with_dep) /
+                    double(st.num_records));
+    std::printf("max chain:    %llu\n",
+                (unsigned long long)st.max_dep_chain);
+    std::printf("footprint:    %.2f MB (%llu lines)\n",
+                double(st.footprint_bytes) / (1 << 20),
+                (unsigned long long)st.footprint_lines);
+    std::printf("cpu split:    %llu / %llu\n",
+                (unsigned long long)st.records_cpu0,
+                (unsigned long long)st.records_cpu1);
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    trace::TraceBuffer buf = trace::readTraceFile(argv[2]);
+
+    mem::StackOption opt;
+    switch (std::stoi(argv[3])) {
+      case 4:
+        opt = mem::StackOption::Baseline4MB;
+        break;
+      case 12:
+        opt = mem::StackOption::Sram12MB;
+        break;
+      case 32:
+        opt = mem::StackOption::Dram32MB;
+        break;
+      case 64:
+        opt = mem::StackOption::Dram64MB;
+        break;
+      default:
+        return usage();
+    }
+
+    mem::MemoryHierarchy hier(mem::makeHierarchyParams(opt));
+    mem::TraceEngine engine;
+    mem::EngineResult res = engine.run(buf, hier);
+    std::printf("%s: CPMA %.3f, off-die %.2f GB/s, bus %.2f W, "
+                "%llu cycles\n",
+                mem::stackOptionName(opt), res.cpma, res.offdie_gbps,
+                res.bus_power_w, (unsigned long long)res.total_cycles);
+    std::printf("\n");
+    hier.dumpStats(std::cout);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    try {
+        if (std::strcmp(argv[1], "gen") == 0)
+            return cmdGen(argc, argv);
+        if (std::strcmp(argv[1], "info") == 0)
+            return cmdInfo(argc, argv);
+        if (std::strcmp(argv[1], "run") == 0)
+            return cmdRun(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
