@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multidie.dir/ext_multidie.cc.o"
+  "CMakeFiles/ext_multidie.dir/ext_multidie.cc.o.d"
+  "ext_multidie"
+  "ext_multidie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multidie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

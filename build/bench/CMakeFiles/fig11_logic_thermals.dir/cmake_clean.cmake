@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_logic_thermals.dir/fig11_logic_thermals.cc.o"
+  "CMakeFiles/fig11_logic_thermals.dir/fig11_logic_thermals.cc.o.d"
+  "fig11_logic_thermals"
+  "fig11_logic_thermals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_logic_thermals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

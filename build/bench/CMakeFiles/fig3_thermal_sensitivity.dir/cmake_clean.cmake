@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_thermal_sensitivity.dir/fig3_thermal_sensitivity.cc.o"
+  "CMakeFiles/fig3_thermal_sensitivity.dir/fig3_thermal_sensitivity.cc.o.d"
+  "fig3_thermal_sensitivity"
+  "fig3_thermal_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_thermal_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_baseline_thermal.dir/fig6_baseline_thermal.cc.o"
+  "CMakeFiles/fig6_baseline_thermal.dir/fig6_baseline_thermal.cc.o.d"
+  "fig6_baseline_thermal"
+  "fig6_baseline_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_baseline_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

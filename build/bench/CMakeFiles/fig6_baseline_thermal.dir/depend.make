@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_baseline_thermal.
+# This may be replaced when dependencies are built.

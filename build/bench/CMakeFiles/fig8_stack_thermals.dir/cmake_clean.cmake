@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_stack_thermals.dir/fig8_stack_thermals.cc.o"
+  "CMakeFiles/fig8_stack_thermals.dir/fig8_stack_thermals.cc.o.d"
+  "fig8_stack_thermals"
+  "fig8_stack_thermals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_stack_thermals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

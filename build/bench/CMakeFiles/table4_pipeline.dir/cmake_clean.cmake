@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pipeline.dir/table4_pipeline.cc.o"
+  "CMakeFiles/table4_pipeline.dir/table4_pipeline.cc.o.d"
+  "table4_pipeline"
+  "table4_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

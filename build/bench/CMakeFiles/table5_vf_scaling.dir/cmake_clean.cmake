@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_vf_scaling.dir/table5_vf_scaling.cc.o"
+  "CMakeFiles/table5_vf_scaling.dir/table5_vf_scaling.cc.o.d"
+  "table5_vf_scaling"
+  "table5_vf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_vf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_stacking.dir/logic_stacking.cpp.o"
+  "CMakeFiles/logic_stacking.dir/logic_stacking.cpp.o.d"
+  "logic_stacking"
+  "logic_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_stacking.dir/memory_stacking.cpp.o"
+  "CMakeFiles/memory_stacking.dir/memory_stacking.cpp.o.d"
+  "memory_stacking"
+  "memory_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

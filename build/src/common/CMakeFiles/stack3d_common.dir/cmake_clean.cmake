@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_common.dir/logging.cc.o"
+  "CMakeFiles/stack3d_common.dir/logging.cc.o.d"
+  "CMakeFiles/stack3d_common.dir/stats.cc.o"
+  "CMakeFiles/stack3d_common.dir/stats.cc.o.d"
+  "CMakeFiles/stack3d_common.dir/table.cc.o"
+  "CMakeFiles/stack3d_common.dir/table.cc.o.d"
+  "libstack3d_common.a"
+  "libstack3d_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/logic_study.cc" "src/core/CMakeFiles/stack3d_core.dir/logic_study.cc.o" "gcc" "src/core/CMakeFiles/stack3d_core.dir/logic_study.cc.o.d"
+  "/root/repo/src/core/memory_study.cc" "src/core/CMakeFiles/stack3d_core.dir/memory_study.cc.o" "gcc" "src/core/CMakeFiles/stack3d_core.dir/memory_study.cc.o.d"
+  "/root/repo/src/core/thermal_study.cc" "src/core/CMakeFiles/stack3d_core.dir/thermal_study.cc.o" "gcc" "src/core/CMakeFiles/stack3d_core.dir/thermal_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/stack3d_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/stack3d_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/stack3d_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/stack3d_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/stack3d_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/stack3d_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stack3d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stack3d_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

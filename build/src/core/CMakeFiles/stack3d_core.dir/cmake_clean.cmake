@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_core.dir/logic_study.cc.o"
+  "CMakeFiles/stack3d_core.dir/logic_study.cc.o.d"
+  "CMakeFiles/stack3d_core.dir/memory_study.cc.o"
+  "CMakeFiles/stack3d_core.dir/memory_study.cc.o.d"
+  "CMakeFiles/stack3d_core.dir/thermal_study.cc.o"
+  "CMakeFiles/stack3d_core.dir/thermal_study.cc.o.d"
+  "libstack3d_core.a"
+  "libstack3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

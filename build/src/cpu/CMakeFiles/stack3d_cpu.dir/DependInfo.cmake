@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/config.cc" "src/cpu/CMakeFiles/stack3d_cpu.dir/config.cc.o" "gcc" "src/cpu/CMakeFiles/stack3d_cpu.dir/config.cc.o.d"
+  "/root/repo/src/cpu/pipeline.cc" "src/cpu/CMakeFiles/stack3d_cpu.dir/pipeline.cc.o" "gcc" "src/cpu/CMakeFiles/stack3d_cpu.dir/pipeline.cc.o.d"
+  "/root/repo/src/cpu/suite.cc" "src/cpu/CMakeFiles/stack3d_cpu.dir/suite.cc.o" "gcc" "src/cpu/CMakeFiles/stack3d_cpu.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/stack3d_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stack3d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stack3d_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_cpu.dir/config.cc.o"
+  "CMakeFiles/stack3d_cpu.dir/config.cc.o.d"
+  "CMakeFiles/stack3d_cpu.dir/pipeline.cc.o"
+  "CMakeFiles/stack3d_cpu.dir/pipeline.cc.o.d"
+  "CMakeFiles/stack3d_cpu.dir/suite.cc.o"
+  "CMakeFiles/stack3d_cpu.dir/suite.cc.o.d"
+  "libstack3d_cpu.a"
+  "libstack3d_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

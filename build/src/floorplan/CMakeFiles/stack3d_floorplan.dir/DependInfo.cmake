@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/floorplan.cc" "src/floorplan/CMakeFiles/stack3d_floorplan.dir/floorplan.cc.o" "gcc" "src/floorplan/CMakeFiles/stack3d_floorplan.dir/floorplan.cc.o.d"
+  "/root/repo/src/floorplan/planner.cc" "src/floorplan/CMakeFiles/stack3d_floorplan.dir/planner.cc.o" "gcc" "src/floorplan/CMakeFiles/stack3d_floorplan.dir/planner.cc.o.d"
+  "/root/repo/src/floorplan/reference.cc" "src/floorplan/CMakeFiles/stack3d_floorplan.dir/reference.cc.o" "gcc" "src/floorplan/CMakeFiles/stack3d_floorplan.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/stack3d_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stack3d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_floorplan.dir/floorplan.cc.o"
+  "CMakeFiles/stack3d_floorplan.dir/floorplan.cc.o.d"
+  "CMakeFiles/stack3d_floorplan.dir/planner.cc.o"
+  "CMakeFiles/stack3d_floorplan.dir/planner.cc.o.d"
+  "CMakeFiles/stack3d_floorplan.dir/reference.cc.o"
+  "CMakeFiles/stack3d_floorplan.dir/reference.cc.o.d"
+  "libstack3d_floorplan.a"
+  "libstack3d_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_mem.dir/cache.cc.o"
+  "CMakeFiles/stack3d_mem.dir/cache.cc.o.d"
+  "CMakeFiles/stack3d_mem.dir/dram.cc.o"
+  "CMakeFiles/stack3d_mem.dir/dram.cc.o.d"
+  "CMakeFiles/stack3d_mem.dir/engine.cc.o"
+  "CMakeFiles/stack3d_mem.dir/engine.cc.o.d"
+  "CMakeFiles/stack3d_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/stack3d_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/stack3d_mem.dir/params.cc.o"
+  "CMakeFiles/stack3d_mem.dir/params.cc.o.d"
+  "libstack3d_mem.a"
+  "libstack3d_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

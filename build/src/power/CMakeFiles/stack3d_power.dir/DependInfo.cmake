@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/scaling.cc" "src/power/CMakeFiles/stack3d_power.dir/scaling.cc.o" "gcc" "src/power/CMakeFiles/stack3d_power.dir/scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/stack3d_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stack3d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stack3d_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_power.dir/scaling.cc.o"
+  "CMakeFiles/stack3d_power.dir/scaling.cc.o.d"
+  "libstack3d_power.a"
+  "libstack3d_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

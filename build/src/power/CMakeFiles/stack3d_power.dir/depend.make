@@ -1,0 +1,2 @@
+# Empty dependencies file for stack3d_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/mesh.cc" "src/thermal/CMakeFiles/stack3d_thermal.dir/mesh.cc.o" "gcc" "src/thermal/CMakeFiles/stack3d_thermal.dir/mesh.cc.o.d"
+  "/root/repo/src/thermal/power_map.cc" "src/thermal/CMakeFiles/stack3d_thermal.dir/power_map.cc.o" "gcc" "src/thermal/CMakeFiles/stack3d_thermal.dir/power_map.cc.o.d"
+  "/root/repo/src/thermal/render.cc" "src/thermal/CMakeFiles/stack3d_thermal.dir/render.cc.o" "gcc" "src/thermal/CMakeFiles/stack3d_thermal.dir/render.cc.o.d"
+  "/root/repo/src/thermal/solver.cc" "src/thermal/CMakeFiles/stack3d_thermal.dir/solver.cc.o" "gcc" "src/thermal/CMakeFiles/stack3d_thermal.dir/solver.cc.o.d"
+  "/root/repo/src/thermal/stacks.cc" "src/thermal/CMakeFiles/stack3d_thermal.dir/stacks.cc.o" "gcc" "src/thermal/CMakeFiles/stack3d_thermal.dir/stacks.cc.o.d"
+  "/root/repo/src/thermal/transient.cc" "src/thermal/CMakeFiles/stack3d_thermal.dir/transient.cc.o" "gcc" "src/thermal/CMakeFiles/stack3d_thermal.dir/transient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stack3d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

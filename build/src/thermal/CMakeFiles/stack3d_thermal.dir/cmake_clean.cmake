@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_thermal.dir/mesh.cc.o"
+  "CMakeFiles/stack3d_thermal.dir/mesh.cc.o.d"
+  "CMakeFiles/stack3d_thermal.dir/power_map.cc.o"
+  "CMakeFiles/stack3d_thermal.dir/power_map.cc.o.d"
+  "CMakeFiles/stack3d_thermal.dir/render.cc.o"
+  "CMakeFiles/stack3d_thermal.dir/render.cc.o.d"
+  "CMakeFiles/stack3d_thermal.dir/solver.cc.o"
+  "CMakeFiles/stack3d_thermal.dir/solver.cc.o.d"
+  "CMakeFiles/stack3d_thermal.dir/stacks.cc.o"
+  "CMakeFiles/stack3d_thermal.dir/stacks.cc.o.d"
+  "CMakeFiles/stack3d_thermal.dir/transient.cc.o"
+  "CMakeFiles/stack3d_thermal.dir/transient.cc.o.d"
+  "libstack3d_thermal.a"
+  "libstack3d_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stack3d_thermal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_trace.dir/buffer.cc.o"
+  "CMakeFiles/stack3d_trace.dir/buffer.cc.o.d"
+  "CMakeFiles/stack3d_trace.dir/file.cc.o"
+  "CMakeFiles/stack3d_trace.dir/file.cc.o.d"
+  "CMakeFiles/stack3d_trace.dir/writer.cc.o"
+  "CMakeFiles/stack3d_trace.dir/writer.cc.o.d"
+  "libstack3d_trace.a"
+  "libstack3d_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cpu_workload.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/cpu_workload.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/cpu_workload.cc.o.d"
+  "/root/repo/src/workloads/kernel.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/kernel.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/kernel.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/rms_dense.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_dense.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_dense.cc.o.d"
+  "/root/repo/src/workloads/rms_rigidity.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_rigidity.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_rigidity.cc.o.d"
+  "/root/repo/src/workloads/rms_solvers.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_solvers.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_solvers.cc.o.d"
+  "/root/repo/src/workloads/rms_sparse.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_sparse.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_sparse.cc.o.d"
+  "/root/repo/src/workloads/rms_svm.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_svm.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/rms_svm.cc.o.d"
+  "/root/repo/src/workloads/sparse_util.cc" "src/workloads/CMakeFiles/stack3d_workloads.dir/sparse_util.cc.o" "gcc" "src/workloads/CMakeFiles/stack3d_workloads.dir/sparse_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/stack3d_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stack3d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack3d_workloads.dir/cpu_workload.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/cpu_workload.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/kernel.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/kernel.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/registry.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/rms_dense.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/rms_dense.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/rms_rigidity.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/rms_rigidity.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/rms_solvers.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/rms_solvers.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/rms_sparse.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/rms_sparse.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/rms_svm.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/rms_svm.cc.o.d"
+  "CMakeFiles/stack3d_workloads.dir/sparse_util.cc.o"
+  "CMakeFiles/stack3d_workloads.dir/sparse_util.cc.o.d"
+  "libstack3d_workloads.a"
+  "libstack3d_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack3d_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

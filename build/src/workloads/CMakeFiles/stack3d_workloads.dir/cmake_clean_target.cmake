@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstack3d_workloads.a"
+)
