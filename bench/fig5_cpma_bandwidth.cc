@@ -6,13 +6,21 @@
  * microarchitecture parameters and prints the Section 3 headline
  * aggregates.
  *
- * Usage: fig5_cpma_bandwidth [--quick] [--depth F]
+ * Usage: fig5_cpma_bandwidth [--quick] [--depth F] [--threads N]
+ *                            [--json PATH]
+ *
+ *   --threads N  fan the (benchmark x option) cells out over N
+ *                worker threads (0 = one per core); results are
+ *                bit-identical to a serial run
+ *   --json PATH  write machine-readable timings + results to PATH
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/json.hh"
 #include "common/table.hh"
 #include "core/memory_study.hh"
 
@@ -44,24 +52,32 @@ printTable3(std::ostream &os)
 } // anonymous namespace
 
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
-    core::MemoryStudyConfig cfg;
+    core::RunOptions opts;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
-            cfg.depth = 0.25;
+            opts.depth = 0.25;
         else if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc)
-            cfg.depth = std::stod(argv[++i]);
+            opts.depth = std::stod(argv[++i]);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            opts.threads = core::parseThreadArg(argv[++i], "--threads");
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
     }
 
     printTable3(std::cout);
 
     printBanner(std::cout,
                 "Figure 5: CPMA and off-die BW vs LLC capacity");
-    std::cout << "(two-threaded RMS traces, depth " << cfg.depth
-              << "; columns are the 4/12/32/64 MB organizations)\n\n";
+    std::cout << "(two-threaded RMS traces, depth " << opts.depth
+              << ", " << opts.resolvedThreads()
+              << " thread(s); columns are the 4/12/32/64 MB "
+                 "organizations)\n\n";
 
-    core::MemoryStudyResult result = core::runMemoryStudy(cfg);
+    auto report = core::runMemoryStudy(opts);
+    const core::MemoryStudyResult &result = report.payload;
 
     TextTable t({"benchmark", "MB", "CPMA 4", "CPMA 12", "CPMA 32",
                  "CPMA 64", "BW 4", "BW 12", "BW 32", "BW 64"});
@@ -101,5 +117,67 @@ main(int argc, char **argv)
               << s.avg_bus_power_reduction_32m * 100.0
               << " %  (" << s.avg_bus_power_saving_w
               << " W)   (paper: 66%, ~0.5 W)\n";
+
+    std::cout << "\nwall " << report.meta.wall_seconds
+              << " s over " << report.meta.cells.size()
+              << " cells (serial-equivalent "
+              << report.meta.serial_seconds << " s, speedup "
+              << report.meta.speedup() << "x at "
+              << report.meta.threads_used << " threads)\n";
+
+    if (!json_path.empty()) {
+        std::ofstream jf(json_path);
+        if (!jf) {
+            std::cerr << "cannot open " << json_path << "\n";
+            return 1;
+        }
+        JsonWriter w(jf);
+        w.beginObject();
+        core::writeMetaJson(w, report.meta);
+        w.key("depth").value(opts.depth);
+        w.key("rows").beginArray();
+        for (const auto &row : result.rows) {
+            w.beginObject();
+            w.key("benchmark").value(row.benchmark);
+            w.key("footprint_mb").value(row.footprint_mb);
+            w.key("cpma").beginArray();
+            for (double v : row.cpma)
+                w.value(v);
+            w.endArray();
+            w.key("bw_gbps").beginArray();
+            for (double v : row.bw_gbps)
+                w.value(v);
+            w.endArray();
+            w.key("bus_power_w").beginArray();
+            for (double v : row.bus_power_w)
+                w.value(v);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.key("summary").beginObject();
+        w.key("avg_cpma_reduction_32m").value(s.avg_cpma_reduction_32m);
+        w.key("max_cpma_reduction_32m").value(s.max_cpma_reduction_32m);
+        w.key("avg_bw_reduction_factor_32m")
+            .value(s.avg_bw_reduction_factor_32m);
+        w.key("avg_bus_power_reduction_32m")
+            .value(s.avg_bus_power_reduction_32m);
+        w.endObject();
+        w.endObject();
+        std::cout << "wrote " << json_path << "\n";
+    }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

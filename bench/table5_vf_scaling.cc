@@ -10,35 +10,49 @@
  * 129%; Same Freq 125 W / 113 C / 115%; Same Temp 97.28 W / 99 C /
  * 108%; Same Perf 68.2 W / 77 C / 100%.
  *
- * Usage: table5_vf_scaling [--uops N] [--nominal]
- *   --nominal  use the paper's nominal 15% gain instead of the
- *              measured Table 4 total
+ * Usage: table5_vf_scaling [--uops N] [--nominal] [--threads N]
+ *                          [--json PATH]
+ *   --nominal    use the paper's nominal 15% gain instead of the
+ *                measured Table 4 total
+ *   --threads N  solve the per-operating-point thermal cells on N
+ *                worker threads (0 = one per core)
+ *   --json PATH  write machine-readable timings + rows to PATH
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/json.hh"
 #include "common/table.hh"
 #include "core/logic_study.hh"
 
 using namespace stack3d;
 
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
-    core::LogicStudyConfig cfg;
-    cfg.suite.uops_per_trace = 60000;
+    core::RunOptions opts;
+    opts.seed = 7;   // the suite's historical default
+    core::LogicStudySpec spec;
+    spec.suite.uops_per_trace = 60000;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--uops") == 0 && i + 1 < argc)
-            cfg.suite.uops_per_trace = std::stoull(argv[++i]);
+            spec.suite.uops_per_trace = std::stoull(argv[++i]);
         else if (std::strcmp(argv[i], "--nominal") == 0)
-            cfg.use_measured_gain = false;
+            spec.use_measured_gain = false;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            opts.threads = core::parseThreadArg(argv[++i], "--threads");
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
     }
 
     printBanner(std::cout, "Table 5: V/f scaling the 3D floorplan");
 
-    core::LogicStudyResult result = core::runLogicStudy(cfg);
+    auto report = core::runLogicStudy(opts, spec);
+    const core::LogicStudyResult &result = report.payload;
 
     std::cout << "3D design point: +"
               << result.table4.total_perf_gain_pct
@@ -70,5 +84,53 @@ main(int argc, char **argv)
 
     std::cout << "\nconversion laws: 0.82% perf per 1% freq; "
                  "1% freq per 1% Vcc; P ~ V^2 f\n";
+
+    std::cout << "\nwall " << report.meta.wall_seconds
+              << " s over " << report.meta.cells.size()
+              << " cells (serial-equivalent "
+              << report.meta.serial_seconds << " s, speedup "
+              << report.meta.speedup() << "x at "
+              << report.meta.threads_used << " threads)\n";
+
+    if (!json_path.empty()) {
+        std::ofstream jf(json_path);
+        if (!jf) {
+            std::cerr << "cannot open " << json_path << "\n";
+            return 1;
+        }
+        JsonWriter w(jf);
+        w.beginObject();
+        core::writeMetaJson(w, report.meta);
+        w.key("perf_gain_pct").value(result.table4.total_perf_gain_pct);
+        w.key("power_saving_3d").value(result.power_saving_3d);
+        w.key("rows").beginArray();
+        for (const auto &row : result.table5) {
+            w.beginObject();
+            w.key("label").value(row.point.label);
+            w.key("power_w").value(row.point.power_w);
+            w.key("power_rel").value(row.point.power_rel);
+            w.key("temp_c").value(row.temp_c);
+            w.key("perf_rel").value(row.point.perf_rel);
+            w.key("vcc").value(row.point.vcc);
+            w.key("freq").value(row.point.freq);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::cout << "wrote " << json_path << "\n";
+    }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

@@ -4,8 +4,11 @@
  * planar vs folded onto two dies — per-class IPC, the power roll-up,
  * the floorplan wire analysis, and the automatic stacking planner.
  *
+ * The pipeline/thermal evaluation runs through the unified
+ * core::runLogicStudy Run/Report API with a console ProgressSink.
+ *
  * Usage:
- *   logic_stacking [--uops N] [--full-suite]
+ *   logic_stacking [--uops N] [--full-suite] [--threads N] [--quiet]
  */
 
 #include <cstdio>
@@ -13,7 +16,7 @@
 #include <iostream>
 
 #include "common/table.hh"
-#include "cpu/suite.hh"
+#include "core/logic_study.hh"
 #include "floorplan/planner.hh"
 #include "floorplan/reference.hh"
 #include "power/scaling.hh"
@@ -21,25 +24,39 @@
 using namespace stack3d;
 
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
-    cpu::SuiteOptions opt;
-    opt.uops_per_trace = 60000;
+    core::RunOptions opts;
+    opts.seed = 7;   // the suite's historical default
+    core::LogicStudySpec spec;
+    spec.suite.uops_per_trace = 60000;
+    spec.die_nx = 33;   // explorer default: fast, qualitative
+    spec.die_ny = 31;
+    bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--uops") == 0 && i + 1 < argc)
-            opt.uops_per_trace = std::stoull(argv[++i]);
+            spec.suite.uops_per_trace = std::stoull(argv[++i]);
         else if (std::strcmp(argv[i], "--full-suite") == 0)
-            opt.full_suite = true;
+            spec.suite.full_suite = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            opts.threads = core::parseThreadArg(argv[++i], "--threads");
+        else if (std::strcmp(argv[i], "--quiet") == 0)
+            quiet = true;
     }
 
-    // ---- IPC: planar vs 3D pipeline ----
-    cpu::TraceSuite suite(opt);
-    std::printf("simulating %u traces, %llu uops each...\n",
-                suite.numTraces(),
-                (unsigned long long)opt.uops_per_trace);
+    core::ConsoleProgressSink sink(std::cout);
+    if (!quiet)
+        opts.progress = &sink;
 
-    auto planar = suite.run(cpu::PipelineConfig::planar());
-    auto stacked = suite.run(cpu::PipelineConfig::stacked3d());
+    // ---- IPC + thermals: the unified logic study ----
+    std::printf("running the logic study (%llu uops/trace, %u "
+                "thread(s))...\n",
+                (unsigned long long)spec.suite.uops_per_trace,
+                opts.resolvedThreads());
+    auto report = core::runLogicStudy(opts, spec);
+    const core::LogicStudyResult &result = report.payload;
+    const cpu::SuiteResult &planar = result.table4.planar;
+    const cpu::SuiteResult &stacked = result.table4.stacked;
 
     TextTable ipc({"class", "planar IPC", "3D IPC", "gain %"});
     for (std::size_t c = 0; c < planar.class_ipc.size(); ++c) {
@@ -60,11 +77,14 @@ main(int argc, char **argv)
               1);
     ipc.print(std::cout);
 
-    // ---- power roll-up ----
-    power::LogicPowerBreakdown breakdown;
+    // ---- power roll-up + Figure 11 thermals ----
     std::printf("\n3D power roll-up: %.1f%% reduction (repeaters, "
                 "repeating latches, clock grid, pipe latches)\n",
-                (1.0 - breakdown.stackedRelativePower()) * 100.0);
+                result.power_saving_3d * 100.0);
+    std::printf("Figure 11 peaks: planar %.1f C, 3D %.1f C, "
+                "worst case %.1f C\n",
+                result.fig11.planar.peak_c, result.fig11.stacked.peak_c,
+                result.fig11.worst_case.peak_c);
 
     // ---- wire analysis of the hand floorplans ----
     auto fp2d = floorplan::makePentium4Planar();
@@ -93,4 +113,17 @@ main(int argc, char **argv)
                 plan.planar_wirelength * 1e3, plan.wirelength * 1e3,
                 plan.peak_density_ratio, plan.accepted_moves);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

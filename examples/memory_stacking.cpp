@@ -5,10 +5,14 @@
  * a Figure 5-style table.
  *
  * Usage:
- *   memory_stacking [--depth F] [benchmark ...]
+ *   memory_stacking [--depth F] [--threads N] [--quiet]
+ *                   [benchmark ...]
  *
  *   --depth F   trace-length multiplier (default 0.5 for a fast
  *               demo; 1.0 = the calibrated full budgets)
+ *   --threads N worker threads for the study cells (default 1;
+ *               0 = one per core — results are identical either way)
+ *   --quiet     suppress the per-cell progress lines
  *   benchmark   any of: conj dSym gauss pcg sMVM sSym sTrans sAVDF
  *               sAVIF sUS svd svm   (default: gauss pcg svm)
  */
@@ -24,23 +28,37 @@
 using namespace stack3d;
 
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
-    core::MemoryStudyConfig cfg;
-    cfg.depth = 0.5;
+    core::RunOptions opts;
+    opts.depth = 0.5;
+    core::MemoryStudySpec spec;
+    bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc) {
-            cfg.depth = std::stod(argv[++i]);
+            opts.depth = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            opts.threads = core::parseThreadArg(argv[++i], "--threads");
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
         } else {
-            cfg.benchmarks.emplace_back(argv[i]);
+            spec.benchmarks.emplace_back(argv[i]);
         }
     }
-    if (cfg.benchmarks.empty())
-        cfg.benchmarks = {"gauss", "pcg", "svm"};
+    if (spec.benchmarks.empty())
+        spec.benchmarks = {"gauss", "pcg", "svm"};
 
-    std::printf("running %zu benchmark(s) at depth %.2f...\n",
-                cfg.benchmarks.size(), cfg.depth);
-    core::MemoryStudyResult result = core::runMemoryStudy(cfg);
+    core::ConsoleProgressSink sink(std::cout);
+    if (!quiet)
+        opts.progress = &sink;
+
+    std::printf("running %zu benchmark(s) at depth %.2f on %u "
+                "thread(s)...\n",
+                spec.benchmarks.size(), opts.depth,
+                opts.resolvedThreads());
+    auto report = core::runMemoryStudy(opts, spec);
+    const core::MemoryStudyResult &result = report.payload;
 
     TextTable table({"benchmark", "MB", "CPMA 4M", "CPMA 12M",
                      "CPMA 32M", "CPMA 64M", "BW 4M", "BW 32M",
@@ -65,5 +83,21 @@ main(int argc, char **argv)
                 result.summary.max_cpma_reduction_32m * 100.0,
                 result.summary.avg_bw_reduction_factor_32m,
                 result.summary.avg_bus_power_reduction_32m * 100.0);
+    std::printf("wall %.2fs, serial-equivalent %.2fs (%.2fx)\n",
+                report.meta.wall_seconds, report.meta.serial_seconds,
+                report.meta.speedup());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

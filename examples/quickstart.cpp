@@ -2,11 +2,12 @@
  * @file
  * Quickstart: the smallest end-to-end tour of stack3d.
  *
- * 1. Generate a dependency-annotated two-thread memory trace from an
- *    instrumented RMS kernel (svm, the paper's best case).
- * 2. Run it through the baseline planar hierarchy (4 MB SRAM L2) and
- *    through the 3D-stacked 32 MB DRAM cache, comparing CPMA and
- *    off-die bandwidth.
+ * 1. Run the memory study for one benchmark (svm, the paper's best
+ *    case) through the unified Run/Report API: a core::RunOptions in,
+ *    a core::StudyReport out, with progress reported via a
+ *    ProgressSink.
+ * 2. Compare the planar baseline (4 MB SRAM L2) against the
+ *    3D-stacked 32 MB DRAM cache on CPMA and off-die bandwidth.
  * 3. Solve the stacked configuration's thermals and confirm the
  *    peak-temperature increase is negligible.
  *
@@ -16,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "core/memory_study.hh"
 #include "core/thermal_study.hh"
@@ -25,33 +27,36 @@ using namespace stack3d;
 int
 main()
 {
-    // --- 1. a trace from the instrumented svm kernel ---------------
-    auto kernel = workloads::makeRmsKernel("svm");
-    workloads::WorkloadConfig wcfg;
-    wcfg.records_per_thread = 1500000;   // ~3 working-set sweeps
-    trace::TraceBuffer buf = kernel->generate(wcfg);
-    std::printf("svm: %zu trace records, footprint %.1f MB\n",
-                buf.size(),
-                kernel->nominalFootprintBytes(wcfg) / 1048576.0);
+    // --- 1. the memory study, unified API --------------------------
+    core::RunOptions opts;
+    opts.threads = 0;       // one worker per core; results are
+                            // bit-identical to a serial run
+    opts.depth = 0.25;      // shortened traces for a quick demo
+    core::ConsoleProgressSink sink(std::cout);
+    opts.progress = &sink;
+
+    core::MemoryStudySpec spec;
+    spec.benchmarks = {"svm"};
+
+    auto report = core::runMemoryStudy(opts, spec);
+    const core::MemoryStudyRow &row = report.payload.rows[0];
+    std::printf("svm: %llu trace records, footprint %.1f MB "
+                "(%.2fs wall on %u threads)\n",
+                (unsigned long long)row.records, row.footprint_mb,
+                report.meta.wall_seconds, report.meta.threads_used);
 
     // --- 2. planar baseline vs 3D-stacked 32 MB DRAM cache ---------
-    double cpma[2], bw[2];
-    const mem::StackOption options[2] = {
-        mem::StackOption::Baseline4MB, mem::StackOption::Dram32MB};
-    for (int i = 0; i < 2; ++i) {
-        mem::MemoryHierarchy hier(mem::makeHierarchyParams(options[i]));
-        mem::TraceEngine engine;
-        mem::EngineResult res = engine.run(buf, hier);
-        cpma[i] = res.cpma;
-        bw[i] = res.offdie_gbps;
-        std::printf("%-8s CPMA %.3f, off-die %.2f GB/s, "
-                    "bus power %.2f W\n",
-                    mem::stackOptionName(options[i]), res.cpma,
-                    res.offdie_gbps, res.bus_power_w);
-    }
+    // Figure 5 column order: 4 MB baseline is index 0, 32 MB DRAM is
+    // index 2.
+    std::printf("%-8s CPMA %.3f, off-die %.2f GB/s, bus %.2f W\n",
+                "4M", row.cpma[0], row.bw_gbps[0], row.bus_power_w[0]);
+    std::printf("%-8s CPMA %.3f, off-die %.2f GB/s, bus %.2f W\n",
+                "dram32m", row.cpma[2], row.bw_gbps[2],
+                row.bus_power_w[2]);
     std::printf("=> stacking the 32 MB DRAM cache cuts CPMA %.0f%% "
                 "and off-die bandwidth %.1fx\n",
-                (1.0 - cpma[1] / cpma[0]) * 100.0, bw[0] / bw[1]);
+                (1.0 - row.cpma[2] / row.cpma[0]) * 100.0,
+                row.bw_gbps[0] / row.bw_gbps[2]);
 
     // --- 3. and the thermal cost? -----------------------------------
     auto base = floorplan::makeCore2BaseDie32MKeepOutline();

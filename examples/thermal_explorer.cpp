@@ -7,10 +7,13 @@
  * Usage:
  *   thermal_explorer [--watts W] [--stacked-watts W2] [--die MM]
  *                    [--dram] [--transient SECONDS]
+ *   thermal_explorer --stacks [--threads N]
  *
  * Solves a uniformly powered die (planar, or with a second stacked
  * die) in the calibrated desktop package, prints per-layer peak
- * temperatures, and renders the active-layer heat map.
+ * temperatures, and renders the active-layer heat map. With
+ * --stacks, instead runs the Figure 8 four-option stack comparison
+ * through the unified Run/Report API with live progress.
  */
 
 #include <cstdio>
@@ -18,6 +21,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/thermal_study.hh"
 #include "thermal/render.hh"
 #include "thermal/solver.hh"
 #include "thermal/stacks.hh"
@@ -26,17 +30,58 @@
 using namespace stack3d;
 using namespace stack3d::thermal;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runStacksMode(unsigned threads)
+{
+    core::RunOptions opts;
+    opts.threads = threads;
+    core::ConsoleProgressSink sink(std::cout);
+    opts.progress = &sink;
+
+    // Explorer default: a coarser grid than the Figure 8 bench for
+    // quick qualitative answers.
+    core::StackThermalSpec spec;
+    spec.die_nx = 36;
+    spec.die_ny = 28;
+
+    auto report = core::runStackThermalStudy(opts, spec);
+    static const char *names[4] = {"baseline 4M", "+8M SRAM",
+                                   "32M DRAM", "64M DRAM"};
+    std::printf("\n%-14s %10s %10s\n", "option", "peak C", "delta C");
+    double base = report.payload.options[0].peak_c;
+    for (int i = 0; i < 4; ++i) {
+        std::printf("%-14s %10.2f %+10.2f\n", names[i],
+                    report.payload.options[i].peak_c,
+                    report.payload.options[i].peak_c - base);
+    }
+    std::printf("\nwall %.2fs on %u thread(s), serial-equivalent "
+                "%.2fs\n",
+                report.meta.wall_seconds, report.meta.threads_used,
+                report.meta.serial_seconds);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+realMain(int argc, char **argv)
 {
     double watts = 80.0;
     double stacked_watts = 0.0;
     double die_mm = 12.0;
     StackedDieType die2 = StackedDieType::None;
     double transient_s = 0.0;
+    bool stacks_mode = false;
+    unsigned threads = 1;
 
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--watts") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--stacks") == 0)
+            stacks_mode = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = core::parseThreadArg(argv[++i], "--threads");
+        else if (std::strcmp(argv[i], "--watts") == 0 && i + 1 < argc)
             watts = std::stod(argv[++i]);
         else if (std::strcmp(argv[i], "--stacked-watts") == 0 &&
                  i + 1 < argc) {
@@ -51,6 +96,9 @@ main(int argc, char **argv)
                  i + 1 < argc)
             transient_s = std::stod(argv[++i]);
     }
+
+    if (stacks_mode)
+        return runStacksMode(threads);
 
     double die = die_mm * 1e-3;
     StackGeometry geom = die2 == StackedDieType::None
@@ -104,4 +152,17 @@ main(int argc, char **argv)
                     tr.time_constant_s);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

@@ -1,0 +1,188 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace stack3d {
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepare();
+    _os << "{";
+    _scopes.push_back({false, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    stack3d_assert(!_scopes.empty() && !_scopes.back().is_array,
+                   "endObject outside an object");
+    bool had_items = _scopes.back().has_items;
+    _scopes.pop_back();
+    if (had_items) {
+        _os << "\n";
+        indent();
+    }
+    _os << "}";
+    if (_scopes.empty())
+        _os << "\n";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepare();
+    _os << "[";
+    _scopes.push_back({true, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    stack3d_assert(!_scopes.empty() && _scopes.back().is_array,
+                   "endArray outside an array");
+    bool had_items = _scopes.back().has_items;
+    _scopes.pop_back();
+    if (had_items) {
+        _os << "\n";
+        indent();
+    }
+    _os << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    stack3d_assert(!_scopes.empty() && !_scopes.back().is_array,
+                   "key() outside an object");
+    stack3d_assert(!_after_key, "key() directly after key()");
+    if (_scopes.back().has_items)
+        _os << ",";
+    _scopes.back().has_items = true;
+    _os << "\n";
+    indent();
+    _os << "\"" << escape(name) << "\": ";
+    _after_key = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    prepare();
+    _os << "\"" << escape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prepare();
+    if (!std::isfinite(v)) {
+        _os << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    _os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepare();
+    _os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepare();
+    _os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepare();
+    _os << (v ? "true" : "false");
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::prepare()
+{
+    if (_after_key) {
+        _after_key = false;
+        return;
+    }
+    if (_scopes.empty())
+        return;
+    stack3d_assert(_scopes.back().is_array,
+                   "bare value inside an object (missing key())");
+    if (_scopes.back().has_items)
+        _os << ",";
+    _scopes.back().has_items = true;
+    _os << "\n";
+    indent();
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < _scopes.size(); ++i)
+        _os << "  ";
+}
+
+} // namespace stack3d

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A minimal streaming JSON writer for machine-readable bench output.
+ * Handles nesting, comma placement, string escaping, and non-finite
+ * doubles (emitted as null, since JSON has no NaN/Inf).
+ */
+
+#ifndef STACK3D_COMMON_JSON_HH
+#define STACK3D_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stack3d {
+
+/**
+ * Streaming JSON writer.
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("threads").value(8);
+ *   w.key("cells").beginArray();
+ *   w.beginObject(); ... w.endObject();
+ *   w.endArray();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v) { return value(std::int64_t(v)); }
+    JsonWriter &value(unsigned v) { return value(std::uint64_t(v)); }
+    JsonWriter &value(bool v);
+
+    static std::string escape(const std::string &s);
+
+  private:
+    /** Emit separator/newline/indent appropriate before a value. */
+    void prepare();
+    void indent();
+
+    struct Scope
+    {
+        bool is_array = false;
+        bool has_items = false;
+    };
+
+    std::ostream &_os;
+    std::vector<Scope> _scopes;
+    bool _after_key = false;
+};
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_JSON_HH

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace stack3d {
 namespace detail {
@@ -12,6 +14,8 @@ namespace {
 
 std::atomic<unsigned long> warn_counter{0};
 std::atomic<bool> quiet_mode{false};
+std::mutex warn_hook_mutex;
+WarnHook warn_hook;
 
 } // anonymous namespace
 
@@ -39,6 +43,9 @@ warnImpl(const std::string &message)
     warn_counter.fetch_add(1, std::memory_order_relaxed);
     if (!quiet_mode.load(std::memory_order_relaxed))
         std::cerr << "warn: " << message << std::endl;
+    std::lock_guard<std::mutex> lock(warn_hook_mutex);
+    if (warn_hook)
+        warn_hook(message);
 }
 
 void
@@ -58,6 +65,15 @@ void
 setQuiet(bool quiet)
 {
     quiet_mode.store(quiet, std::memory_order_relaxed);
+}
+
+WarnHook
+setWarnHook(WarnHook hook)
+{
+    std::lock_guard<std::mutex> lock(warn_hook_mutex);
+    WarnHook previous = std::move(warn_hook);
+    warn_hook = std::move(hook);
+    return previous;
 }
 
 } // namespace detail

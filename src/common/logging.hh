@@ -16,6 +16,7 @@
 #ifndef STACK3D_COMMON_LOGGING_HH
 #define STACK3D_COMMON_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -59,6 +60,18 @@ unsigned long warnCount();
 
 /** Silence warn()/inform() output (messages are still counted). */
 void setQuiet(bool quiet);
+
+/** Callback observing every warn() message. */
+using WarnHook = std::function<void(const std::string &)>;
+
+/**
+ * Install a hook invoked on each warn() in addition to the normal
+ * output; returns the previously installed hook (so scoped users can
+ * restore it). Invocations are serialized under an internal mutex,
+ * making the hook safe to install around multi-threaded study runs.
+ * Pass an empty function to uninstall.
+ */
+WarnHook setWarnHook(WarnHook hook);
 
 } // namespace detail
 

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Wall-clock timing for study cells and bench drivers.
+ */
+
+#ifndef STACK3D_COMMON_TIMING_HH
+#define STACK3D_COMMON_TIMING_HH
+
+#include <chrono>
+
+namespace stack3d {
+
+/** Monotonic wall-clock stopwatch, running from construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : _start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { _start = Clock::now(); }
+
+    /** Seconds elapsed since construction / the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - _start)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point _start;
+};
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_TIMING_HH

@@ -9,6 +9,7 @@
 #ifndef STACK3D_CORE_LOGIC_STUDY_HH
 #define STACK3D_CORE_LOGIC_STUDY_HH
 
+#include "core/run_options.hh"
 #include "core/thermal_study.hh"
 #include "cpu/suite.hh"
 #include "power/scaling.hh"
@@ -16,7 +17,7 @@
 namespace stack3d {
 namespace core {
 
-/** Study configuration. */
+/** Study configuration (deprecated serial entry point). */
 struct LogicStudyConfig
 {
     cpu::SuiteOptions suite;
@@ -58,7 +59,42 @@ struct LogicStudyResult
     std::vector<Table5Row> table5;
 };
 
-/** Run the complete Logic+Logic study. */
+/** Study-specific inputs of the unified entry point. */
+struct LogicStudySpec
+{
+    /**
+     * Trace-suite options. The suite's uops_per_trace is multiplied
+     * by RunOptions::depth, and its seed is derived from
+     * RunOptions::seed (the spec's own seed field is ignored).
+     */
+    cpu::SuiteOptions suite;
+    power::LogicPowerBreakdown power_breakdown;
+    power::VfScalingModel vf_model;
+    /** Lateral thermal resolution. */
+    unsigned die_nx = 50;
+    unsigned die_ny = 46;
+    /**
+     * Use the measured Table 4 total gain in Table 5 (true) or the
+     * paper's nominal 15% (false).
+     */
+    bool use_measured_gain = true;
+};
+
+/**
+ * Run the complete Logic+Logic study under the unified Run/Report
+ * API. Cell decomposition: the Table 4 pipeline suite and the three
+ * Figure 11 steady-state solves fan out first (cells 0-3); after a
+ * barrier, the four non-baseline Table 5 operating points solve
+ * concurrently (cells 4-7, each a scaled 3D floorplan).
+ */
+StudyReport<LogicStudyResult> runLogicStudy(
+    const RunOptions &options, const LogicStudySpec &spec = {});
+
+/**
+ * Deprecated serial entry point; forwards to the unified API with
+ * threads = 1 and config.suite.seed as the master seed. Prefer
+ * runLogicStudy(RunOptions, LogicStudySpec).
+ */
 LogicStudyResult runLogicStudy(const LogicStudyConfig &config = {});
 
 } // namespace core

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "exec/future_set.hh"
+#include "exec/pool.hh"
 
 namespace stack3d {
 namespace core {
@@ -31,49 +33,101 @@ recommendedRecordsPerThread(const std::string &benchmark)
     return 2000000;
 }
 
-MemoryStudyResult
-runMemoryStudy(const MemoryStudyConfig &config)
+namespace {
+
+/** Cells per benchmark: one trace generation + the four options. */
+constexpr std::size_t kCellsPerBenchmark = 1 + kStackOptions.size();
+
+std::string
+optionCellLabel(const std::string &benchmark, std::size_t option)
 {
-    std::vector<std::string> benchmarks = config.benchmarks;
+    return benchmark + "/" +
+           mem::stackOptionName(kStackOptions[option]);
+}
+
+} // anonymous namespace
+
+StudyReport<MemoryStudyResult>
+runMemoryStudy(const RunOptions &options, const MemoryStudySpec &spec)
+{
+    std::vector<std::string> benchmarks = spec.benchmarks;
     if (benchmarks.empty())
         benchmarks = workloads::rmsKernelNames();
 
-    MemoryStudyResult result;
-
-    for (const std::string &name : benchmarks) {
-        auto kernel = workloads::makeRmsKernel(name);
-
-        workloads::WorkloadConfig wcfg;
-        wcfg.scale = config.scale;
-        wcfg.seed = config.seed;
-        wcfg.records_per_thread = std::uint64_t(
-            double(recommendedRecordsPerThread(name)) * config.depth);
-        if (wcfg.records_per_thread < 1000)
-            wcfg.records_per_thread = 1000;
-
-        trace::TraceBuffer buf = kernel->generate(wcfg);
-
-        MemoryStudyRow row;
-        row.benchmark = name;
-        row.records = buf.size();
-        row.footprint_mb =
-            double(kernel->nominalFootprintBytes(wcfg)) / (1 << 20);
-
-        for (std::size_t o = 0; o < kStackOptions.size(); ++o) {
-            mem::HierarchyParams hp =
-                mem::makeHierarchyParams(kStackOptions[o]);
-            mem::MemoryHierarchy hier(hp);
-            mem::TraceEngine engine(config.engine);
-            mem::EngineResult er = engine.run(buf, hier);
-            row.cpma[o] = er.cpma;
-            row.bw_gbps[o] = er.offdie_gbps;
-            row.bus_power_w[o] = er.bus_power_w;
-            row.llc_miss[o] = er.llc_miss_rate;
+    // Validate names up front so an unknown benchmark fails fast and
+    // deterministically, before any cell is launched.
+    {
+        std::vector<std::string> known = workloads::rmsKernelNames();
+        for (const std::string &name : benchmarks) {
+            if (std::find(known.begin(), known.end(), name) ==
+                known.end()) {
+                stack3d_fatal("unknown RMS benchmark '", name, "'");
+            }
         }
-        result.rows.push_back(std::move(row));
     }
 
-    // Headline aggregates (32 MB option, index 2, vs baseline 0).
+    const std::size_t num_benchmarks = benchmarks.size();
+    StudyTracker tracker("memory",
+                         num_benchmarks * kCellsPerBenchmark, options);
+
+    StudyReport<MemoryStudyResult> report;
+    MemoryStudyResult &result = report.payload;
+    result.rows.resize(num_benchmarks);
+    std::vector<trace::TraceBuffer> traces(num_benchmarks);
+
+    // Serial when threads == 1 (inline pool: tasks run at submit()).
+    unsigned workers = options.resolvedThreads();
+    exec::ThreadPool pool(workers > 1 ? workers : 0);
+
+    // ---- stage 1: trace generation, one cell per benchmark --------
+    exec::parallelFor(pool, num_benchmarks, [&](std::size_t b) {
+        const std::string &name = benchmarks[b];
+        tracker.runCell(b * kCellsPerBenchmark, name + "/trace", [&] {
+            auto kernel = workloads::makeRmsKernel(name);
+
+            workloads::WorkloadConfig wcfg;
+            wcfg.scale = options.scale;
+            wcfg.seed = deriveCellSeed(options.seed, cellKey(name));
+            wcfg.records_per_thread = std::uint64_t(
+                double(recommendedRecordsPerThread(name)) *
+                options.depth);
+            if (wcfg.records_per_thread < 1000)
+                wcfg.records_per_thread = 1000;
+
+            traces[b] = kernel->generate(wcfg);
+
+            MemoryStudyRow &row = result.rows[b];
+            row.benchmark = name;
+            row.records = traces[b].size();
+            row.footprint_mb =
+                double(kernel->nominalFootprintBytes(wcfg)) / (1 << 20);
+        });
+    });
+
+    // ---- stage 2: benchmark x option engine cells ------------------
+    const std::size_t num_options = kStackOptions.size();
+    exec::parallelFor(
+        pool, num_benchmarks * num_options, [&](std::size_t i) {
+            std::size_t b = i / num_options;
+            std::size_t o = i % num_options;
+            std::size_t cell = b * kCellsPerBenchmark + 1 + o;
+            tracker.runCell(cell, optionCellLabel(benchmarks[b], o),
+                            [&] {
+                mem::HierarchyParams hp =
+                    mem::makeHierarchyParams(kStackOptions[o]);
+                mem::MemoryHierarchy hier(hp);
+                mem::TraceEngine engine(spec.engine);
+                mem::EngineResult er = engine.run(traces[b], hier);
+                MemoryStudyRow &row = result.rows[b];
+                row.cpma[o] = er.cpma;
+                row.bw_gbps[o] = er.offdie_gbps;
+                row.bus_power_w[o] = er.bus_power_w;
+                row.llc_miss[o] = er.llc_miss_rate;
+            });
+        });
+
+    // ---- merge: headline aggregates in canonical row order --------
+    // (32 MB option, index 2, vs baseline 0.)
     MemoryStudySummary &sum = result.summary;
     double n = double(result.rows.size());
     double bw_base_total = 0.0;
@@ -97,7 +151,25 @@ runMemoryStudy(const MemoryStudyConfig &config)
     // benchmark's off-die traffic goes to ~zero.
     if (bw_32_total > 0.0)
         sum.avg_bw_reduction_factor_32m = bw_base_total / bw_32_total;
-    return result;
+
+    report.meta = tracker.finish();
+    return report;
+}
+
+MemoryStudyResult
+runMemoryStudy(const MemoryStudyConfig &config)
+{
+    RunOptions options;
+    options.threads = 1;
+    options.seed = config.seed;
+    options.depth = config.depth;
+    options.scale = config.scale;
+
+    MemoryStudySpec spec;
+    spec.benchmarks = config.benchmarks;
+    spec.engine = config.engine;
+
+    return runMemoryStudy(options, spec).payload;
 }
 
 } // namespace core

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/run_options.hh"
 #include "mem/engine.hh"
 #include "workloads/registry.hh"
 
@@ -85,7 +86,35 @@ struct MemoryStudyResult
  */
 std::uint64_t recommendedRecordsPerThread(const std::string &benchmark);
 
-/** Run the study. */
+/** Study-specific inputs of the unified entry point. */
+struct MemoryStudySpec
+{
+    /** Benchmarks to run (default: all 12 of Table 1). */
+    std::vector<std::string> benchmarks;
+
+    /** Issue-engine knobs (window, issue width, warm-up). */
+    mem::EngineParams engine;
+};
+
+/**
+ * Run the memory study under the unified Run/Report API.
+ *
+ * Cell decomposition: per benchmark, one trace-generation cell
+ * ("<bench>/trace") followed by four engine cells ("<bench>/<option>"),
+ * 5 cells per benchmark in canonical order. Generation cells fan out
+ * first (traces are immutable and shared read-only by the option
+ * cells); engine cells fan out after the generation barrier. Each
+ * benchmark's trace seed derives from (options.seed, benchmark name),
+ * so results are bit-identical for every thread count.
+ */
+StudyReport<MemoryStudyResult> runMemoryStudy(
+    const RunOptions &options, const MemoryStudySpec &spec = {});
+
+/**
+ * Deprecated serial entry point; forwards to the unified API with
+ * threads = 1 and discards the report metadata. Prefer
+ * runMemoryStudy(RunOptions, MemoryStudySpec).
+ */
 MemoryStudyResult runMemoryStudy(const MemoryStudyConfig &config = {});
 
 } // namespace core

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "exec/future_set.hh"
+#include "exec/pool.hh"
 
 namespace stack3d {
 namespace core {
@@ -63,87 +65,157 @@ solveFloorplanThermals(const Floorplan &combined,
     return point;
 }
 
+StudyReport<StackThermalResult>
+runStackThermalStudy(const RunOptions &options,
+                     const StackThermalSpec &spec)
+{
+    using namespace floorplan;
+
+    StudyTracker tracker("stack-thermal", 4, options);
+    StudyReport<StackThermalResult> report;
+    StackThermalResult &result = report.payload;
+
+    const unsigned die_nx = spec.die_nx;
+    const unsigned die_ny = spec.die_ny;
+    Floorplan base = makeCore2Duo();
+
+    unsigned workers = options.resolvedThreads();
+    exec::ThreadPool pool(workers > 1 ? workers : 0);
+
+    exec::parallelFor(pool, 4, [&](std::size_t cell) {
+        switch (cell) {
+          case 0:
+            // (a) planar baseline.
+            tracker.runCell(0, "baseline4m", [&] {
+                result.options[0] = solveFloorplanThermals(
+                    base, StackedDieType::None, {}, {}, nullptr,
+                    die_nx, die_ny);
+            });
+            break;
+          case 1:
+            // (b) +8 MB stacked SRAM.
+            tracker.runCell(1, "sram12m", [&] {
+                Floorplan sram = makeCacheDie(
+                    base, "sram8m", budgets::stacked_sram_8mb);
+                Floorplan combined =
+                    stackFloorplans(base, sram, "core2_12m");
+                result.options[1] = solveFloorplanThermals(
+                    combined, StackedDieType::LogicSram, {}, {},
+                    nullptr, die_nx, die_ny);
+            });
+            break;
+          case 2:
+            // (c) 32 MB stacked DRAM, SRAM removed (conservative
+            // full-size outline: the vacated cache area stays as
+            // spreading silicon).
+            tracker.runCell(2, "dram32m", [&] {
+                Floorplan base32 = makeCore2BaseDie32MKeepOutline();
+                Floorplan dram = makeCacheDie(
+                    base32, "dram32m", budgets::stacked_dram_32mb);
+                Floorplan combined =
+                    stackFloorplans(base32, dram, "core2_32m");
+                result.options[2] = solveFloorplanThermals(
+                    combined, StackedDieType::Dram, {}, {}, nullptr,
+                    die_nx, die_ny);
+            });
+            break;
+          case 3:
+            // (d) 64 MB stacked DRAM over the unchanged baseline die.
+            tracker.runCell(3, "dram64m", [&] {
+                Floorplan dram = makeCacheDie(
+                    base, "dram64m", budgets::stacked_dram_64mb);
+                Floorplan combined =
+                    stackFloorplans(base, dram, "core2_64m");
+                result.options[3] = solveFloorplanThermals(
+                    combined, StackedDieType::Dram, {}, {}, nullptr,
+                    die_nx, die_ny);
+            });
+            break;
+        }
+    });
+
+    report.meta = tracker.finish();
+    return report;
+}
+
 StackThermalResult
 runStackThermalStudy(unsigned die_nx, unsigned die_ny)
 {
-    using namespace floorplan;
-    StackThermalResult result;
-
-    Floorplan base = makeCore2Duo();
-
-    // (a) planar baseline.
-    result.options[0] = solveFloorplanThermals(
-        base, StackedDieType::None, {}, {}, nullptr, die_nx, die_ny);
-
-    // (b) +8 MB stacked SRAM.
-    {
-        Floorplan sram =
-            makeCacheDie(base, "sram8m", budgets::stacked_sram_8mb);
-        Floorplan combined = stackFloorplans(base, sram, "core2_12m");
-        result.options[1] = solveFloorplanThermals(
-            combined, StackedDieType::LogicSram, {}, {}, nullptr,
-            die_nx, die_ny);
-    }
-
-    // (c) 32 MB stacked DRAM, SRAM removed (conservative full-size
-    // outline: the vacated cache area stays as spreading silicon).
-    {
-        Floorplan base32 = makeCore2BaseDie32MKeepOutline();
-        Floorplan dram =
-            makeCacheDie(base32, "dram32m", budgets::stacked_dram_32mb);
-        Floorplan combined = stackFloorplans(base32, dram, "core2_32m");
-        result.options[2] = solveFloorplanThermals(
-            combined, StackedDieType::Dram, {}, {}, nullptr, die_nx,
-            die_ny);
-    }
-
-    // (d) 64 MB stacked DRAM over the unchanged baseline die.
-    {
-        Floorplan dram =
-            makeCacheDie(base, "dram64m", budgets::stacked_dram_64mb);
-        Floorplan combined = stackFloorplans(base, dram, "core2_64m");
-        result.options[3] = solveFloorplanThermals(
-            combined, StackedDieType::Dram, {}, {}, nullptr, die_nx,
-            die_ny);
-    }
-    return result;
+    RunOptions options;
+    options.threads = 1;
+    StackThermalSpec spec;
+    spec.die_nx = die_nx;
+    spec.die_ny = die_ny;
+    return runStackThermalStudy(options, spec).payload;
 }
 
-std::vector<SensitivityPoint>
-runConductivitySensitivity(const std::vector<double> &conductivities,
-                           unsigned die_nx, unsigned die_ny)
+StudyReport<std::vector<SensitivityPoint>>
+runConductivitySensitivity(const RunOptions &options,
+                           const SensitivitySpec &spec)
 {
     using namespace floorplan;
+
+    for (double k : spec.conductivities)
+        stack3d_assert(k > 0.0, "conductivity must be positive");
 
     // A stacked two-die microprocessor: the Figure 10 fold of the
     // Pentium 4-class design, using its calibrated package.
     Floorplan stacked = makePentium43D();
     PackageModel pkg = thermal::makeP4Package();
 
-    std::vector<SensitivityPoint> points;
-    for (double k : conductivities) {
-        stack3d_assert(k > 0.0, "conductivity must be positive");
-        SensitivityPoint point;
-        point.conductivity = k;
+    const std::size_t num_points = spec.conductivities.size();
+    StudyTracker tracker("sensitivity", num_points * 2, options);
 
-        StackOverrides cu_ovr;
-        cu_ovr.cu_metal_conductivity = k;
-        point.peak_cu_swept =
-            solveFloorplanThermals(stacked, StackedDieType::LogicSram,
-                                   pkg, cu_ovr, nullptr, die_nx, die_ny)
-                .peak_c;
+    StudyReport<std::vector<SensitivityPoint>> report;
+    std::vector<SensitivityPoint> &points = report.payload;
+    points.resize(num_points);
+    for (std::size_t i = 0; i < num_points; ++i)
+        points[i].conductivity = spec.conductivities[i];
 
-        StackOverrides bond_ovr;
-        bond_ovr.bond_conductivity = k;
-        point.peak_bond_swept =
-            solveFloorplanThermals(stacked, StackedDieType::LogicSram,
-                                   pkg, bond_ovr, nullptr, die_nx,
-                                   die_ny)
-                .peak_c;
+    unsigned workers = options.resolvedThreads();
+    exec::ThreadPool pool(workers > 1 ? workers : 0);
 
-        points.push_back(point);
-    }
-    return points;
+    // Two cells per swept point: Cu-metal and bonding-layer.
+    exec::parallelFor(pool, num_points * 2, [&](std::size_t cell) {
+        std::size_t i = cell / 2;
+        bool sweep_bond = cell % 2 != 0;
+        double k = spec.conductivities[i];
+        std::string label = "k=" + std::to_string(int(k)) +
+                            (sweep_bond ? "/bond" : "/cu");
+        tracker.runCell(cell, label, [&] {
+            StackOverrides ovr;
+            if (sweep_bond)
+                ovr.bond_conductivity = k;
+            else
+                ovr.cu_metal_conductivity = k;
+            double peak =
+                solveFloorplanThermals(stacked,
+                                       StackedDieType::LogicSram, pkg,
+                                       ovr, nullptr, spec.die_nx,
+                                       spec.die_ny)
+                    .peak_c;
+            if (sweep_bond)
+                points[i].peak_bond_swept = peak;
+            else
+                points[i].peak_cu_swept = peak;
+        });
+    });
+
+    report.meta = tracker.finish();
+    return report;
+}
+
+std::vector<SensitivityPoint>
+runConductivitySensitivity(const std::vector<double> &conductivities,
+                           unsigned die_nx, unsigned die_ny)
+{
+    RunOptions options;
+    options.threads = 1;
+    SensitivitySpec spec;
+    spec.conductivities = conductivities;
+    spec.die_nx = die_nx;
+    spec.die_ny = die_ny;
+    return runConductivitySensitivity(options, spec).payload;
 }
 
 } // namespace core

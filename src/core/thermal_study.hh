@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/run_options.hh"
 #include "floorplan/reference.hh"
 #include "mem/params.hh"
 #include "thermal/render.hh"
@@ -72,7 +73,25 @@ struct StackThermalResult
     std::array<ThermalPoint, 4> options;   ///< Figure 5/8 order
 };
 
-/** Run the Figure 8 study (uses the calibrated Core 2 package). */
+/** Study-specific inputs for the Figure 8 stack-thermal study. */
+struct StackThermalSpec
+{
+    unsigned die_nx = kDefaultDieNx;
+    unsigned die_ny = kDefaultDieNy;
+};
+
+/**
+ * Run the Figure 8 study under the unified Run/Report API: the four
+ * stack options solve as four independent cells (no RNG involved, so
+ * determinism across thread counts is immediate).
+ */
+StudyReport<StackThermalResult> runStackThermalStudy(
+    const RunOptions &options, const StackThermalSpec &spec = {});
+
+/**
+ * Deprecated serial entry point; forwards to the unified API.
+ * Prefer runStackThermalStudy(RunOptions, StackThermalSpec).
+ */
 StackThermalResult runStackThermalStudy(
     unsigned die_nx = kDefaultDieNx, unsigned die_ny = kDefaultDieNy);
 
@@ -84,10 +103,24 @@ struct SensitivityPoint
     double peak_bond_swept = 0.0;///< peak with bond k = conductivity
 };
 
+/** Study-specific inputs for the Figure 3 sensitivity sweep. */
+struct SensitivitySpec
+{
+    std::vector<double> conductivities = {60, 40, 20, 12, 6, 3};
+    unsigned die_nx = 40;
+    unsigned die_ny = 36;
+};
+
 /**
- * Figure 3: sweep the Cu metal-layer and bonding-layer conductivity
- * from 60 down to 3 W/mK on a stacked two-die microprocessor and
- * report the peak temperature for each.
+ * Run the Figure 3 sweep under the unified Run/Report API: each
+ * (conductivity, swept-layer) pair is one cell, two cells per point.
+ */
+StudyReport<std::vector<SensitivityPoint>> runConductivitySensitivity(
+    const RunOptions &options, const SensitivitySpec &spec = {});
+
+/**
+ * Deprecated serial entry point; forwards to the unified API.
+ * Prefer runConductivitySensitivity(RunOptions, SensitivitySpec).
  */
 std::vector<SensitivityPoint> runConductivitySensitivity(
     const std::vector<double> &conductivities = {60, 40, 20, 12, 6, 3},

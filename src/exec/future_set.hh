@@ -1,0 +1,115 @@
+/**
+ * @file
+ * FutureSet: collect futures in submission order and harvest them
+ * deterministically.
+ *
+ * The collection rule every study runner relies on: wait for *all*
+ * futures to finish before rethrowing anything. Tasks reference
+ * caller-owned result slots, so unwinding while siblings are still
+ * running would hand them dangling references. When several tasks
+ * fail, the exception of the earliest-submitted failing task wins —
+ * independent of which thread happened to fail first.
+ */
+
+#ifndef STACK3D_EXEC_FUTURE_SET_HH
+#define STACK3D_EXEC_FUTURE_SET_HH
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "exec/pool.hh"
+
+namespace stack3d {
+namespace exec {
+
+/** An ordered set of futures of the same type. */
+template <typename T>
+class FutureSet
+{
+  public:
+    void add(std::future<T> future) { _futures.push_back(std::move(future)); }
+
+    std::size_t size() const { return _futures.size(); }
+
+    /**
+     * Wait for every future, then return the results in submission
+     * order (rethrowing the first failure only after all finished).
+     */
+    std::vector<T>
+    collect()
+    {
+        std::vector<T> results;
+        results.reserve(_futures.size());
+        std::exception_ptr first_error;
+        for (std::future<T> &f : _futures) {
+            try {
+                results.push_back(f.get());
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        _futures.clear();
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return results;
+    }
+
+  private:
+    std::vector<std::future<T>> _futures;
+};
+
+/** Void specialization: wait() instead of collect(). */
+template <>
+class FutureSet<void>
+{
+  public:
+    void add(std::future<void> future) { _futures.push_back(std::move(future)); }
+
+    std::size_t size() const { return _futures.size(); }
+
+    /** Wait for all, then rethrow the first failure (if any). */
+    void
+    wait()
+    {
+        std::exception_ptr first_error;
+        for (std::future<void> &f : _futures) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        _futures.clear();
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+  private:
+    std::vector<std::future<void>> _futures;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) on the pool and wait for all of them.
+ * With an inline-mode pool this is exactly a serial for-loop in index
+ * order; with workers the iterations run concurrently. Either way the
+ * first-failing-index exception is what propagates.
+ */
+template <typename F>
+void
+parallelFor(ThreadPool &pool, std::size_t n, F &&fn)
+{
+    FutureSet<void> futures;
+    for (std::size_t i = 0; i < n; ++i)
+        futures.add(pool.submit([&fn, i] { fn(i); }));
+    futures.wait();
+}
+
+} // namespace exec
+} // namespace stack3d
+
+#endif // STACK3D_EXEC_FUTURE_SET_HH

@@ -1,0 +1,111 @@
+#include "pool.hh"
+
+namespace stack3d {
+namespace exec {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    _workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        _workers.push_back(std::make_unique<Worker>());
+    _threads.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_sleep_mutex);
+        _stopping = true;
+    }
+    _wakeup.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+void
+ThreadPool::enqueue(Task task)
+{
+    std::size_t i =
+        _next_worker.fetch_add(1, std::memory_order_relaxed) %
+        _workers.size();
+    {
+        std::lock_guard<std::mutex> lock(_workers[i]->mutex);
+        _workers[i]->deque.push_back(std::move(task));
+    }
+    // Lock/unlock pairs the push with the sleeper's predicate check so
+    // a worker can never miss the wakeup for a task it failed to see.
+    {
+        std::lock_guard<std::mutex> lock(_sleep_mutex);
+    }
+    _wakeup.notify_one();
+}
+
+bool
+ThreadPool::popOwn(unsigned self, Task &out)
+{
+    Worker &w = *_workers[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.deque.empty())
+        return false;
+    out = std::move(w.deque.back());
+    w.deque.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::stealFromOthers(unsigned self, Task &out)
+{
+    const std::size_t n = _workers.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        Worker &victim = *_workers[(self + k) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.deque.empty())
+            continue;
+        out = std::move(victim.deque.front());
+        victim.deque.pop_front();
+        return true;
+    }
+    return false;
+}
+
+bool
+ThreadPool::anyQueued()
+{
+    for (auto &w : _workers) {
+        std::lock_guard<std::mutex> lock(w->mutex);
+        if (!w->deque.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        Task task;
+        if (popOwn(self, task) || stealFromOthers(self, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(_sleep_mutex);
+        if (_stopping && !anyQueued())
+            return;
+        _wakeup.wait(lock,
+                     [this] { return _stopping || anyQueued(); });
+        if (_stopping && !anyQueued())
+            return;
+    }
+}
+
+} // namespace exec
+} // namespace stack3d

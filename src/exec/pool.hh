@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A small work-stealing thread pool for fanning independent study
+ * cells out across cores.
+ *
+ * Each worker owns a deque: the owner pushes and pops at the back
+ * (LIFO, cache-friendly for task trees) while idle workers steal from
+ * the front of other workers' deques (FIFO, oldest-first). External
+ * submissions are distributed round-robin across the worker deques.
+ *
+ * Tasks are wrapped in std::packaged_task, so exceptions thrown inside
+ * a task are captured and rethrown from the corresponding future —
+ * never on the worker thread itself.
+ *
+ * A pool constructed with zero threads runs every task inline on the
+ * submitting thread at submit() time. This degenerate mode is what the
+ * study runners use for `threads == 1`: the serial path is the same
+ * code as the parallel path, which is how the determinism guarantee
+ * (N-thread results bit-identical to 1-thread results) stays testable.
+ */
+
+#ifndef STACK3D_EXEC_POOL_HH
+#define STACK3D_EXEC_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace stack3d {
+namespace exec {
+
+/** Work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker threads to spawn; 0 means "inline
+     *        mode" (tasks run on the submitting thread immediately).
+     */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Joins after draining every task already submitted. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 in inline mode). */
+    unsigned numThreads() const { return unsigned(_threads.size()); }
+
+    /**
+     * Submit a nullary callable; returns a future for its result.
+     * In inline mode the callable runs before submit() returns.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F> &>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F> &>;
+        std::packaged_task<R()> task(std::forward<F>(fn));
+        std::future<R> future = task.get_future();
+        if (_workers.empty()) {
+            task();   // inline mode
+            return future;
+        }
+        enqueue(Task(std::move(task)));
+        return future;
+    }
+
+    /** std::thread::hardware_concurrency with a sane floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    /** Type-erased move-only task (packaged_task<R()> wrapped). */
+    class Task
+    {
+      public:
+        Task() = default;
+
+        template <typename R>
+        explicit Task(std::packaged_task<R()> task)
+            : _impl(std::make_unique<Model<R>>(std::move(task)))
+        {
+        }
+
+        explicit operator bool() const { return bool(_impl); }
+        void operator()() { _impl->run(); }
+
+      private:
+        struct Concept
+        {
+            virtual ~Concept() = default;
+            virtual void run() = 0;
+        };
+        template <typename R>
+        struct Model : Concept
+        {
+            explicit Model(std::packaged_task<R()> t)
+                : task(std::move(t))
+            {
+            }
+            void run() override { task(); }
+            std::packaged_task<R()> task;
+        };
+        std::unique_ptr<Concept> _impl;
+    };
+
+    /** One worker's deque; the mutex only guards this deque. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> deque;
+    };
+
+    void enqueue(Task task);
+    void workerLoop(unsigned self);
+    bool popOwn(unsigned self, Task &out);
+    bool stealFromOthers(unsigned self, Task &out);
+    bool anyQueued();
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+
+    /** Guards sleeping/waking; queues have their own locks. */
+    std::mutex _sleep_mutex;
+    std::condition_variable _wakeup;
+    bool _stopping = false;
+
+    /** Round-robin cursor for external submissions. */
+    std::atomic<std::size_t> _next_worker{0};
+};
+
+} // namespace exec
+} // namespace stack3d
+
+#endif // STACK3D_EXEC_POOL_HH

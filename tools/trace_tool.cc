@@ -12,6 +12,11 @@
  *       Simulate the trace against one Figure 7 cache organization
  *       and print CPMA / bandwidth plus the full hierarchy stats.
  *
+ *   trace_tool sweep <file.trace> [--threads N]
+ *       Simulate the trace against all four organizations — one
+ *       study cell each, fanned out over N worker threads with live
+ *       progress — and print the Figure 5-style comparison row.
+ *
  * Traces written by `gen` are reusable across runs and across the
  * four organizations, exactly like the paper's trace methodology.
  */
@@ -21,6 +26,9 @@
 #include <iostream>
 #include <string>
 
+#include "core/memory_study.hh"
+#include "exec/future_set.hh"
+#include "exec/pool.hh"
 #include "mem/engine.hh"
 #include "trace/file.hh"
 #include "workloads/registry.hh"
@@ -36,7 +44,8 @@ usage()
                  "usage:\n"
                  "  trace_tool gen <kernel> <out.trace> [records]\n"
                  "  trace_tool info <file.trace>\n"
-                 "  trace_tool run <file.trace> <4|12|32|64>\n");
+                 "  trace_tool run <file.trace> <4|12|32|64>\n"
+                 "  trace_tool sweep <file.trace> [--threads N]\n");
     return 2;
 }
 
@@ -123,6 +132,63 @@ cmdRun(int argc, char **argv)
     return 0;
 }
 
+int
+cmdSweep(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    unsigned threads = 1;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = core::parseThreadArg(argv[++i], "--threads");
+    }
+
+    trace::TraceBuffer buf = trace::readTraceFile(argv[2]);
+    std::printf("sweeping %zu records over the four organizations "
+                "(%u thread(s))...\n",
+                buf.size(), threads);
+
+    core::RunOptions opts;
+    opts.threads = threads;
+    core::ConsoleProgressSink sink(std::cout);
+    opts.progress = &sink;
+
+    // One cell per Figure 7 organization, reported through the same
+    // ProgressSink/StudyTracker machinery the studies use.
+    core::StudyTracker tracker("sweep", core::kStackOptions.size(),
+                               opts);
+    std::array<mem::EngineResult, 4> results;
+
+    unsigned workers = opts.resolvedThreads();
+    exec::ThreadPool pool(workers > 1 ? workers : 0);
+    exec::parallelFor(pool, core::kStackOptions.size(),
+                      [&](std::size_t o) {
+        mem::StackOption option = core::kStackOptions[o];
+        tracker.runCell(o, mem::stackOptionName(option), [&] {
+            mem::MemoryHierarchy hier(
+                mem::makeHierarchyParams(option));
+            mem::TraceEngine engine;
+            results[o] = engine.run(buf, hier);
+        });
+    });
+    core::StudyMeta meta = tracker.finish();
+
+    std::printf("\n%-12s %8s %10s %8s %10s\n", "option", "CPMA",
+                "offdie", "bus W", "LLC miss");
+    for (std::size_t o = 0; o < results.size(); ++o) {
+        std::printf("%-12s %8.3f %10.2f %8.2f %9.1f%%\n",
+                    mem::stackOptionName(core::kStackOptions[o]),
+                    results[o].cpma, results[o].offdie_gbps,
+                    results[o].bus_power_w,
+                    results[o].llc_miss_rate * 100.0);
+    }
+    std::printf("\nwall %.2fs on %u thread(s), serial-equivalent "
+                "%.2fs\n",
+                meta.wall_seconds, meta.threads_used,
+                meta.serial_seconds);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -137,6 +203,8 @@ main(int argc, char **argv)
             return cmdInfo(argc, argv);
         if (std::strcmp(argv[1], "run") == 0)
             return cmdRun(argc, argv);
+        if (std::strcmp(argv[1], "sweep") == 0)
+            return cmdSweep(argc, argv);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
