@@ -9,11 +9,16 @@
  *  - pipelined vs full-occupancy DRAM-cache activation
  *  - prefetch degree and issue-window sweeps
  *  - d2d interface latency sweep (what if the bond were slower?)
+ *
+ * Usage: ablations [shared flags] — see core::BenchCli for
+ * --trace-out/--stats-json/--quiet/...
  */
 
 #include <iostream>
+#include <streambuf>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "mem/engine.hh"
 #include "workloads/registry.hh"
 
@@ -37,12 +42,32 @@ run(const trace::TraceBuffer &buf, mem::HierarchyParams hp,
     return mem::TraceEngine(ep).run(buf, hier);
 }
 
+/** Stream buffer discarding everything (backs --quiet). */
+class NullBuf : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return c; }
+};
+
 } // anonymous namespace
 
 int
-main()
+realMain(int argc, char **argv)
 {
-    printBanner(std::cout, "Ablation: dependency honoring (sSym, 32MB)");
+    core::BenchCli cli("ablations");
+    for (int i = 1; i < argc; ++i) {
+        if (!cli.consume(argc, argv, i)) {
+            std::cerr << "usage: ablations [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
+    }
+    cli.begin();
+    NullBuf null_buf;
+    std::ostream null_os(&null_buf);
+    std::ostream &out = cli.quiet() ? null_os : std::cout;
+
+    printBanner(out, "Ablation: dependency honoring (sSym, 32MB)");
     {
         // sSym's gathers are chained through the column-index loads;
         // at the stacked DRAM's hit latency the chains are what
@@ -63,13 +88,13 @@ main()
                 .cell(run(buf, hp, ep16).cpma, 3)
                 .cell(run(buf, hp, ep128).cpma, 3);
         }
-        t.print(std::cout);
-        std::cout << "(index-gather chains are what the paper's "
+        t.print(out);
+        out << "(index-gather chains are what the paper's "
                      "dependency-annotated traces preserve; their "
                      "cost depends on how much MLP the core has)\n";
     }
 
-    printBanner(std::cout, "Ablation: stream prefetcher (conj, 32MB)");
+    printBanner(out, "Ablation: stream prefetcher (conj, 32MB)");
     {
         // conj's vector sweeps carry store->load dependencies; with
         // the prefetcher off, those chains are exposed to the
@@ -97,13 +122,13 @@ main()
             .cell(100.0 * double(r_off.hier.demand_l1d_misses) /
                       double(r_off.hier.accesses),
                   1);
-        t.print(std::cout);
-        std::cout << "(the deep issue window hides most of the "
+        t.print(out);
+        out << "(the deep issue window hides most of the "
                      "exposed latency at CPMA level; per-reference "
                      "latency shows the prefetcher's coverage)\n";
     }
 
-    printBanner(std::cout,
+    printBanner(out,
                 "Ablation: DRAM-cache sectoring (sMVM, 32MB)");
     {
         trace::TraceBuffer buf = makeTrace("sMVM", 1000000);
@@ -118,12 +143,12 @@ main()
                 .cell(r.cpma, 3)
                 .cell(r.offdie_gbps, 2);
         }
-        t.print(std::cout);
-        std::cout << "(the paper's 64 B sectors avoid fetching whole "
+        t.print(out);
+        out << "(the paper's 64 B sectors avoid fetching whole "
                      "512 B pages over the off-die bus)\n";
     }
 
-    printBanner(std::cout,
+    printBanner(out,
                 "Ablation: DRAM-cache activation model (sAVDF, 32MB)");
     {
         trace::TraceBuffer buf = makeTrace("sAVDF", 1000000);
@@ -136,13 +161,13 @@ main()
                 .cell(pipelined ? "pipelined subarrays" : "full tRC")
                 .cell(run(buf, hp).cpma, 3);
         }
-        t.print(std::cout);
-        std::cout << "(full-occupancy activation would make gather "
+        t.print(out);
+        out << "(full-occupancy activation would make gather "
                      "benchmarks regress at 32 MB, contradicting "
                      "Figure 5)\n";
     }
 
-    printBanner(std::cout, "Sweep: prefetch degree (conj, 32MB)");
+    printBanner(out, "Sweep: prefetch degree (conj, 32MB)");
     {
         trace::TraceBuffer buf = makeTrace("conj", 1500000);
         TextTable t({"degree", "CPMA", "avg latency"});
@@ -159,10 +184,10 @@ main()
                 .cell(r.cpma, 3)
                 .cell(r.avg_latency, 1);
         }
-        t.print(std::cout);
+        t.print(out);
     }
 
-    printBanner(std::cout, "Sweep: issue window (sSym, 32MB)");
+    printBanner(out, "Sweep: issue window (sSym, 32MB)");
     {
         trace::TraceBuffer buf = makeTrace("sSym", 1000000);
         mem::HierarchyParams hp =
@@ -174,12 +199,12 @@ main()
             t.newRow().cell((long long)window).cell(
                 run(buf, hp, ep).cpma, 3);
         }
-        t.print(std::cout);
-        std::cout << "(window MLP is what covers the stacked DRAM's "
+        t.print(out);
+        out << "(window MLP is what covers the stacked DRAM's "
                      "higher random-access latency)\n";
     }
 
-    printBanner(std::cout,
+    printBanner(out,
                 "Sweep: d2d interface latency (sSym, 32MB, 32-entry "
                 "window)");
     {
@@ -199,10 +224,23 @@ main()
                 .cell(r.cpma, 3)
                 .cell(r.avg_latency, 1);
         }
-        t.print(std::cout);
-        std::cout << "(the face-to-face bond's ~via-class latency is "
+        t.print(out);
+        out << "(the face-to-face bond's ~via-class latency is "
                      "what makes the stacked DRAM feel on-die; at "
                      "off-die-class latencies the benefit erodes)\n";
     }
-    return 0;
+    return cli.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

@@ -10,12 +10,17 @@
  * Output: peak temperature and the performance of an equivalent-
  * capacity DRAM cache for 1..4 stacked DRAM dies, plus the transient
  * power-on time constant of the tallest stack.
+ *
+ * Usage: ext_multidie [shared flags] — see core::BenchCli for
+ * --seed/--trace-out/--stats-json/--quiet/...
  */
 
 #include <iostream>
+#include <streambuf>
 #include <vector>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/memory_study.hh"
 #include "floorplan/reference.hh"
 #include "mem/engine.hh"
@@ -75,25 +80,53 @@ cpmaAtCapacity(const trace::TraceBuffer &buf, std::uint64_t mib)
     return engine.run(buf, hier).cpma;
 }
 
+/** Stream buffer discarding everything (backs --quiet). */
+class NullBuf : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return c; }
+};
+
 } // anonymous namespace
 
 int
-main()
+realMain(int argc, char **argv)
 {
-    printBanner(std::cout,
+    core::BenchCli cli("ext_multidie");
+    for (int i = 1; i < argc; ++i) {
+        if (!cli.consume(argc, argv, i)) {
+            std::cerr << "usage: ext_multidie [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
+    }
+    cli.begin();
+    NullBuf null_buf;
+    std::ostream null_os(&null_buf);
+    std::ostream &out = cli.quiet() ? null_os : std::cout;
+
+    printBanner(out,
                 "Extension: stacking more than two dies");
 
     workloads::WorkloadConfig wcfg;
     wcfg.records_per_thread = 5500000;
+    wcfg.seed = cli.options.seed;
     trace::TraceBuffer sus =
         workloads::makeRmsKernel("sUS")->generate(wcfg);
 
     TextTable t({"DRAM dies", "capacity MB", "cpu peak C",
                  "hottest DRAM die C", "sUS CPMA"});
     for (unsigned n = 1; n <= 4; ++n) {
+        obs::Span span("multidie/" + std::to_string(n) + "die",
+                       "bench");
         double dram_peak = 0.0;
         double cpu_peak = solveStackOfN(n, dram_peak);
         double cpma = cpmaAtCapacity(sus, std::uint64_t(32) * n);
+        std::string prefix =
+            "multidie." + std::to_string(n) + "die.";
+        cli.counters().set(prefix + "cpu_peak_c", cpu_peak);
+        cli.counters().set(prefix + "dram_peak_c", dram_peak);
+        cli.counters().set(prefix + "sus_cpma", cpma);
         t.newRow()
             .cell((long long)n)
             .cell((long long)(32 * n))
@@ -101,13 +134,13 @@ main()
             .cell(dram_peak, 2)
             .cell(cpma, 3);
     }
-    t.print(std::cout);
-    std::cout << "\neach extra DRAM die adds 3.1 W farther from the "
-                 "heat sink; capacity-bound workloads keep gaining "
-                 "while the thermal cost stays small — the paper's "
-                 "thesis extends to taller stacks\n";
+    t.print(out);
+    out << "\neach extra DRAM die adds 3.1 W farther from the "
+           "heat sink; capacity-bound workloads keep gaining "
+           "while the thermal cost stays small — the paper's "
+           "thesis extends to taller stacks\n";
 
-    printBanner(std::cout,
+    printBanner(out,
                 "Extension: transient power-on of the 4-die stack");
     {
         auto base = floorplan::makeCore2BaseDie32MKeepOutline();
@@ -124,10 +157,28 @@ main()
                 geom.layerIndex("active" + std::to_string(d + 2)),
                 map);
         }
+        obs::Span span("multidie/transient", "bench");
         TransientResult tr = solveTransient(mesh, 20.0, 0.25);
-        std::cout << "peak after 20 s: " << tr.samples.back().peak_c
-                  << " C; thermal time constant ~ "
-                  << tr.time_constant_s << " s\n";
+        cli.counters().set("multidie.transient.peak_c",
+                           tr.samples.back().peak_c);
+        cli.counters().set("multidie.transient.time_constant_s",
+                           tr.time_constant_s);
+        out << "peak after 20 s: " << tr.samples.back().peak_c
+            << " C; thermal time constant ~ " << tr.time_constant_s
+            << " s\n";
     }
-    return 0;
+    return cli.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

@@ -5,20 +5,35 @@
  * (112.5 C at 125 W, ~1.3x peak density), and the worst-case naive
  * fold (124.75 C at 147 W, ~2x density). Also exercises the
  * automatic density-repair planner as an ablation.
+ *
+ * Usage: fig11_logic_thermals [shared flags] — see core::BenchCli
+ * for --trace-out/--stats-json/--quiet/...
  */
 
 #include <iostream>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/logic_study.hh"
 #include "floorplan/planner.hh"
 
 using namespace stack3d;
 
 int
-main()
+realMain(int argc, char **argv)
 {
-    printBanner(std::cout, "Figure 11: Logic+Logic thermals");
+    core::BenchCli cli("fig11_logic_thermals");
+    for (int i = 1; i < argc; ++i) {
+        if (!cli.consume(argc, argv, i)) {
+            std::cerr << "usage: fig11_logic_thermals [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
+    }
+    cli.begin();
+
+    if (!cli.quiet())
+        printBanner(std::cout, "Figure 11: Logic+Logic thermals");
 
     thermal::PackageModel pkg = thermal::makeP4Package();
     floorplan::Floorplan planar = floorplan::makePentium4Planar();
@@ -37,31 +52,41 @@ main()
     auto worst_pt = core::solveFloorplanThermals(
         worst, thermal::StackedDieType::LogicSram, pkg);
 
-    TextTable t({"configuration", "power W", "density x", "peak C",
-                 "paper C"});
-    t.newRow()
-        .cell("2D Baseline")
-        .cell(planar_pt.total_power_w, 1)
-        .cell(1.0, 2)
-        .cell(planar_pt.peak_c, 2)
-        .cell("98.6");
-    t.newRow()
-        .cell("3D")
-        .cell(stacked_pt.total_power_w, 1)
-        .cell(stacked.peakStackedDensity() / planar_density, 2)
-        .cell(stacked_pt.peak_c, 2)
-        .cell("112.5");
-    t.newRow()
-        .cell("3D Worstcase")
-        .cell(worst_pt.total_power_w, 1)
-        .cell(worst.peakStackedDensity() / planar_density, 2)
-        .cell(worst_pt.peak_c, 2)
-        .cell("124.75");
-    t.print(std::cout);
+    thermal::appendSolveCounters(cli.counters(), "thermal.planar.",
+                                 planar_pt.solve);
+    thermal::appendSolveCounters(cli.counters(), "thermal.stacked.",
+                                 stacked_pt.solve);
+    thermal::appendSolveCounters(cli.counters(), "thermal.worst.",
+                                 worst_pt.solve);
 
-    printBanner(std::cout,
-                "Ablation: iterative density repair on/off");
+    if (!cli.quiet()) {
+        TextTable t({"configuration", "power W", "density x", "peak C",
+                     "paper C"});
+        t.newRow()
+            .cell("2D Baseline")
+            .cell(planar_pt.total_power_w, 1)
+            .cell(1.0, 2)
+            .cell(planar_pt.peak_c, 2)
+            .cell("98.6");
+        t.newRow()
+            .cell("3D")
+            .cell(stacked_pt.total_power_w, 1)
+            .cell(stacked.peakStackedDensity() / planar_density, 2)
+            .cell(stacked_pt.peak_c, 2)
+            .cell("112.5");
+        t.newRow()
+            .cell("3D Worstcase")
+            .cell(worst_pt.total_power_w, 1)
+            .cell(worst.peakStackedDensity() / planar_density, 2)
+            .cell(worst_pt.peak_c, 2)
+            .cell("124.75");
+        t.print(std::cout);
+
+        printBanner(std::cout,
+                    "Ablation: iterative density repair on/off");
+    }
     {
+        obs::Span span("fig11.planner_ablation", "bench");
         floorplan::PlannerParams pp;
         pp.seed = 3;
         auto repaired = floorplan::planStacking(planar, pp);
@@ -70,23 +95,43 @@ main()
         naive.beta_density = 0.0;   // wirelength only, no repair
         auto unrepaired = floorplan::planStacking(planar, naive);
 
-        TextTable a({"planner", "wirelength mm", "peak density x"});
-        a.newRow()
-            .cell("planar reference")
-            .cell(repaired.planar_wirelength * 1e3, 1)
-            .cell(1.0, 2);
-        a.newRow()
-            .cell("3D, density repair ON")
-            .cell(repaired.wirelength * 1e3, 1)
-            .cell(repaired.peak_density_ratio, 2);
-        a.newRow()
-            .cell("3D, density repair OFF")
-            .cell(unrepaired.wirelength * 1e3, 1)
-            .cell(unrepaired.peak_density_ratio, 2);
-        a.print(std::cout);
-        std::cout << "(the paper's iterative place/observe/repair "
-                     "process holds the stacked peak near 1.3x; "
-                     "without it naive stacking approaches 2x)\n";
+        cli.counters().set("planner.repaired_density_ratio",
+                           repaired.peak_density_ratio);
+        cli.counters().set("planner.unrepaired_density_ratio",
+                           unrepaired.peak_density_ratio);
+
+        if (!cli.quiet()) {
+            TextTable a({"planner", "wirelength mm", "peak density x"});
+            a.newRow()
+                .cell("planar reference")
+                .cell(repaired.planar_wirelength * 1e3, 1)
+                .cell(1.0, 2);
+            a.newRow()
+                .cell("3D, density repair ON")
+                .cell(repaired.wirelength * 1e3, 1)
+                .cell(repaired.peak_density_ratio, 2);
+            a.newRow()
+                .cell("3D, density repair OFF")
+                .cell(unrepaired.wirelength * 1e3, 1)
+                .cell(unrepaired.peak_density_ratio, 2);
+            a.print(std::cout);
+            std::cout << "(the paper's iterative place/observe/repair "
+                         "process holds the stacked peak near 1.3x; "
+                         "without it naive stacking approaches 2x)\n";
+        }
     }
-    return 0;
+    return cli.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

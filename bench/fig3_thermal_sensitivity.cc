@@ -7,20 +7,35 @@
  * Paper's observations to reproduce: both curves rise as k falls;
  * the Cu metal layer is the more sensitive of the two (and sits at
  * the unfavourable actual value of 12 W/mK, vs the bond layer's 60).
+ *
+ * Usage: fig3_thermal_sensitivity [shared flags] — see
+ * core::BenchCli for --threads/--trace-out/--stats-json/--quiet/...
  */
 
 #include <iostream>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/thermal_study.hh"
 
 using namespace stack3d;
 
 int
-main()
+realMain(int argc, char **argv)
 {
-    printBanner(std::cout, "Table 2: thermal constants (Figure 1 stack)");
-    {
+    core::BenchCli cli("fig3_thermal_sensitivity");
+    for (int i = 1; i < argc; ++i) {
+        if (!cli.consume(argc, argv, i)) {
+            std::cerr << "usage: fig3_thermal_sensitivity [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
+    }
+    cli.begin();
+
+    if (!cli.quiet()) {
+        printBanner(std::cout,
+                    "Table 2: thermal constants (Figure 1 stack)");
         using namespace thermal::table2;
         TextTable t({"name", "value", "unit"});
         t.newRow().cell("Si #1 thickness").cell(si1_thickness * 1e6, 0)
@@ -46,32 +61,53 @@ main()
         t.newRow().cell("Ambient temperature").cell(ambient, 0)
             .cell("C");
         t.print(std::cout);
+
+        printBanner(std::cout,
+                    "Figure 3: peak temperature vs layer conductivity");
     }
 
-    printBanner(std::cout,
-                "Figure 3: peak temperature vs layer conductivity");
+    core::SensitivitySpec spec;
+    spec.conductivities = {60, 48, 36, 24, 12, 6, 3};
+    cli.addConfig("sweep_points", double(spec.conductivities.size()));
+    cli.options.progress = cli.progress();
+    auto report = core::runConductivitySensitivity(cli.options, spec);
+    const std::vector<core::SensitivityPoint> &points = report.payload;
+    cli.recordMeta(report.meta);
 
-    auto points = core::runConductivitySensitivity(
-        {60, 48, 36, 24, 12, 6, 3});
+    if (!cli.quiet()) {
+        TextTable t(
+            {"k (W/mK)", "Cu metal swept (C)", "bond swept (C)"});
+        for (const auto &p : points) {
+            t.newRow()
+                .cell(p.conductivity, 0)
+                .cell(p.peak_cu_swept, 2)
+                .cell(p.peak_bond_swept, 2);
+        }
+        t.print(std::cout);
+        std::cout << "\nCSV:\n";
+        t.printCsv(std::cout);
 
-    TextTable t({"k (W/mK)", "Cu metal swept (C)", "bond swept (C)"});
-    for (const auto &p : points) {
-        t.newRow()
-            .cell(p.conductivity, 0)
-            .cell(p.peak_cu_swept, 2)
-            .cell(p.peak_bond_swept, 2);
+        double cu_span =
+            points.back().peak_cu_swept - points.front().peak_cu_swept;
+        double bond_span = points.back().peak_bond_swept -
+                           points.front().peak_bond_swept;
+        std::cout << "\nswing over the sweep: Cu metal " << cu_span
+                  << " C, bond layer " << bond_span
+                  << " C  (paper: metal layer dominates; ~2-5 C swings "
+                     "on an ~85 C part)\n";
     }
-    t.print(std::cout);
-    std::cout << "\nCSV:\n";
-    t.printCsv(std::cout);
+    return cli.finish();
+}
 
-    double cu_span =
-        points.back().peak_cu_swept - points.front().peak_cu_swept;
-    double bond_span =
-        points.back().peak_bond_swept - points.front().peak_bond_swept;
-    std::cout << "\nswing over the sweep: Cu metal " << cu_span
-              << " C, bond layer " << bond_span
-              << " C  (paper: metal layer dominates; ~2-5 C swings "
-                 "on an ~85 C part)\n";
-    return 0;
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

@@ -6,13 +6,12 @@
  * microarchitecture parameters and prints the Section 3 headline
  * aggregates.
  *
- * Usage: fig5_cpma_bandwidth [--quick] [--depth F] [--threads N]
- *                            [--json PATH]
+ * Usage: fig5_cpma_bandwidth [--quick] [--json PATH] [shared flags]
  *
- *   --threads N  fan the (benchmark x option) cells out over N
- *                worker threads (0 = one per core); results are
- *                bit-identical to a serial run
- *   --json PATH  write machine-readable timings + results to PATH
+ *   --quick      depth 0.25 (a fast smoke run)
+ *   --json PATH  write manifest + counters + results to PATH
+ *   plus the shared observability flags (--threads, --depth, --seed,
+ *   --trace-out, --stats-json, --quiet, ...); see core::BenchCli.
  */
 
 #include <cstring>
@@ -22,6 +21,7 @@
 
 #include "common/json.hh"
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/memory_study.hh"
 
 using namespace stack3d;
@@ -54,76 +54,84 @@ printTable3(std::ostream &os)
 int
 realMain(int argc, char **argv)
 {
-    core::RunOptions opts;
+    core::BenchCli cli("fig5_cpma_bandwidth");
+    core::RunOptions &opts = cli.options;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
+        if (cli.consume(argc, argv, i))
+            continue;
         if (std::strcmp(argv[i], "--quick") == 0)
             opts.depth = 0.25;
-        else if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc)
-            opts.depth = std::stod(argv[++i]);
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            opts.threads = core::parseThreadArg(argv[++i], "--threads");
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
     }
+    cli.begin();
 
-    printTable3(std::cout);
+    if (!cli.quiet()) {
+        printTable3(std::cout);
 
-    printBanner(std::cout,
-                "Figure 5: CPMA and off-die BW vs LLC capacity");
-    std::cout << "(two-threaded RMS traces, depth " << opts.depth
-              << ", " << opts.resolvedThreads()
-              << " thread(s); columns are the 4/12/32/64 MB "
-                 "organizations)\n\n";
+        printBanner(std::cout,
+                    "Figure 5: CPMA and off-die BW vs LLC capacity");
+        std::cout << "(two-threaded RMS traces, depth " << opts.depth
+                  << ", " << opts.resolvedThreads()
+                  << " thread(s); columns are the 4/12/32/64 MB "
+                     "organizations)\n\n";
+    }
 
+    opts.progress = cli.progress();
     auto report = core::runMemoryStudy(opts);
     const core::MemoryStudyResult &result = report.payload;
-
-    TextTable t({"benchmark", "MB", "CPMA 4", "CPMA 12", "CPMA 32",
-                 "CPMA 64", "BW 4", "BW 12", "BW 32", "BW 64"});
-    double avg_cpma[4] = {0, 0, 0, 0};
-    double avg_bw[4] = {0, 0, 0, 0};
-    for (const auto &row : result.rows) {
-        t.newRow().cell(row.benchmark).cell(row.footprint_mb, 1);
-        for (int o = 0; o < 4; ++o)
-            t.cell(row.cpma[o], 3);
-        for (int o = 0; o < 4; ++o)
-            t.cell(row.bw_gbps[o], 2);
-        for (int o = 0; o < 4; ++o) {
-            avg_cpma[o] += row.cpma[o] / double(result.rows.size());
-            avg_bw[o] += row.bw_gbps[o] / double(result.rows.size());
-        }
-    }
-    t.newRow().cell("Avg").cell("");
-    for (int o = 0; o < 4; ++o)
-        t.cell(avg_cpma[o], 3);
-    for (int o = 0; o < 4; ++o)
-        t.cell(avg_bw[o], 2);
-    t.print(std::cout);
-    std::cout << "\nCSV:\n";
-    t.printCsv(std::cout);
+    cli.recordMeta(report.meta);
 
     const auto &s = result.summary;
-    printBanner(std::cout, "Section 3 headlines (32 MB DRAM option)");
-    std::cout << "avg CPMA reduction:   " << s.avg_cpma_reduction_32m *
-                     100.0
-              << " %   (paper: 13% avg)\n"
-              << "max CPMA reduction:   " << s.max_cpma_reduction_32m *
-                     100.0
-              << " %   (paper: up to 55%)\n"
-              << "avg BW reduction:     " << s.avg_bw_reduction_factor_32m
-              << " x   (paper: ~3x)\n"
-              << "avg bus-power saving: "
-              << s.avg_bus_power_reduction_32m * 100.0
-              << " %  (" << s.avg_bus_power_saving_w
-              << " W)   (paper: 66%, ~0.5 W)\n";
+    if (!cli.quiet()) {
+        TextTable t({"benchmark", "MB", "CPMA 4", "CPMA 12", "CPMA 32",
+                     "CPMA 64", "BW 4", "BW 12", "BW 32", "BW 64"});
+        double avg_cpma[4] = {0, 0, 0, 0};
+        double avg_bw[4] = {0, 0, 0, 0};
+        for (const auto &row : result.rows) {
+            t.newRow().cell(row.benchmark).cell(row.footprint_mb, 1);
+            for (int o = 0; o < 4; ++o)
+                t.cell(row.cpma[o], 3);
+            for (int o = 0; o < 4; ++o)
+                t.cell(row.bw_gbps[o], 2);
+            for (int o = 0; o < 4; ++o) {
+                avg_cpma[o] += row.cpma[o] / double(result.rows.size());
+                avg_bw[o] += row.bw_gbps[o] / double(result.rows.size());
+            }
+        }
+        t.newRow().cell("Avg").cell("");
+        for (int o = 0; o < 4; ++o)
+            t.cell(avg_cpma[o], 3);
+        for (int o = 0; o < 4; ++o)
+            t.cell(avg_bw[o], 2);
+        t.print(std::cout);
+        std::cout << "\nCSV:\n";
+        t.printCsv(std::cout);
 
-    std::cout << "\nwall " << report.meta.wall_seconds
-              << " s over " << report.meta.cells.size()
-              << " cells (serial-equivalent "
-              << report.meta.serial_seconds << " s, speedup "
-              << report.meta.speedup() << "x at "
-              << report.meta.threads_used << " threads)\n";
+        printBanner(std::cout,
+                    "Section 3 headlines (32 MB DRAM option)");
+        std::cout << "avg CPMA reduction:   "
+                  << s.avg_cpma_reduction_32m * 100.0
+                  << " %   (paper: 13% avg)\n"
+                  << "max CPMA reduction:   "
+                  << s.max_cpma_reduction_32m * 100.0
+                  << " %   (paper: up to 55%)\n"
+                  << "avg BW reduction:     "
+                  << s.avg_bw_reduction_factor_32m
+                  << " x   (paper: ~3x)\n"
+                  << "avg bus-power saving: "
+                  << s.avg_bus_power_reduction_32m * 100.0
+                  << " %  (" << s.avg_bus_power_saving_w
+                  << " W)   (paper: 66%, ~0.5 W)\n";
+
+        std::cout << "\nwall " << report.meta.wall_seconds
+                  << " s over " << report.meta.cells.size()
+                  << " cells (serial-equivalent "
+                  << report.meta.serial_seconds << " s, speedup "
+                  << report.meta.speedup() << "x at "
+                  << report.meta.threads_used << " threads)\n";
+    }
 
     if (!json_path.empty()) {
         std::ofstream jf(json_path);
@@ -133,6 +141,7 @@ realMain(int argc, char **argv)
         }
         JsonWriter w(jf);
         w.beginObject();
+        cli.writeJsonHeader(w);
         core::writeMetaJson(w, report.meta);
         w.key("depth").value(opts.depth);
         w.key("rows").beginArray();
@@ -164,9 +173,11 @@ realMain(int argc, char **argv)
             .value(s.avg_bus_power_reduction_32m);
         w.endObject();
         w.endObject();
-        std::cout << "wrote " << json_path << "\n";
+        jf << "\n";
+        if (!cli.quiet())
+            std::cout << "wrote " << json_path << "\n";
     }
-    return 0;
+    return cli.finish();
 }
 
 int

@@ -4,50 +4,88 @@
  * (b) the thermal map of the 92 W part, with the FP / RS / LdSt hot
  * spots. Paper reference points: hottest spots 88.35 C, coolest
  * 59 C at 40 C ambient.
+ *
+ * Usage: fig6_baseline_thermal [shared flags] — see core::BenchCli
+ * for --trace-out/--stats-json/--quiet/...
  */
 
 #include <iostream>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/thermal_study.hh"
 
 using namespace stack3d;
 
 int
-main()
+realMain(int argc, char **argv)
 {
-    printBanner(std::cout, "Figure 6(a): Core 2 Duo power map");
+    core::BenchCli cli("fig6_baseline_thermal");
+    for (int i = 1; i < argc; ++i) {
+        if (!cli.consume(argc, argv, i)) {
+            std::cerr << "usage: fig6_baseline_thermal [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
+    }
+    cli.begin();
 
     floorplan::Floorplan fp = floorplan::makeCore2Duo();
-    std::cout << "total power: " << fp.totalPower() << " W (92 W skew)\n"
-              << "die: " << fp.width() * 1e3 << " x " << fp.height() * 1e3
-              << " mm; L2 cache occupies ~50% of the die\n\n";
+    if (!cli.quiet()) {
+        printBanner(std::cout, "Figure 6(a): Core 2 Duo power map");
+        std::cout << "total power: " << fp.totalPower()
+                  << " W (92 W skew)\n"
+                  << "die: " << fp.width() * 1e3 << " x "
+                  << fp.height() * 1e3
+                  << " mm; L2 cache occupies ~50% of the die\n\n";
 
-    thermal::PowerMap map =
-        fp.powerMap(core::kDefaultDieNx, core::kDefaultDieNy, 0);
-    thermal::renderPowerMap(std::cout, map);
+        thermal::PowerMap map =
+            fp.powerMap(core::kDefaultDieNx, core::kDefaultDieNy, 0);
+        thermal::renderPowerMap(std::cout, map);
 
-    printBanner(std::cout, "Figure 6(b): thermal map");
+        printBanner(std::cout, "Figure 6(b): thermal map");
+    }
     core::ThermalSolution solution;
     core::ThermalPoint pt = core::solveFloorplanThermals(
         fp, thermal::StackedDieType::None, {}, {}, &solution);
+    thermal::appendSolveCounters(cli.counters(), "thermal.baseline.",
+                                 pt.solve);
 
-    unsigned active =
-        solution.mesh->geometry().layerIndex("active1");
-    thermal::renderLayerMap(std::cout, *solution.field, active);
+    if (!cli.quiet()) {
+        unsigned active =
+            solution.mesh->geometry().layerIndex("active1");
+        thermal::renderLayerMap(std::cout, *solution.field, active);
 
-    TextTable t({"metric", "measured", "paper"});
-    t.newRow().cell("hottest spot (C)").cell(pt.peak_c, 2).cell("88.35");
-    t.newRow().cell("coolest area (C)").cell(pt.min_c, 2).cell("59");
-    t.print(std::cout);
+        TextTable t({"metric", "measured", "paper"});
+        t.newRow().cell("hottest spot (C)").cell(pt.peak_c, 2)
+            .cell("88.35");
+        t.newRow().cell("coolest area (C)").cell(pt.min_c, 2).cell("59");
+        t.print(std::cout);
 
-    // Name the hot blocks: the three hottest by block power density.
-    std::cout << "\nhot blocks (power density, W/mm^2): ";
-    for (const auto &b : fp.blocks()) {
-        if (b.powerDensity() > 2.5e6)
-            std::cout << b.name << "=" << b.powerDensity() / 1e6 << " ";
+        // Name the hot blocks: the three hottest by block power
+        // density.
+        std::cout << "\nhot blocks (power density, W/mm^2): ";
+        for (const auto &b : fp.blocks()) {
+            if (b.powerDensity() > 2.5e6) {
+                std::cout << b.name << "=" << b.powerDensity() / 1e6
+                          << " ";
+            }
+        }
+        std::cout << "\n(paper: FP units, reservation stations, and "
+                     "the load/store unit)\n";
     }
-    std::cout << "\n(paper: FP units, reservation stations, and the "
-                 "load/store unit)\n";
-    return 0;
+    return cli.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

@@ -10,6 +10,7 @@
 
 #include "cpu/pipeline.hh"
 #include "mem/engine.hh"
+#include "obs/trace.hh"
 #include "thermal/solver.hh"
 #include "thermal/stacks.hh"
 #include "workloads/registry.hh"
@@ -121,6 +122,35 @@ BM_PipelineModel(benchmark::State &state)
                             std::int64_t(uops.size()));
 }
 BENCHMARK(BM_PipelineModel)->Unit(benchmark::kMillisecond);
+
+void
+BM_SpanNoCollector(benchmark::State &state)
+{
+    // The instrumentation cost every hot path pays when tracing is
+    // off: one relaxed load + branch per span.
+    for (auto _ : state) {
+        obs::Span span("bench.span", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanNoCollector);
+
+void
+BM_SpanRecording(benchmark::State &state)
+{
+    obs::TraceCollector collector;
+    collector.install();
+    for (auto _ : state) {
+        obs::Span span("bench.span", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+    collector.uninstall();
+    state.SetItemsProcessed(state.iterations());
+}
+// Fixed iteration count: every recorded span stays buffered in the
+// collector, so an open-ended run would grow without bound.
+BENCHMARK(BM_SpanRecording)->Iterations(1 << 18);
 
 } // anonymous namespace
 

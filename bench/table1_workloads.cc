@@ -4,31 +4,57 @@
  * every kernel and prints its descriptor, footprint, record mix, and
  * dependency statistics — validating the trace substrate the
  * Memory+Logic study stands on.
+ *
+ * Usage: table1_workloads [shared flags] — see core::BenchCli for
+ * --seed/--trace-out/--stats-json/--quiet/...
  */
 
 #include <iostream>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "workloads/registry.hh"
 
 using namespace stack3d;
 
 int
-main()
+realMain(int argc, char **argv)
 {
-    printBanner(std::cout, "Table 1: RMS workloads used in Section 3");
+    core::BenchCli cli("table1_workloads");
+    for (int i = 1; i < argc; ++i) {
+        if (!cli.consume(argc, argv, i)) {
+            std::cerr << "usage: table1_workloads [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
+    }
+    cli.begin();
+
+    if (!cli.quiet()) {
+        printBanner(std::cout,
+                    "Table 1: RMS workloads used in Section 3");
+    }
 
     workloads::WorkloadConfig cfg;
     cfg.records_per_thread = 150000;
+    cfg.seed = cli.options.seed;
+    cli.addConfig("records_per_thread", double(cfg.records_per_thread));
 
     TextTable table({"name", "footprint MB", "records", "loads%",
                      "stores%", "with-dep%", "max chain",
                      "description"});
 
     for (const std::string &name : workloads::rmsKernelNames()) {
+        obs::Span span("table1/" + name, "bench");
         auto kernel = workloads::makeRmsKernel(name);
         trace::TraceBuffer buf = kernel->generate(cfg);
         trace::TraceStats st = buf.computeStats();
+        cli.counters().set("workload." + name + ".records",
+                           double(st.num_records));
+        cli.counters().set("workload." + name + ".loads",
+                           double(st.num_loads));
+        cli.counters().set("workload." + name + ".stores",
+                           double(st.num_stores));
         table.newRow()
             .cell(name)
             .cell(kernel->nominalFootprintBytes(cfg) / 1048576.0, 1)
@@ -44,12 +70,28 @@ main()
             .cell((long long)st.max_dep_chain)
             .cell(kernel->description());
     }
-    table.print(std::cout);
+    if (!cli.quiet()) {
+        table.print(std::cout);
 
-    std::cout << "\nfootprints straddle the 4/12/32/64 MB capacity\n"
-                 "points of Figure 5: conj, dSym, sSym, sAVDF, sAVIF,\n"
-                 "svd fit the 4 MB baseline; gauss fits from 12 MB;\n"
-                 "pcg, sMVM, sTrans, svm fit from 32 MB; sUS needs\n"
-                 "64 MB.\n";
-    return 0;
+        std::cout
+            << "\nfootprints straddle the 4/12/32/64 MB capacity\n"
+               "points of Figure 5: conj, dSym, sSym, sAVDF, sAVIF,\n"
+               "svd fit the 4 MB baseline; gauss fits from 12 MB;\n"
+               "pcg, sMVM, sTrans, svm fit from 32 MB; sUS needs\n"
+               "64 MB.\n";
+    }
+    return cli.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
 }

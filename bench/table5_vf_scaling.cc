@@ -10,13 +10,13 @@
  * 129%; Same Freq 125 W / 113 C / 115%; Same Temp 97.28 W / 99 C /
  * 108%; Same Perf 68.2 W / 77 C / 100%.
  *
- * Usage: table5_vf_scaling [--uops N] [--nominal] [--threads N]
- *                          [--json PATH]
+ * Usage: table5_vf_scaling [--uops N] [--nominal] [--json PATH]
+ *                          [shared flags]
  *   --nominal    use the paper's nominal 15% gain instead of the
  *                measured Table 4 total
- *   --threads N  solve the per-operating-point thermal cells on N
- *                worker threads (0 = one per core)
- *   --json PATH  write machine-readable timings + rows to PATH
+ *   --json PATH  write manifest + counters + rows to PATH
+ *   plus the shared observability flags (--threads, --trace-out,
+ *   --stats-json, --quiet, ...); see core::BenchCli.
  */
 
 #include <cstring>
@@ -26,6 +26,7 @@
 
 #include "common/json.hh"
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/logic_study.hh"
 
 using namespace stack3d;
@@ -33,64 +34,74 @@ using namespace stack3d;
 int
 realMain(int argc, char **argv)
 {
-    core::RunOptions opts;
+    core::BenchCli cli("table5_vf_scaling");
+    core::RunOptions &opts = cli.options;
     opts.seed = 7;   // the suite's historical default
     core::LogicStudySpec spec;
     spec.suite.uops_per_trace = 60000;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
+        if (cli.consume(argc, argv, i))
+            continue;
         if (std::strcmp(argv[i], "--uops") == 0 && i + 1 < argc)
             spec.suite.uops_per_trace = std::stoull(argv[++i]);
         else if (std::strcmp(argv[i], "--nominal") == 0)
             spec.use_measured_gain = false;
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            opts.threads = core::parseThreadArg(argv[++i], "--threads");
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
     }
+    cli.begin();
+    cli.addConfig("uops_per_trace", double(spec.suite.uops_per_trace));
+    cli.addConfig("use_measured_gain",
+                  spec.use_measured_gain ? "true" : "false");
 
-    printBanner(std::cout, "Table 5: V/f scaling the 3D floorplan");
+    if (!cli.quiet())
+        printBanner(std::cout, "Table 5: V/f scaling the 3D floorplan");
 
+    opts.progress = cli.progress();
     auto report = core::runLogicStudy(opts, spec);
     const core::LogicStudyResult &result = report.payload;
+    cli.recordMeta(report.meta);
 
-    std::cout << "3D design point: +"
-              << result.table4.total_perf_gain_pct
-              << "% performance (measured; paper ~15%), -"
-              << result.power_saving_3d * 100.0
-              << "% power (roll-up; paper ~15%)\n\n";
+    if (!cli.quiet()) {
+        std::cout << "3D design point: +"
+                  << result.table4.total_perf_gain_pct
+                  << "% performance (measured; paper ~15%), -"
+                  << result.power_saving_3d * 100.0
+                  << "% power (roll-up; paper ~15%)\n\n";
 
-    TextTable t({"row", "Pwr W", "Pwr %", "Temp C", "Perf %", "Vcc",
-                 "Freq"});
-    for (const auto &row : result.table5) {
-        t.newRow()
-            .cell(row.point.label)
-            .cell(row.point.power_w, 1)
-            .cell(row.point.power_rel * 100.0, 0)
-            .cell(row.temp_c, 1)
-            .cell(row.point.perf_rel * 100.0, 0)
-            .cell(row.point.vcc, 2)
-            .cell(row.point.freq, 2);
+        TextTable t({"row", "Pwr W", "Pwr %", "Temp C", "Perf %", "Vcc",
+                     "Freq"});
+        for (const auto &row : result.table5) {
+            t.newRow()
+                .cell(row.point.label)
+                .cell(row.point.power_w, 1)
+                .cell(row.point.power_rel * 100.0, 0)
+                .cell(row.temp_c, 1)
+                .cell(row.point.perf_rel * 100.0, 0)
+                .cell(row.point.vcc, 2)
+                .cell(row.point.freq, 2);
+        }
+        t.print(std::cout);
+
+        std::cout <<
+            "\npaper:        Pwr     Pwr%  Temp  Perf  Vcc   Freq\n"
+            "  Baseline    147     100%   99   100%  1.00  1.00\n"
+            "  Same Pwr    147     100%  127   129%  1.00  1.18\n"
+            "  Same Freq.  125      85%  113   115%  1.00  1.00\n"
+            "  Same Temp    97.28   66%   99   108%  0.92  0.92\n"
+            "  Same Perf.   68.2    46%   77   100%  0.82  0.82\n";
+
+        std::cout << "\nconversion laws: 0.82% perf per 1% freq; "
+                     "1% freq per 1% Vcc; P ~ V^2 f\n";
+
+        std::cout << "\nwall " << report.meta.wall_seconds
+                  << " s over " << report.meta.cells.size()
+                  << " cells (serial-equivalent "
+                  << report.meta.serial_seconds << " s, speedup "
+                  << report.meta.speedup() << "x at "
+                  << report.meta.threads_used << " threads)\n";
     }
-    t.print(std::cout);
-
-    std::cout <<
-        "\npaper:        Pwr     Pwr%  Temp  Perf  Vcc   Freq\n"
-        "  Baseline    147     100%   99   100%  1.00  1.00\n"
-        "  Same Pwr    147     100%  127   129%  1.00  1.18\n"
-        "  Same Freq.  125      85%  113   115%  1.00  1.00\n"
-        "  Same Temp    97.28   66%   99   108%  0.92  0.92\n"
-        "  Same Perf.   68.2    46%   77   100%  0.82  0.82\n";
-
-    std::cout << "\nconversion laws: 0.82% perf per 1% freq; "
-                 "1% freq per 1% Vcc; P ~ V^2 f\n";
-
-    std::cout << "\nwall " << report.meta.wall_seconds
-              << " s over " << report.meta.cells.size()
-              << " cells (serial-equivalent "
-              << report.meta.serial_seconds << " s, speedup "
-              << report.meta.speedup() << "x at "
-              << report.meta.threads_used << " threads)\n";
 
     if (!json_path.empty()) {
         std::ofstream jf(json_path);
@@ -100,6 +111,7 @@ realMain(int argc, char **argv)
         }
         JsonWriter w(jf);
         w.beginObject();
+        cli.writeJsonHeader(w);
         core::writeMetaJson(w, report.meta);
         w.key("perf_gain_pct").value(result.table4.total_perf_gain_pct);
         w.key("power_saving_3d").value(result.power_saving_3d);
@@ -117,9 +129,11 @@ realMain(int argc, char **argv)
         }
         w.endArray();
         w.endObject();
-        std::cout << "wrote " << json_path << "\n";
+        jf << "\n";
+        if (!cli.quiet())
+            std::cout << "wrote " << json_path << "\n";
     }
-    return 0;
+    return cli.finish();
 }
 
 int

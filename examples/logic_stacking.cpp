@@ -8,7 +8,9 @@
  * core::runLogicStudy Run/Report API with a console ProgressSink.
  *
  * Usage:
- *   logic_stacking [--uops N] [--full-suite] [--threads N] [--quiet]
+ *   logic_stacking [--uops N] [--full-suite] [shared flags]
+ *   (see core::BenchCli for --threads/--trace-out/--stats-json/
+ *   --quiet/...)
  */
 
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/logic_study.hh"
 #include "floorplan/planner.hh"
 #include "floorplan/reference.hh"
@@ -26,93 +29,115 @@ using namespace stack3d;
 int
 realMain(int argc, char **argv)
 {
-    core::RunOptions opts;
+    core::BenchCli cli("logic_stacking");
+    core::RunOptions &opts = cli.options;
     opts.seed = 7;   // the suite's historical default
     core::LogicStudySpec spec;
     spec.suite.uops_per_trace = 60000;
     spec.die_nx = 33;   // explorer default: fast, qualitative
     spec.die_ny = 31;
-    bool quiet = false;
     for (int i = 1; i < argc; ++i) {
+        if (cli.consume(argc, argv, i))
+            continue;
         if (std::strcmp(argv[i], "--uops") == 0 && i + 1 < argc)
             spec.suite.uops_per_trace = std::stoull(argv[++i]);
         else if (std::strcmp(argv[i], "--full-suite") == 0)
             spec.suite.full_suite = true;
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            opts.threads = core::parseThreadArg(argv[++i], "--threads");
-        else if (std::strcmp(argv[i], "--quiet") == 0)
-            quiet = true;
+        else {
+            std::cerr << "usage: logic_stacking [--uops N] "
+                         "[--full-suite] [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
     }
+    cli.begin();
 
+    // Like memory_stacking, the explorer shows per-cell progress by
+    // default.
     core::ConsoleProgressSink sink(std::cout);
-    if (!quiet)
+    if (!cli.quiet())
         opts.progress = &sink;
 
     // ---- IPC + thermals: the unified logic study ----
-    std::printf("running the logic study (%llu uops/trace, %u "
-                "thread(s))...\n",
-                (unsigned long long)spec.suite.uops_per_trace,
-                opts.resolvedThreads());
+    if (!cli.quiet()) {
+        std::printf("running the logic study (%llu uops/trace, %u "
+                    "thread(s))...\n",
+                    (unsigned long long)spec.suite.uops_per_trace,
+                    opts.resolvedThreads());
+    }
     auto report = core::runLogicStudy(opts, spec);
     const core::LogicStudyResult &result = report.payload;
+    cli.recordMeta(report.meta);
     const cpu::SuiteResult &planar = result.table4.planar;
     const cpu::SuiteResult &stacked = result.table4.stacked;
 
-    TextTable ipc({"class", "planar IPC", "3D IPC", "gain %"});
-    for (std::size_t c = 0; c < planar.class_ipc.size(); ++c) {
-        double gain = (stacked.class_ipc[c].second /
-                           planar.class_ipc[c].second -
-                       1.0) * 100.0;
+    if (!cli.quiet()) {
+        TextTable ipc({"class", "planar IPC", "3D IPC", "gain %"});
+        for (std::size_t c = 0; c < planar.class_ipc.size(); ++c) {
+            double gain = (stacked.class_ipc[c].second /
+                               planar.class_ipc[c].second -
+                           1.0) * 100.0;
+            ipc.newRow()
+                .cell(planar.class_ipc[c].first)
+                .cell(planar.class_ipc[c].second, 3)
+                .cell(stacked.class_ipc[c].second, 3)
+                .cell(gain, 1);
+        }
         ipc.newRow()
-            .cell(planar.class_ipc[c].first)
-            .cell(planar.class_ipc[c].second, 3)
-            .cell(stacked.class_ipc[c].second, 3)
-            .cell(gain, 1);
-    }
-    ipc.newRow()
-        .cell("geomean")
-        .cell(planar.geomean_ipc, 3)
-        .cell(stacked.geomean_ipc, 3)
-        .cell((stacked.geomean_ipc / planar.geomean_ipc - 1.0) * 100.0,
-              1);
-    ipc.print(std::cout);
+            .cell("geomean")
+            .cell(planar.geomean_ipc, 3)
+            .cell(stacked.geomean_ipc, 3)
+            .cell((stacked.geomean_ipc / planar.geomean_ipc - 1.0) *
+                      100.0,
+                  1);
+        ipc.print(std::cout);
 
-    // ---- power roll-up + Figure 11 thermals ----
-    std::printf("\n3D power roll-up: %.1f%% reduction (repeaters, "
-                "repeating latches, clock grid, pipe latches)\n",
-                result.power_saving_3d * 100.0);
-    std::printf("Figure 11 peaks: planar %.1f C, 3D %.1f C, "
-                "worst case %.1f C\n",
-                result.fig11.planar.peak_c, result.fig11.stacked.peak_c,
-                result.fig11.worst_case.peak_c);
+        // ---- power roll-up + Figure 11 thermals ----
+        std::printf("\n3D power roll-up: %.1f%% reduction (repeaters, "
+                    "repeating latches, clock grid, pipe latches)\n",
+                    result.power_saving_3d * 100.0);
+        std::printf("Figure 11 peaks: planar %.1f C, 3D %.1f C, "
+                    "worst case %.1f C\n",
+                    result.fig11.planar.peak_c,
+                    result.fig11.stacked.peak_c,
+                    result.fig11.worst_case.peak_c);
+    }
 
     // ---- wire analysis of the hand floorplans ----
     auto fp2d = floorplan::makePentium4Planar();
     auto fp3d = floorplan::makePentium43D();
     floorplan::WireModel wire;
-    std::printf("\nkey wire paths (planar -> 3D, mm and pipe "
-                "stages):\n");
-    for (const char *path : {"dcache:falu", "rf:fp"}) {
-        std::string s(path);
-        auto colon = s.find(':');
-        std::string a = s.substr(0, colon), b = s.substr(colon + 1);
-        double d2 = fp2d.wireDistance(a, b);
-        double d3 = fp3d.wireDistance(a, b);
-        std::printf("  %-14s %.2f mm (%u stages) -> %.2f mm "
-                    "(%u stages)\n",
-                    path, d2 * 1e3, wire.pipeStages(d2), d3 * 1e3,
-                    wire.pipeStages(d3));
+    if (!cli.quiet()) {
+        std::printf("\nkey wire paths (planar -> 3D, mm and pipe "
+                    "stages):\n");
+        for (const char *path : {"dcache:falu", "rf:fp"}) {
+            std::string s(path);
+            auto colon = s.find(':');
+            std::string a = s.substr(0, colon), b = s.substr(colon + 1);
+            double d2 = fp2d.wireDistance(a, b);
+            double d3 = fp3d.wireDistance(a, b);
+            std::printf("  %-14s %.2f mm (%u stages) -> %.2f mm "
+                        "(%u stages)\n",
+                        path, d2 * 1e3, wire.pipeStages(d2), d3 * 1e3,
+                        wire.pipeStages(d3));
+        }
     }
 
     // ---- the automatic stacking planner ----
     floorplan::PlannerParams pp;
     auto plan = floorplan::planStacking(fp2d, pp);
-    std::printf("\nautomatic stacking planner: wirelength %.1f -> "
-                "%.1f mm, peak stacked density %.2fx planar "
-                "(%u moves accepted)\n",
-                plan.planar_wirelength * 1e3, plan.wirelength * 1e3,
-                plan.peak_density_ratio, plan.accepted_moves);
-    return 0;
+    cli.counters().set("planner.peak_density_ratio",
+                       plan.peak_density_ratio);
+    cli.counters().set("planner.accepted_moves",
+                       double(plan.accepted_moves));
+    if (!cli.quiet()) {
+        std::printf("\nautomatic stacking planner: wirelength %.1f -> "
+                    "%.1f mm, peak stacked density %.2fx planar "
+                    "(%u moves accepted)\n",
+                    plan.planar_wirelength * 1e3, plan.wirelength * 1e3,
+                    plan.peak_density_ratio, plan.accepted_moves);
+    }
+    return cli.finish();
 }
 
 int

@@ -5,16 +5,15 @@
  * a Figure 5-style table.
  *
  * Usage:
- *   memory_stacking [--depth F] [--threads N] [--quiet]
- *                   [benchmark ...]
+ *   memory_stacking [shared flags] [benchmark ...]
  *
  *   --depth F   trace-length multiplier (default 0.5 for a fast
  *               demo; 1.0 = the calibrated full budgets)
- *   --threads N worker threads for the study cells (default 1;
- *               0 = one per core — results are identical either way)
- *   --quiet     suppress the per-cell progress lines
+ *   --quiet     suppress the per-cell progress lines and tables
  *   benchmark   any of: conj dSym gauss pcg sMVM sSym sTrans sAVDF
  *               sAVIF sUS svd svm   (default: gauss pcg svm)
+ *   plus the rest of the shared observability flags (--threads,
+ *   --seed, --trace-out, --stats-json, ...); see core::BenchCli.
  */
 
 #include <cstdio>
@@ -23,6 +22,7 @@
 #include <string>
 
 #include "common/table.hh"
+#include "core/cli.hh"
 #include "core/memory_study.hh"
 
 using namespace stack3d;
@@ -30,35 +30,33 @@ using namespace stack3d;
 int
 realMain(int argc, char **argv)
 {
-    core::RunOptions opts;
+    core::BenchCli cli("memory_stacking");
+    core::RunOptions &opts = cli.options;
     opts.depth = 0.5;
     core::MemoryStudySpec spec;
-    bool quiet = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc) {
-            opts.depth = std::stod(argv[++i]);
-        } else if (std::strcmp(argv[i], "--threads") == 0 &&
-                   i + 1 < argc) {
-            opts.threads = core::parseThreadArg(argv[++i], "--threads");
-        } else if (std::strcmp(argv[i], "--quiet") == 0) {
-            quiet = true;
-        } else {
+        if (!cli.consume(argc, argv, i))
             spec.benchmarks.emplace_back(argv[i]);
-        }
     }
     if (spec.benchmarks.empty())
         spec.benchmarks = {"gauss", "pcg", "svm"};
+    cli.begin();
 
+    // Unlike the benches, the explorer shows per-cell progress by
+    // default — that's the demo.
     core::ConsoleProgressSink sink(std::cout);
-    if (!quiet)
+    if (!cli.quiet())
         opts.progress = &sink;
 
-    std::printf("running %zu benchmark(s) at depth %.2f on %u "
-                "thread(s)...\n",
-                spec.benchmarks.size(), opts.depth,
-                opts.resolvedThreads());
+    if (!cli.quiet()) {
+        std::printf("running %zu benchmark(s) at depth %.2f on %u "
+                    "thread(s)...\n",
+                    spec.benchmarks.size(), opts.depth,
+                    opts.resolvedThreads());
+    }
     auto report = core::runMemoryStudy(opts, spec);
     const core::MemoryStudyResult &result = report.payload;
+    cli.recordMeta(report.meta);
 
     TextTable table({"benchmark", "MB", "CPMA 4M", "CPMA 12M",
                      "CPMA 32M", "CPMA 64M", "BW 4M", "BW 32M",
@@ -75,18 +73,20 @@ realMain(int argc, char **argv)
             .cell(row.bw_gbps[2], 2)
             .cell((1.0 - row.cpma[2] / row.cpma[0]) * 100.0, 1);
     }
-    table.print(std::cout);
+    if (!cli.quiet()) {
+        table.print(std::cout);
 
-    std::printf("\n32 MB DRAM cache vs baseline: avg CPMA -%.1f%%, "
-                "best -%.1f%%, BW /%.2f, bus power -%.0f%%\n",
-                result.summary.avg_cpma_reduction_32m * 100.0,
-                result.summary.max_cpma_reduction_32m * 100.0,
-                result.summary.avg_bw_reduction_factor_32m,
-                result.summary.avg_bus_power_reduction_32m * 100.0);
-    std::printf("wall %.2fs, serial-equivalent %.2fs (%.2fx)\n",
-                report.meta.wall_seconds, report.meta.serial_seconds,
-                report.meta.speedup());
-    return 0;
+        std::printf("\n32 MB DRAM cache vs baseline: avg CPMA -%.1f%%, "
+                    "best -%.1f%%, BW /%.2f, bus power -%.0f%%\n",
+                    result.summary.avg_cpma_reduction_32m * 100.0,
+                    result.summary.max_cpma_reduction_32m * 100.0,
+                    result.summary.avg_bw_reduction_factor_32m,
+                    result.summary.avg_bus_power_reduction_32m * 100.0);
+        std::printf("wall %.2fs, serial-equivalent %.2fs (%.2fx)\n",
+                    report.meta.wall_seconds, report.meta.serial_seconds,
+                    report.meta.speedup());
+    }
+    return cli.finish();
 }
 
 int

@@ -19,44 +19,61 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/memory_study.hh"
 #include "core/thermal_study.hh"
 
 using namespace stack3d;
 
 int
-main()
+main(int argc, char **argv)
 {
     // --- 1. the memory study, unified API --------------------------
-    core::RunOptions opts;
+    // BenchCli supplies the shared observability flags (--threads,
+    // --trace-out, --stats-json, --quiet, ...) for free.
+    core::BenchCli cli("quickstart");
+    for (int i = 1; i < argc; ++i) {
+        if (!cli.consume(argc, argv, i)) {
+            std::cerr << "usage: quickstart [flags]\n";
+            core::BenchCli::printUsage(std::cerr);
+            return 1;
+        }
+    }
+    core::RunOptions &opts = cli.options;
     opts.threads = 0;       // one worker per core; results are
                             // bit-identical to a serial run
     opts.depth = 0.25;      // shortened traces for a quick demo
+    cli.begin();
     core::ConsoleProgressSink sink(std::cout);
-    opts.progress = &sink;
+    if (!cli.quiet())
+        opts.progress = &sink;
 
     core::MemoryStudySpec spec;
     spec.benchmarks = {"svm"};
 
     auto report = core::runMemoryStudy(opts, spec);
     const core::MemoryStudyRow &row = report.payload.rows[0];
-    std::printf("svm: %llu trace records, footprint %.1f MB "
-                "(%.2fs wall on %u threads)\n",
-                (unsigned long long)row.records, row.footprint_mb,
-                report.meta.wall_seconds, report.meta.threads_used);
+    cli.recordMeta(report.meta);
+    if (!cli.quiet()) {
+        std::printf("svm: %llu trace records, footprint %.1f MB "
+                    "(%.2fs wall on %u threads)\n",
+                    (unsigned long long)row.records, row.footprint_mb,
+                    report.meta.wall_seconds, report.meta.threads_used);
 
-    // --- 2. planar baseline vs 3D-stacked 32 MB DRAM cache ---------
-    // Figure 5 column order: 4 MB baseline is index 0, 32 MB DRAM is
-    // index 2.
-    std::printf("%-8s CPMA %.3f, off-die %.2f GB/s, bus %.2f W\n",
-                "4M", row.cpma[0], row.bw_gbps[0], row.bus_power_w[0]);
-    std::printf("%-8s CPMA %.3f, off-die %.2f GB/s, bus %.2f W\n",
-                "dram32m", row.cpma[2], row.bw_gbps[2],
-                row.bus_power_w[2]);
-    std::printf("=> stacking the 32 MB DRAM cache cuts CPMA %.0f%% "
-                "and off-die bandwidth %.1fx\n",
-                (1.0 - row.cpma[2] / row.cpma[0]) * 100.0,
-                row.bw_gbps[0] / row.bw_gbps[2]);
+        // --- 2. planar baseline vs 3D-stacked 32 MB DRAM cache -----
+        // Figure 5 column order: 4 MB baseline is index 0, 32 MB DRAM
+        // is index 2.
+        std::printf("%-8s CPMA %.3f, off-die %.2f GB/s, bus %.2f W\n",
+                    "4M", row.cpma[0], row.bw_gbps[0],
+                    row.bus_power_w[0]);
+        std::printf("%-8s CPMA %.3f, off-die %.2f GB/s, bus %.2f W\n",
+                    "dram32m", row.cpma[2], row.bw_gbps[2],
+                    row.bus_power_w[2]);
+        std::printf("=> stacking the 32 MB DRAM cache cuts CPMA "
+                    "%.0f%% and off-die bandwidth %.1fx\n",
+                    (1.0 - row.cpma[2] / row.cpma[0]) * 100.0,
+                    row.bw_gbps[0] / row.bw_gbps[2]);
+    }
 
     // --- 3. and the thermal cost? -----------------------------------
     auto base = floorplan::makeCore2BaseDie32MKeepOutline();
@@ -68,9 +85,15 @@ main()
         floorplan::makeCore2Duo(), thermal::StackedDieType::None);
     auto stacked_pt = core::solveFloorplanThermals(
         combined, thermal::StackedDieType::Dram);
-    std::printf("peak temperature: planar %.2f C -> stacked %.2f C "
-                "(delta %+.2f C)\n",
-                planar_pt.peak_c, stacked_pt.peak_c,
-                stacked_pt.peak_c - planar_pt.peak_c);
-    return 0;
+    thermal::appendSolveCounters(cli.counters(), "thermal.planar.",
+                                 planar_pt.solve);
+    thermal::appendSolveCounters(cli.counters(), "thermal.stacked.",
+                                 stacked_pt.solve);
+    if (!cli.quiet()) {
+        std::printf("peak temperature: planar %.2f C -> stacked "
+                    "%.2f C (delta %+.2f C)\n",
+                    planar_pt.peak_c, stacked_pt.peak_c,
+                    stacked_pt.peak_c - planar_pt.peak_c);
+    }
+    return cli.finish();
 }

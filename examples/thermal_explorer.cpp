@@ -6,8 +6,9 @@
  *
  * Usage:
  *   thermal_explorer [--watts W] [--stacked-watts W2] [--die MM]
- *                    [--dram] [--transient SECONDS]
- *   thermal_explorer --stacks [--threads N]
+ *                    [--dram] [--transient SECONDS] [shared flags]
+ *   thermal_explorer --stacks [shared flags]
+ *   (see core::BenchCli for --threads/--trace-out/--stats-json/...)
  *
  * Solves a uniformly powered die (planar, or with a second stacked
  * die) in the calibrated desktop package, prints per-layer peak
@@ -21,6 +22,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/cli.hh"
 #include "core/thermal_study.hh"
 #include "thermal/render.hh"
 #include "thermal/solver.hh"
@@ -33,12 +35,12 @@ using namespace stack3d::thermal;
 namespace {
 
 int
-runStacksMode(unsigned threads)
+runStacksMode(core::BenchCli &cli)
 {
-    core::RunOptions opts;
-    opts.threads = threads;
+    core::RunOptions &opts = cli.options;
     core::ConsoleProgressSink sink(std::cout);
-    opts.progress = &sink;
+    if (!cli.quiet())
+        opts.progress = &sink;
 
     // Explorer default: a coarser grid than the Figure 8 bench for
     // quick qualitative answers.
@@ -47,20 +49,24 @@ runStacksMode(unsigned threads)
     spec.die_ny = 28;
 
     auto report = core::runStackThermalStudy(opts, spec);
-    static const char *names[4] = {"baseline 4M", "+8M SRAM",
-                                   "32M DRAM", "64M DRAM"};
-    std::printf("\n%-14s %10s %10s\n", "option", "peak C", "delta C");
-    double base = report.payload.options[0].peak_c;
-    for (int i = 0; i < 4; ++i) {
-        std::printf("%-14s %10.2f %+10.2f\n", names[i],
-                    report.payload.options[i].peak_c,
-                    report.payload.options[i].peak_c - base);
+    cli.recordMeta(report.meta);
+    if (!cli.quiet()) {
+        static const char *names[4] = {"baseline 4M", "+8M SRAM",
+                                       "32M DRAM", "64M DRAM"};
+        std::printf("\n%-14s %10s %10s\n", "option", "peak C",
+                    "delta C");
+        double base = report.payload.options[0].peak_c;
+        for (int i = 0; i < 4; ++i) {
+            std::printf("%-14s %10.2f %+10.2f\n", names[i],
+                        report.payload.options[i].peak_c,
+                        report.payload.options[i].peak_c - base);
+        }
+        std::printf("\nwall %.2fs on %u thread(s), serial-equivalent "
+                    "%.2fs\n",
+                    report.meta.wall_seconds, report.meta.threads_used,
+                    report.meta.serial_seconds);
     }
-    std::printf("\nwall %.2fs on %u thread(s), serial-equivalent "
-                "%.2fs\n",
-                report.meta.wall_seconds, report.meta.threads_used,
-                report.meta.serial_seconds);
-    return 0;
+    return cli.finish();
 }
 
 } // anonymous namespace
@@ -68,19 +74,19 @@ runStacksMode(unsigned threads)
 int
 realMain(int argc, char **argv)
 {
+    core::BenchCli cli("thermal_explorer");
     double watts = 80.0;
     double stacked_watts = 0.0;
     double die_mm = 12.0;
     StackedDieType die2 = StackedDieType::None;
     double transient_s = 0.0;
     bool stacks_mode = false;
-    unsigned threads = 1;
 
     for (int i = 1; i < argc; ++i) {
+        if (cli.consume(argc, argv, i))
+            continue;
         if (std::strcmp(argv[i], "--stacks") == 0)
             stacks_mode = true;
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            threads = core::parseThreadArg(argv[++i], "--threads");
         else if (std::strcmp(argv[i], "--watts") == 0 && i + 1 < argc)
             watts = std::stod(argv[++i]);
         else if (std::strcmp(argv[i], "--stacked-watts") == 0 &&
@@ -97,8 +103,9 @@ realMain(int argc, char **argv)
             transient_s = std::stod(argv[++i]);
     }
 
+    cli.begin();
     if (stacks_mode)
-        return runStacksMode(threads);
+        return runStacksMode(cli);
 
     double die = die_mm * 1e-3;
     StackGeometry geom = die2 == StackedDieType::None
@@ -124,34 +131,41 @@ realMain(int argc, char **argv)
 
     SolveInfo info;
     TemperatureField field = solveSteadyState(mesh, 1e-8, 40000, &info);
-    std::printf("solved %zu cells in %u CG iterations "
-                "(residual %.2e)\n",
-                mesh.numCells(), info.iterations, info.residual);
+    appendSolveCounters(cli.counters(), "thermal.explorer.", info);
+    if (!cli.quiet()) {
+        std::printf("solved %zu cells in %u CG iterations "
+                    "(residual %.2e)\n",
+                    mesh.numCells(), info.iterations, info.residual);
 
-    std::printf("\n%-12s %10s %10s\n", "layer", "peak C", "min C");
-    for (std::size_t l = 0; l < geom.layers.size(); ++l) {
-        std::printf("%-12s %10.2f %10.2f\n",
-                    geom.layers[l].name.c_str(),
-                    field.layerPeak(unsigned(l)),
-                    field.layerMin(unsigned(l)));
+        std::printf("\n%-12s %10s %10s\n", "layer", "peak C", "min C");
+        for (std::size_t l = 0; l < geom.layers.size(); ++l) {
+            std::printf("%-12s %10.2f %10.2f\n",
+                        geom.layers[l].name.c_str(),
+                        field.layerPeak(unsigned(l)),
+                        field.layerMin(unsigned(l)));
+        }
+
+        std::printf("\nactive-layer heat map (die #1):\n");
+        renderLayerMap(std::cout, field, geom.layerIndex("active1"));
     }
-
-    std::printf("\nactive-layer heat map (die #1):\n");
-    renderLayerMap(std::cout, field, geom.layerIndex("active1"));
 
     if (transient_s > 0.0) {
-        std::printf("\ntransient power-on from ambient "
-                    "(implicit Euler):\n");
         TransientResult tr =
             solveTransient(mesh, transient_s, transient_s / 60.0);
-        for (std::size_t k = 0; k < tr.samples.size(); k += 6) {
-            std::printf("  t=%6.2fs  peak=%.2f C\n",
-                        tr.samples[k].time_s, tr.samples[k].peak_c);
+        cli.counters().set("thermal.transient.time_constant_s",
+                           tr.time_constant_s);
+        if (!cli.quiet()) {
+            std::printf("\ntransient power-on from ambient "
+                        "(implicit Euler):\n");
+            for (std::size_t k = 0; k < tr.samples.size(); k += 6) {
+                std::printf("  t=%6.2fs  peak=%.2f C\n",
+                            tr.samples[k].time_s, tr.samples[k].peak_c);
+            }
+            std::printf("  thermal time constant ~ %.2f s\n",
+                        tr.time_constant_s);
         }
-        std::printf("  thermal time constant ~ %.2f s\n",
-                    tr.time_constant_s);
     }
-    return 0;
+    return cli.finish();
 }
 
 int

@@ -51,8 +51,10 @@ warnImpl(const std::string &message)
 void
 informImpl(const std::string &message)
 {
+    // stderr, like warn(): stdout stays clean for machine-readable
+    // output (trace_tool stats --json pipes JSON through it).
     if (!quiet_mode.load(std::memory_order_relaxed))
-        std::cout << "info: " << message << std::endl;
+        std::cerr << "info: " << message << std::endl;
 }
 
 unsigned long

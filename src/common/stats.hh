@@ -188,6 +188,8 @@ class StatGroup
 
     const std::vector<StatBase *> &statList() const { return _stats; }
 
+    const std::vector<StatGroup *> &children() const { return _children; }
+
   private:
     void addChild(StatGroup *child);
     void removeChild(StatGroup *child);

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared CLI plumbing for the benches, examples, and tools: one
+ * helper that parses the observability flags every binary supports
+ * (--threads/--seed/--depth, --quiet/--verbose, --trace-out,
+ * --stats-json), installs the trace collector, assembles the run
+ * provenance manifest, and writes the trace / stats files at exit.
+ *
+ * Usage:
+ *   core::BenchCli cli("fig5_cpma_bandwidth");
+ *   for (int i = 1; i < argc; ++i) {
+ *       if (cli.consume(argc, argv, i))
+ *           continue;
+ *       // bench-specific flags...
+ *   }
+ *   cli.begin();
+ *   auto report = core::runMemoryStudy(cli.options, spec);
+ *   cli.recordMeta(report.meta);
+ *   // in a --json block: w.beginObject(); cli.writeJsonHeader(w); ...
+ *   return cli.finish();
+ */
+
+#ifndef STACK3D_CORE_CLI_HH
+#define STACK3D_CORE_CLI_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/run_options.hh"
+#include "obs/provenance.hh"
+
+namespace stack3d {
+namespace core {
+
+/** Shared flag handling + observability wiring for one binary. */
+class BenchCli
+{
+  public:
+    explicit BenchCli(std::string tool);
+
+    /**
+     * Handle argv[i] when it is one of the shared flags (advancing
+     * @p i past any flag value). @return true when consumed.
+     */
+    bool consume(int argc, char **argv, int &i);
+
+    /** Print the shared-flag help lines (for usage() messages). */
+    static void printUsage(std::ostream &os);
+
+    /**
+     * Apply the parsed flags: silence logging for --quiet and
+     * install the trace collector when --trace-out was given. Call
+     * once, after the argv loop.
+     */
+    void begin();
+
+    /** Run options assembled from the shared flags. */
+    RunOptions options;
+
+    bool quiet() const { return options.verbosity == Verbosity::Silent; }
+    bool verbose() const
+    {
+        return options.verbosity == Verbosity::Verbose;
+    }
+
+    /**
+     * Progress sink matching the verbosity: a console sink for
+     * --verbose, null otherwise (Silent maps to no sink at all).
+     */
+    ProgressSink *progress();
+
+    /**
+     * Record a finished study's metadata: folds its counters into
+     * the run-wide set and keeps the meta for --stats-json.
+     */
+    void recordMeta(const StudyMeta &meta);
+
+    /** Run-wide counters (benches may add their own entries). */
+    obs::CounterSet &counters() { return _counters; }
+
+    /** Add a config knob to the provenance manifest. */
+    void addConfig(const std::string &key, const std::string &value);
+    void addConfig(const std::string &key, double value);
+
+    /** The manifest describing this run. */
+    obs::RunManifest manifest() const;
+
+    /**
+     * Write the provenance header — "manifest" and "counters"
+     * members — into the currently-open JSON object. Every --json
+     * bench output starts with this.
+     */
+    void writeJsonHeader(JsonWriter &w) const;
+
+    /**
+     * Flush --trace-out and --stats-json (if requested).
+     * @return 0 on success, 1 when a file could not be written —
+     *         meant to be the bench's exit status.
+     */
+    int finish();
+
+  private:
+    std::string _tool;
+    std::string _trace_out;
+    std::string _stats_json;
+    std::vector<std::pair<std::string, std::string>> _config;
+    std::vector<StudyMeta> _metas;
+    obs::CounterSet _counters;
+    obs::TraceCollector _collector;
+    ConsoleProgressSink _console{std::cout};
+    bool _began = false;
+    bool _finished = false;
+};
+
+} // namespace core
+} // namespace stack3d
+
+#endif // STACK3D_CORE_CLI_HH

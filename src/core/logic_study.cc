@@ -125,6 +125,20 @@ runLogicStudy(const RunOptions &options, const LogicStudySpec &spec)
     });
 
     report.meta = tracker.finish();
+    cpu::appendSuiteCounters(result.table4.planar,
+                             report.meta.counters, "cpu.planar.");
+    cpu::appendSuiteCounters(result.table4.stacked,
+                             report.meta.counters, "cpu.stacked.");
+    thermal::appendSolveCounters(report.meta.counters,
+                                 "thermal.fig11_planar.",
+                                 result.fig11.planar.solve);
+    thermal::appendSolveCounters(report.meta.counters,
+                                 "thermal.fig11_stacked.",
+                                 result.fig11.stacked.solve);
+    thermal::appendSolveCounters(report.meta.counters,
+                                 "thermal.fig11_worst.",
+                                 result.fig11.worst_case.solve);
+    pool.appendCounters(report.meta.counters);
     return report;
 }
 

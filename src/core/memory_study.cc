@@ -45,6 +45,53 @@ optionCellLabel(const std::string &benchmark, std::size_t option)
            mem::stackOptionName(kStackOptions[option]);
 }
 
+/**
+ * Recompute the ratio-style keys of a cross-benchmark counter
+ * aggregate. accumulate() sums everything, which is right for raw
+ * counts but turns miss rates / occupancies into sums of ratios;
+ * rebuild those from the summed counts.
+ */
+void
+fixupAggregateRatios(obs::CounterSet &c, mem::StackOption option)
+{
+    double accesses = c.value("accesses");
+    auto rate = [&](const std::string &level) {
+        if (!c.has(level + ".hits"))
+            return;
+        double hits = c.value(level + ".hits");
+        double misses = c.value(level + ".misses");
+        double total = hits + misses;
+        c.set(level + ".miss_rate",
+              total > 0.0 ? misses / total : 0.0);
+        c.set(level + ".mpkr", accesses > 0.0
+                                   ? misses * 1000.0 / accesses
+                                   : 0.0);
+    };
+    rate("l1d");
+    rate("l1i");
+    rate("l2");
+    if (c.has("dram_cache.miss_rate")) {
+        double sh = c.value("dram_cache.sector_hits");
+        double sm = c.value("dram_cache.sector_misses");
+        double pm = c.value("dram_cache.page_misses");
+        double total = sh + sm + pm;
+        c.set("dram_cache.miss_rate",
+              total > 0.0 ? (sm + pm) / total : 0.0);
+    }
+    if (c.has("bus.achieved_gbps")) {
+        mem::BusParams bus = mem::makeHierarchyParams(option).bus;
+        double cycles = c.value("engine.total_cycles");
+        double seconds = cycles / (bus.core_freq_ghz * 1e9);
+        double gbps = seconds > 0.0
+                          ? c.value("bus.bytes") / 1e9 / seconds
+                          : 0.0;
+        c.set("bus.achieved_gbps", gbps);
+        c.set("bus.occupancy", bus.bandwidth_gbps > 0.0
+                                   ? gbps / bus.bandwidth_gbps
+                                   : 0.0);
+    }
+}
+
 } // anonymous namespace
 
 StudyReport<MemoryStudyResult>
@@ -106,6 +153,8 @@ runMemoryStudy(const RunOptions &options, const MemoryStudySpec &spec)
 
     // ---- stage 2: benchmark x option engine cells ------------------
     const std::size_t num_options = kStackOptions.size();
+    std::vector<obs::CounterSet> cell_counters(num_benchmarks *
+                                               num_options);
     exec::parallelFor(
         pool, num_benchmarks * num_options, [&](std::size_t i) {
             std::size_t b = i / num_options;
@@ -123,6 +172,7 @@ runMemoryStudy(const RunOptions &options, const MemoryStudySpec &spec)
                 row.bw_gbps[o] = er.offdie_gbps;
                 row.bus_power_w[o] = er.bus_power_w;
                 row.llc_miss[o] = er.llc_miss_rate;
+                cell_counters[i] = std::move(er.counters);
             });
         });
 
@@ -153,6 +203,22 @@ runMemoryStudy(const RunOptions &options, const MemoryStudySpec &spec)
         sum.avg_bw_reduction_factor_32m = bw_base_total / bw_32_total;
 
     report.meta = tracker.finish();
+
+    // Per-option counter aggregates across benchmarks, merged in
+    // canonical option order (serial, so the fold is deterministic
+    // for every thread count).
+    for (std::size_t o = 0; o < num_options; ++o) {
+        obs::CounterSet agg;
+        for (std::size_t b = 0; b < num_benchmarks; ++b)
+            agg.accumulate(cell_counters[b * num_options + o]);
+        fixupAggregateRatios(agg, kStackOptions[o]);
+        report.meta.counters.mergePrefixed(
+            agg, "mem." +
+                     std::string(mem::stackOptionName(
+                         kStackOptions[o])) +
+                     ".");
+    }
+    pool.appendCounters(report.meta.counters);
     return report;
 }
 

@@ -100,17 +100,22 @@ ConsoleProgressSink::studyFinished(const std::string &study,
 void
 writeMetaJson(JsonWriter &w, const StudyMeta &meta)
 {
+    // Degenerate timings (a zero-length run, a clock hiccup) must
+    // never surface as inf/nan: JsonWriter would emit null, which
+    // downstream tooling then has to special-case. Clamp instead.
+    auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+
     w.key("study").value(meta.study);
     w.key("threads").value(meta.threads_used);
-    w.key("wall_seconds").value(meta.wall_seconds);
-    w.key("serial_seconds").value(meta.serial_seconds);
+    w.key("wall_seconds").value(finite(meta.wall_seconds));
+    w.key("serial_seconds").value(finite(meta.serial_seconds));
     w.key("speedup").value(meta.speedup());
     w.key("cells").beginArray();
     for (const CellTiming &cell : meta.cells) {
         w.beginObject();
         w.key("index").value(std::uint64_t(cell.index));
         w.key("label").value(cell.label);
-        w.key("seconds").value(cell.seconds);
+        w.key("seconds").value(finite(cell.seconds));
         w.endObject();
     }
     w.endArray();

@@ -20,6 +20,7 @@
 #define STACK3D_CORE_RUN_OPTIONS_HH
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -28,6 +29,8 @@
 #include <vector>
 
 #include "common/timing.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace stack3d {
 
@@ -157,11 +160,29 @@ struct StudyMeta
     /** warn() messages captured during the run. */
     std::vector<std::string> warnings;
 
-    /** Estimated speedup over a serial run (serial / wall). */
+    /**
+     * Per-run counter snapshots folded in by the study runner
+     * (cache levels, solver convergence, pipeline stalls, pool
+     * activity), each under a dotted prefix such as "mem.dram32m."
+     * or "pool.". Empty for studies that predate instrumentation.
+     */
+    obs::CounterSet counters;
+
+    /**
+     * Estimated speedup over a serial run (serial / wall). A
+     * degenerate run — no cells, or a wall/serial time of zero (the
+     * clock can legitimately read 0 for trivially small studies) —
+     * reports 1.0 rather than 0, inf, or nan.
+     */
     double
     speedup() const
     {
-        return wall_seconds > 0.0 ? serial_seconds / wall_seconds : 1.0;
+        if (cells.empty() || wall_seconds <= 0.0 ||
+            serial_seconds <= 0.0) {
+            return 1.0;
+        }
+        double s = serial_seconds / wall_seconds;
+        return std::isfinite(s) ? s : 1.0;
     }
 };
 
@@ -222,6 +243,7 @@ class StudyTracker
     runCell(std::size_t index, const std::string &label, F &&fn)
     {
         cellStarted(index, label);
+        obs::Span span(_study + "/" + label, "study");
         WallTimer timer;
         fn();
         cellFinished(index, label, timer.seconds());

@@ -43,9 +43,9 @@ solveFloorplanThermals(const Floorplan &combined,
                            combined.powerMap(die_nx, die_ny, 1));
     }
 
-    TemperatureField field = thermal::solveSteadyState(mesh);
-
     ThermalPoint point;
+    TemperatureField field = thermal::solveSteadyState(
+        mesh, 1e-8, 20000, &point.solve);
     unsigned a1 = geom.layerIndex("active1");
     point.die1_peak_c = field.layerPeak(a1);
     point.min_c = field.layerMin(a1);
@@ -135,6 +135,15 @@ runStackThermalStudy(const RunOptions &options,
     });
 
     report.meta = tracker.finish();
+    static const char *kOptionLabels[4] = {"baseline4m", "sram12m",
+                                           "dram32m", "dram64m"};
+    for (std::size_t o = 0; o < 4; ++o) {
+        thermal::appendSolveCounters(
+            report.meta.counters,
+            "thermal." + std::string(kOptionLabels[o]) + ".",
+            result.options[o].solve);
+    }
+    pool.appendCounters(report.meta.counters);
     return report;
 }
 
@@ -176,32 +185,42 @@ runConductivitySensitivity(const RunOptions &options,
     exec::ThreadPool pool(workers > 1 ? workers : 0);
 
     // Two cells per swept point: Cu-metal and bonding-layer.
+    std::vector<std::string> cell_labels(num_points * 2);
+    std::vector<thermal::SolveInfo> cell_solves(num_points * 2);
     exec::parallelFor(pool, num_points * 2, [&](std::size_t cell) {
         std::size_t i = cell / 2;
         bool sweep_bond = cell % 2 != 0;
         double k = spec.conductivities[i];
         std::string label = "k=" + std::to_string(int(k)) +
                             (sweep_bond ? "/bond" : "/cu");
+        cell_labels[cell] = label;
         tracker.runCell(cell, label, [&] {
             StackOverrides ovr;
             if (sweep_bond)
                 ovr.bond_conductivity = k;
             else
                 ovr.cu_metal_conductivity = k;
-            double peak =
+            ThermalPoint point =
                 solveFloorplanThermals(stacked,
                                        StackedDieType::LogicSram, pkg,
                                        ovr, nullptr, spec.die_nx,
-                                       spec.die_ny)
-                    .peak_c;
+                                       spec.die_ny);
+            cell_solves[cell] = std::move(point.solve);
             if (sweep_bond)
-                points[i].peak_bond_swept = peak;
+                points[i].peak_bond_swept = point.peak_c;
             else
-                points[i].peak_cu_swept = peak;
+                points[i].peak_cu_swept = point.peak_c;
         });
     });
 
     report.meta = tracker.finish();
+    for (std::size_t cell = 0; cell < cell_solves.size(); ++cell) {
+        thermal::appendSolveCounters(report.meta.counters,
+                                     "thermal." + cell_labels[cell] +
+                                         ".",
+                                     cell_solves[cell]);
+    }
+    pool.appendCounters(report.meta.counters);
     return report;
 }
 

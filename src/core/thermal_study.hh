@@ -40,6 +40,9 @@ struct ThermalPoint
     double die2_peak_c = 0.0;   ///< die #2 peak (0 if planar)
     double min_c = 0.0;         ///< coolest active-layer cell
     double total_power_w = 0.0;
+
+    /** CG convergence report, including the residual curve. */
+    thermal::SolveInfo solve;
 };
 
 /**

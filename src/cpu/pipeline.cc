@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace stack3d {
 namespace cpu {
@@ -56,6 +57,8 @@ PipelineModel::PipelineModel(const PipelineConfig &config)
 CpuResult
 PipelineModel::run(const std::vector<CpuUop> &uops) const
 {
+    obs::Span span("cpu.pipeline", "cpu");
+
     CpuResult result;
     result.num_uops = uops.size();
     if (uops.empty())

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace stack3d {
 namespace cpu {
@@ -29,6 +31,8 @@ TraceSuite::TraceSuite(const SuiteOptions &options)
 SuiteResult
 TraceSuite::run(const PipelineConfig &config) const
 {
+    obs::Span span("cpu.suite", "cpu");
+
     PipelineModel model(config);
     SuiteResult result;
     result.num_traces = unsigned(_traces.size());
@@ -42,6 +46,12 @@ TraceSuite::run(const PipelineConfig &config) const
         auto &[cls_log, cls_n] = per_class[entry.class_name];
         cls_log += std::log(r.ipc);
         ++cls_n;
+        result.uops += r.num_uops;
+        result.cycles += r.cycles;
+        result.mispredicts += r.mispredicts;
+        result.trace_breaks += r.trace_breaks;
+        result.sq_stall_cycles += r.sq_stall_cycles;
+        result.window_stall_cycles += r.window_stall_cycles;
     }
     result.geomean_ipc = std::exp(log_sum / double(_traces.size()));
     for (const auto &[name, acc] : per_class) {
@@ -122,6 +132,26 @@ computeTable4(const SuiteOptions &options)
     result.planar = suite.run(planar);
     result.stacked = suite.run(stacked);
     return result;
+}
+
+void
+appendSuiteCounters(const SuiteResult &result, obs::CounterSet &out,
+                    const std::string &prefix)
+{
+    out.set(prefix + "traces", double(result.num_traces));
+    out.set(prefix + "geomean_ipc", result.geomean_ipc);
+    out.set(prefix + "uops", double(result.uops));
+    out.set(prefix + "cycles", double(result.cycles));
+    out.set(prefix + "ipc",
+            result.cycles ? double(result.uops) /
+                                double(result.cycles)
+                          : 0.0);
+    out.set(prefix + "mispredicts", double(result.mispredicts));
+    out.set(prefix + "trace_breaks", double(result.trace_breaks));
+    out.set(prefix + "sq_stall_cycles",
+            double(result.sq_stall_cycles));
+    out.set(prefix + "window_stall_cycles",
+            double(result.window_stall_cycles));
 }
 
 } // namespace cpu

@@ -15,6 +15,11 @@
 #include "cpu/pipeline.hh"
 
 namespace stack3d {
+
+namespace obs {
+class CounterSet;
+} // namespace obs
+
 namespace cpu {
 
 /** Suite execution options. */
@@ -39,6 +44,15 @@ struct SuiteResult
     std::vector<std::pair<std::string, double>> class_ipc;
 
     unsigned num_traces = 0;
+
+    // Pipeline activity summed over every trace of the suite run —
+    // the per-stage stall / squash attribution behind the IPC.
+    std::uint64_t uops = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t trace_breaks = 0;
+    std::uint64_t sq_stall_cycles = 0;
+    std::uint64_t window_stall_cycles = 0;
 };
 
 /** One row of Table 4. */
@@ -91,6 +105,15 @@ class TraceSuite
 
 /** Compute Table 4 (per-path and total gains). */
 Table4Result computeTable4(const SuiteOptions &options = {});
+
+/**
+ * Fold a suite run's aggregate pipeline counters into @p out under
+ * @p prefix (e.g. "cpu.planar."): uops, cycles, ipc, mispredicts,
+ * trace_breaks, and the per-cause stall-cycle attribution.
+ */
+void appendSuiteCounters(const SuiteResult &result,
+                         obs::CounterSet &out,
+                         const std::string &prefix);
 
 } // namespace cpu
 } // namespace stack3d

@@ -1,5 +1,8 @@
 #include "pool.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace stack3d {
 namespace exec {
 
@@ -37,10 +40,18 @@ ThreadPool::enqueue(Task task)
     std::size_t i =
         _next_worker.fetch_add(1, std::memory_order_relaxed) %
         _workers.size();
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(_workers[i]->mutex);
         _workers[i]->deque.push_back(std::move(task));
+        depth = _workers[i]->deque.size();
     }
+    std::uint64_t seen =
+        _queue_high_water.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !_queue_high_water.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed))
+        ;
     // Lock/unlock pairs the push with the sleeper's predicate check so
     // a worker can never miss the wakeup for a task it failed to see.
     {
@@ -93,10 +104,20 @@ ThreadPool::workerLoop(unsigned self)
 {
     for (;;) {
         Task task;
-        if (popOwn(self, task) || stealFromOthers(self, task)) {
+        bool stole = false;
+        if (popOwn(self, task) ||
+            (stole = stealFromOthers(self, task))) {
+            _n_executed.fetch_add(1, std::memory_order_relaxed);
+            if (stole) {
+                _n_stolen.fetch_add(1, std::memory_order_relaxed);
+                obs::instant("pool.steal", "exec");
+            }
+            obs::Span span("pool.task", "exec");
             task();
             continue;
         }
+        _n_sleeps.fetch_add(1, std::memory_order_relaxed);
+        obs::Span idle("pool.idle", "exec");
         std::unique_lock<std::mutex> lock(_sleep_mutex);
         if (_stopping && !anyQueued())
             return;
@@ -105,6 +126,35 @@ ThreadPool::workerLoop(unsigned self)
         if (_stopping && !anyQueued())
             return;
     }
+}
+
+PoolCounters
+ThreadPool::counters() const
+{
+    PoolCounters c;
+    c.submitted = _n_submitted.load(std::memory_order_relaxed);
+    c.inline_executed = _n_inline.load(std::memory_order_relaxed);
+    c.executed = _n_executed.load(std::memory_order_relaxed);
+    c.stolen = _n_stolen.load(std::memory_order_relaxed);
+    c.sleeps = _n_sleeps.load(std::memory_order_relaxed);
+    c.queue_high_water =
+        _queue_high_water.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+ThreadPool::appendCounters(obs::CounterSet &out,
+                           const std::string &prefix) const
+{
+    PoolCounters c = counters();
+    out.set(prefix + "threads", double(numThreads()));
+    out.set(prefix + "submitted", double(c.submitted));
+    out.set(prefix + "inline_executed", double(c.inline_executed));
+    out.set(prefix + "executed", double(c.executed));
+    out.set(prefix + "stolen", double(c.stolen));
+    out.set(prefix + "sleeps", double(c.sleeps));
+    out.set(prefix + "queue_high_water",
+            double(c.queue_high_water));
 }
 
 } // namespace exec

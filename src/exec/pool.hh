@@ -24,16 +24,34 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace stack3d {
+
+namespace obs {
+class CounterSet;
+} // namespace obs
+
 namespace exec {
+
+/** Snapshot of a pool's activity counters (see ThreadPool::counters). */
+struct PoolCounters
+{
+    std::uint64_t submitted = 0;       ///< tasks handed to submit()
+    std::uint64_t inline_executed = 0; ///< ran inline (0-thread mode)
+    std::uint64_t executed = 0;        ///< ran on a worker thread
+    std::uint64_t stolen = 0;          ///< executed via work stealing
+    std::uint64_t sleeps = 0;          ///< times a worker went idle
+    std::uint64_t queue_high_water = 0; ///< deepest single deque seen
+};
 
 /** Work-stealing thread pool. */
 class ThreadPool
@@ -65,13 +83,22 @@ class ThreadPool
         using R = std::invoke_result_t<std::decay_t<F> &>;
         std::packaged_task<R()> task(std::forward<F>(fn));
         std::future<R> future = task.get_future();
+        _n_submitted.fetch_add(1, std::memory_order_relaxed);
         if (_workers.empty()) {
+            _n_inline.fetch_add(1, std::memory_order_relaxed);
             task();   // inline mode
             return future;
         }
         enqueue(Task(std::move(task)));
         return future;
     }
+
+    /** Consistent-enough snapshot of the activity counters. */
+    PoolCounters counters() const;
+
+    /** Fold counters() into @p out under @p prefix ("pool."). */
+    void appendCounters(obs::CounterSet &out,
+                        const std::string &prefix = "pool.") const;
 
     /** std::thread::hardware_concurrency with a sane floor of 1. */
     static unsigned hardwareThreads();
@@ -134,6 +161,14 @@ class ThreadPool
 
     /** Round-robin cursor for external submissions. */
     std::atomic<std::size_t> _next_worker{0};
+
+    // Activity counters (relaxed; read via counters()).
+    std::atomic<std::uint64_t> _n_submitted{0};
+    std::atomic<std::uint64_t> _n_inline{0};
+    std::atomic<std::uint64_t> _n_executed{0};
+    std::atomic<std::uint64_t> _n_stolen{0};
+    std::atomic<std::uint64_t> _n_sleeps{0};
+    std::atomic<std::uint64_t> _queue_high_water{0};
 };
 
 } // namespace exec

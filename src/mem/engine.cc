@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace stack3d {
 namespace mem {
@@ -30,6 +31,8 @@ struct Completion
 EngineResult
 TraceEngine::run(const trace::TraceBuffer &buf, MemoryHierarchy &hier) const
 {
+    obs::Span span("mem.replay", "mem");
+
     EngineResult result;
     result.num_records = buf.size();
     if (buf.empty())
@@ -177,6 +180,12 @@ TraceEngine::run(const trace::TraceBuffer &buf, MemoryHierarchy &hier) const
                              hier.bus().params().mw_per_gbit * 1e-3;
     }
     result.hier = hier.counters();
+    hier.appendCounters(result.counters, "", now);
+    result.counters.set("engine.total_cycles", double(now));
+    result.counters.set("engine.measured_records",
+                        double(measured_records));
+    result.counters.set("engine.warmup_cycles",
+                        double(warmup_cycles));
     for (unsigned b = 0; b < 4; ++b)
         result.latency_frac[b] =
             double(lat_buckets[b]) / double(measured_records);

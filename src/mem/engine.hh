@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "mem/hierarchy.hh"
+#include "obs/metrics.hh"
 #include "trace/buffer.hh"
 
 namespace stack3d {
@@ -77,6 +78,13 @@ struct EngineResult
     double latency_frac[4] = {0.0, 0.0, 0.0, 0.0};
 
     HierarchyCounters hier;
+
+    /**
+     * Full per-level counter snapshot (hits/misses/miss_rate/mpkr
+     * per cache, DRAM cache/bank behaviour, bus occupancy, DDR
+     * traffic) taken from the hierarchy at end of run.
+     */
+    obs::CounterSet counters;
 };
 
 /** Runs a trace through a hierarchy with dependency-honoring issue. */

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/metrics.hh"
 
 namespace stack3d {
 namespace mem {
@@ -412,6 +413,96 @@ MemoryHierarchy::dumpStats(std::ostream &os) const
     }
 
     root.dump(os);
+}
+
+void
+MemoryHierarchy::appendCounters(obs::CounterSet &out,
+                                const std::string &prefix,
+                                Cycles total_cycles) const
+{
+    double kilo_refs = double(_ctr.accesses) / 1000.0;
+    auto addCache = [&](const std::string &level,
+                        const CacheCounters &ctr) {
+        out.set(prefix + level + ".hits", double(ctr.hits));
+        out.set(prefix + level + ".misses", double(ctr.misses));
+        out.set(prefix + level + ".writebacks",
+                double(ctr.writebacks));
+        out.set(prefix + level + ".miss_rate", ctr.missRate());
+        out.set(prefix + level + ".mpkr",
+                kilo_refs > 0.0 ? double(ctr.misses) / kilo_refs
+                                : 0.0);
+    };
+
+    out.set(prefix + "accesses", double(_ctr.accesses));
+    out.set(prefix + "loads", double(_ctr.loads));
+    out.set(prefix + "stores", double(_ctr.stores));
+    out.set(prefix + "ifetches", double(_ctr.ifetches));
+    out.set(prefix + "prefetches", double(_ctr.prefetches));
+    out.set(prefix + "demand_l1d_misses",
+            double(_ctr.demand_l1d_misses));
+    out.set(prefix + "coherence_invals",
+            double(_ctr.coherence_invalidations));
+
+    // Fold the per-core L1s into one logical level each, matching
+    // how the paper reports them.
+    CacheCounters l1d_all, l1i_all;
+    auto fold = [](CacheCounters &acc, const CacheCounters &c) {
+        acc.hits += c.hits;
+        acc.misses += c.misses;
+        acc.evictions += c.evictions;
+        acc.writebacks += c.writebacks;
+        acc.invalidations += c.invalidations;
+    };
+    for (unsigned c = 0; c < _params.num_cpus; ++c) {
+        fold(l1d_all, _l1d[c]->counters());
+        fold(l1i_all, _l1i[c]->counters());
+    }
+    addCache("l1d", l1d_all);
+    addCache("l1i", l1i_all);
+    if (_l2)
+        addCache("l2", _l2->counters());
+    if (_dram_cache) {
+        const DramCacheCounters &dc = _dram_cache->counters();
+        out.set(prefix + "dram_cache.sector_hits",
+                double(dc.sector_hits));
+        out.set(prefix + "dram_cache.sector_misses",
+                double(dc.sector_misses));
+        out.set(prefix + "dram_cache.page_misses",
+                double(dc.page_misses));
+        out.set(prefix + "dram_cache.evictions",
+                double(dc.evictions));
+        out.set(prefix + "dram_cache.writeback_sectors",
+                double(dc.writeback_sectors));
+        out.set(prefix + "dram_cache.miss_rate", dc.missRate());
+        const DramBankCounters &bc = _dram_banks->counters();
+        out.set(prefix + "dram_banks.page_hits",
+                double(bc.page_hits));
+        out.set(prefix + "dram_banks.page_opens",
+                double(bc.page_misses));
+        out.set(prefix + "dram_banks.conflicts",
+                double(bc.page_conflicts));
+    }
+
+    out.set(prefix + "bus.bytes", double(_bus.totalBytes()));
+    out.set(prefix + "bus.speculative_bytes",
+            double(_bus.speculativeBytes()));
+    out.set(prefix + "bus.transactions",
+            double(_bus.transactions()));
+    if (total_cycles > 0) {
+        out.set(prefix + "bus.achieved_gbps",
+                _bus.achievedGBps(total_cycles));
+        out.set(prefix + "bus.occupancy",
+                _bus.achievedGBps(total_cycles) /
+                    _bus.params().bandwidth_gbps);
+    }
+    out.set(prefix + "memory.reads", double(_main_memory.reads()));
+    out.set(prefix + "memory.writes", double(_main_memory.writes()));
+
+    const DramBankCounters &mc = _main_memory.banks().counters();
+    out.set(prefix + "memory.page_hits", double(mc.page_hits));
+    out.set(prefix + "memory.page_opens", double(mc.page_misses));
+    out.set(prefix + "memory.conflicts",
+            double(mc.page_conflicts));
 }
 
 } // namespace mem

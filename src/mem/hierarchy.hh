@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "mem/bus.hh"
@@ -35,6 +36,11 @@
 #include "trace/record.hh"
 
 namespace stack3d {
+
+namespace obs {
+class CounterSet;
+} // namespace obs
+
 namespace mem {
 
 /** Banked DDR main memory behind the off-die bus. */
@@ -152,6 +158,18 @@ class MemoryHierarchy
      * prefetcher and coherence activity).
      */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Append a machine-readable snapshot of every level's counters
+     * to @p out under @p prefix: per-cache hits/misses/miss_rate/
+     * mpkr (misses per kilo references), DRAM cache and bank
+     * behaviour, bus bytes/occupancy, and main-memory traffic.
+     * @param total_cycles run length, used for bus occupancy; pass 0
+     *        to skip the rate-style counters.
+     */
+    void appendCounters(obs::CounterSet &out,
+                        const std::string &prefix = "",
+                        Cycles total_cycles = 0) const;
 
   private:
     Addr lineAddr(Addr addr) const;

@@ -1,0 +1,152 @@
+#include "obs/provenance.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.hh"
+
+#ifndef STACK3D_VERSION
+#define STACK3D_VERSION "0.0.0"
+#endif
+#ifndef STACK3D_BUILD_TYPE
+#define STACK3D_BUILD_TYPE "unknown"
+#endif
+#ifndef STACK3D_COMPILER
+#define STACK3D_COMPILER "unknown"
+#endif
+
+namespace stack3d {
+namespace obs {
+
+const char *
+version()
+{
+    return STACK3D_VERSION;
+}
+
+const char *
+buildType()
+{
+    return STACK3D_BUILD_TYPE;
+}
+
+const char *
+compiler()
+{
+    return STACK3D_COMPILER;
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        hash ^= std::uint64_t(static_cast<unsigned char>(c));
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+namespace {
+
+void
+mix(std::uint64_t &hash, const std::string &s)
+{
+    // Hash the length too so {"ab","c"} != {"a","bc"}.
+    hash ^= s.size();
+    hash *= 0x100000001b3ull;
+    for (char c : s) {
+        hash ^= std::uint64_t(static_cast<unsigned char>(c));
+        hash *= 0x100000001b3ull;
+    }
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+RunManifest::addConfig(std::string key, std::string value)
+{
+    config.emplace_back(std::move(key), std::move(value));
+}
+
+void
+RunManifest::addConfig(std::string key, std::uint64_t value)
+{
+    config.emplace_back(std::move(key), std::to_string(value));
+}
+
+void
+RunManifest::addConfig(std::string key, double value)
+{
+    config.emplace_back(std::move(key), formatDouble(value));
+}
+
+std::uint64_t
+RunManifest::digest() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    mix(hash, tool);
+    mix(hash, version);
+    mix(hash, std::to_string(seed));
+    mix(hash, std::to_string(threads));
+    mix(hash, formatDouble(depth));
+    mix(hash, formatDouble(scale));
+    mix(hash, verbosity);
+    for (const auto &kv : config) {
+        mix(hash, kv.first);
+        mix(hash, kv.second);
+    }
+    return hash;
+}
+
+RunManifest
+makeManifest(std::string tool)
+{
+    RunManifest m;
+    m.tool = std::move(tool);
+    m.version = version();
+    m.build_type = buildType();
+    m.compiler = compiler();
+    m.cplusplus = __cplusplus;
+    return m;
+}
+
+void
+writeManifestJson(JsonWriter &w, const RunManifest &m)
+{
+    w.beginObject();
+    w.key("tool").value(m.tool);
+    w.key("version").value(m.version);
+    w.key("build");
+    w.beginObject();
+    w.key("type").value(m.build_type);
+    w.key("compiler").value(m.compiler);
+    w.key("cplusplus").value(std::int64_t(m.cplusplus));
+    w.endObject();
+    w.key("seed").value(std::uint64_t(m.seed));
+    w.key("threads").value(unsigned(m.threads));
+    w.key("depth").value(m.depth);
+    w.key("scale").value(m.scale);
+    w.key("verbosity").value(m.verbosity);
+    w.key("config");
+    w.beginObject();
+    for (const auto &kv : m.config)
+        w.key(kv.first).value(kv.second);
+    w.endObject();
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof(digest_hex), "0x%016" PRIx64,
+                  m.digest());
+    w.key("config_digest").value(digest_hex);
+    w.endObject();
+}
+
+} // namespace obs
+} // namespace stack3d

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Run provenance: a manifest describing exactly how a result file was
+ * produced — tool name, stack3d version, build flags, seed, run
+ * options, and a digest over all configuration key/value pairs.
+ * Every bench embeds the manifest at the top of its --json output so
+ * any result is reproducible from its header alone.
+ */
+
+#ifndef STACK3D_OBS_PROVENANCE_HH
+#define STACK3D_OBS_PROVENANCE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stack3d {
+
+class JsonWriter;
+
+namespace obs {
+
+/** stack3d release version (from the CMake project version). */
+const char *version();
+
+/** CMake build type ("Release", "RelWithDebInfo", ...). */
+const char *buildType();
+
+/** Compiler id + version string ("GNU 13.2.0", ...). */
+const char *compiler();
+
+/** FNV-1a 64-bit hash (same scheme as core::cellKey). */
+std::uint64_t fnv1a(const std::string &s);
+
+/**
+ * Provenance record for one run. Fill the run fields from
+ * RunOptions, addConfig() every knob that shaped the result (trace
+ * sizes, mesh resolution, benchmark list, ...), then emit with
+ * writeManifestJson(). The digest covers tool, version, seed, run
+ * fields, and every config pair, in order.
+ */
+struct RunManifest
+{
+    std::string tool;
+    std::string version;
+    std::string build_type;
+    std::string compiler;
+    long cplusplus = 0;
+
+    std::uint64_t seed = 0;
+    unsigned threads = 0;
+    double depth = 1.0;
+    double scale = 1.0;
+    std::string verbosity = "normal";
+
+    /** Config knobs in insertion order (kept stable for the digest). */
+    std::vector<std::pair<std::string, std::string>> config;
+
+    void addConfig(std::string key, std::string value);
+    void addConfig(std::string key, std::uint64_t value);
+    void addConfig(std::string key, double value);
+
+    /** Order-sensitive FNV-1a digest over the whole manifest. */
+    std::uint64_t digest() const;
+};
+
+/** Manifest pre-filled with tool name, version, and build info. */
+RunManifest makeManifest(std::string tool);
+
+/** Emit the manifest as one JSON object value (digest as hex). */
+void writeManifestJson(JsonWriter &w, const RunManifest &m);
+
+} // namespace obs
+} // namespace stack3d
+
+#endif // STACK3D_OBS_PROVENANCE_HH

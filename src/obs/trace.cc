@@ -1,0 +1,196 @@
+#include "obs/trace.hh"
+
+#include "common/json.hh"
+
+namespace stack3d {
+namespace obs {
+namespace detail {
+
+std::atomic<TraceCollector *> g_collector{nullptr};
+
+namespace {
+
+/**
+ * Install generation. Bumped on every install() so a thread whose
+ * cached buffer belongs to a dead session re-registers instead of
+ * writing into freed memory.
+ */
+std::atomic<std::uint64_t> g_generation{0};
+
+struct ThreadCache
+{
+    std::uint64_t generation = 0;
+    ThreadBuffer *buffer = nullptr;
+};
+
+thread_local ThreadCache t_cache;
+
+} // namespace
+
+ThreadBuffer::~ThreadBuffer()
+{
+    EventChunk *chunk = _head->next.load(std::memory_order_acquire);
+    delete _head;
+    while (chunk) {
+        EventChunk *next = chunk->next.load(std::memory_order_acquire);
+        delete chunk;
+        chunk = next;
+    }
+}
+
+void
+ThreadBuffer::append(TraceEvent &&event)
+{
+    EventChunk *chunk = _tail;
+    std::size_t n = chunk->count.load(std::memory_order_relaxed);
+    if (n == EventChunk::kCapacity) {
+        auto *fresh = new EventChunk;
+        chunk->next.store(fresh, std::memory_order_release);
+        _tail = fresh;
+        chunk = fresh;
+        n = 0;
+    }
+    chunk->events[n] = std::move(event);
+    chunk->count.store(n + 1, std::memory_order_release);
+}
+
+ThreadBuffer *
+currentBuffer()
+{
+    TraceCollector *collector =
+        g_collector.load(std::memory_order_acquire);
+    if (!collector)
+        return nullptr;
+    std::uint64_t generation =
+        g_generation.load(std::memory_order_acquire);
+    if (t_cache.generation != generation || !t_cache.buffer) {
+        t_cache.buffer = collector->registerThread();
+        t_cache.generation = generation;
+    }
+    return t_cache.buffer;
+}
+
+void
+record(const char *name, const std::string *label, const char *cat,
+       char phase)
+{
+    ThreadBuffer *buffer = currentBuffer();
+    if (!buffer)
+        return;
+    TraceCollector *collector =
+        g_collector.load(std::memory_order_acquire);
+    TraceEvent event;
+    event.ts_ns = collector->nowNs();
+    event.name = name;
+    if (label)
+        event.label = *label;
+    event.cat = cat;
+    event.phase = phase;
+    buffer->append(std::move(event));
+}
+
+} // namespace detail
+
+TraceCollector::TraceCollector()
+    : _epoch(std::chrono::steady_clock::now())
+{
+}
+
+TraceCollector::~TraceCollector()
+{
+    uninstall();
+}
+
+void
+TraceCollector::install()
+{
+    detail::g_generation.fetch_add(1, std::memory_order_acq_rel);
+    detail::g_collector.store(this, std::memory_order_release);
+}
+
+void
+TraceCollector::uninstall()
+{
+    TraceCollector *expected = this;
+    detail::g_collector.compare_exchange_strong(
+        expected, nullptr, std::memory_order_acq_rel);
+}
+
+bool
+TraceCollector::installed() const
+{
+    return detail::g_collector.load(std::memory_order_acquire) == this;
+}
+
+std::uint64_t
+TraceCollector::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - _epoch)
+            .count());
+}
+
+detail::ThreadBuffer *
+TraceCollector::registerThread()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    unsigned tid = static_cast<unsigned>(_buffers.size()) + 1;
+    _buffers.push_back(std::make_unique<detail::ThreadBuffer>(tid));
+    return _buffers.back().get();
+}
+
+std::size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t total = 0;
+    for (const auto &buffer : _buffers) {
+        const detail::EventChunk *chunk = buffer->head();
+        while (chunk) {
+            total += chunk->count.load(std::memory_order_acquire);
+            chunk = chunk->next.load(std::memory_order_acquire);
+        }
+    }
+    return total;
+}
+
+void
+TraceCollector::writeChromeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const auto &buffer : _buffers) {
+        const detail::EventChunk *chunk = buffer->head();
+        while (chunk) {
+            std::size_t n =
+                chunk->count.load(std::memory_order_acquire);
+            for (std::size_t i = 0; i < n; ++i) {
+                const detail::TraceEvent &ev = chunk->events[i];
+                w.beginObject();
+                w.key("name").value(ev.name ? ev.name
+                                            : ev.label.c_str());
+                w.key("cat").value(ev.cat);
+                w.key("ph").value(std::string(1, ev.phase));
+                if (ev.phase == 'i')
+                    w.key("s").value("t");
+                w.key("pid").value(std::uint64_t(1));
+                w.key("tid").value(std::uint64_t(buffer->tid()));
+                // Chrome expects microseconds; keep sub-us precision.
+                w.key("ts").value(double(ev.ts_ns) / 1000.0);
+                w.endObject();
+            }
+            chunk = chunk->next.load(std::memory_order_acquire);
+        }
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace obs
+} // namespace stack3d

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Low-overhead tracing: scoped spans and instant events recorded into
+ * per-thread lock-free buffers, flushed on demand to Chrome
+ * trace-event JSON (loadable in chrome://tracing or Perfetto).
+ *
+ * Design:
+ *  - A single TraceCollector may be installed process-wide. Span and
+ *    instant() check one relaxed atomic load when no collector is
+ *    installed — instrumentation compiles to a test-and-branch, so
+ *    hot paths pay (near) nothing by default.
+ *  - Each recording thread owns a chunked append-only buffer. The
+ *    owning thread writes events and publishes them with a release
+ *    store of the chunk's count; the flusher reads counts with
+ *    acquire loads. No locks on the record path (a mutex is taken
+ *    only when a thread registers or a chunk is allocated).
+ *  - Spans are emitted as matched B/E event pairs, so per-thread
+ *    timestamps are monotonic in buffer order and nesting falls out
+ *    of the Chrome trace model for free.
+ *
+ * Lifecycle contract: uninstall/flush only while no span is open and
+ * recording threads have quiesced (study pools are joined before
+ * benches flush, so this holds naturally).
+ */
+
+#ifndef STACK3D_OBS_TRACE_HH
+#define STACK3D_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stack3d {
+namespace obs {
+
+class TraceCollector;
+
+namespace detail {
+
+/** One recorded trace event (a B/E span edge or an instant). */
+struct TraceEvent
+{
+    std::uint64_t ts_ns = 0;
+    /** Static-storage name; when null, @ref label carries the name. */
+    const char *name = nullptr;
+    std::string label;
+    const char *cat = "";
+    char phase = 'B';   ///< 'B' begin, 'E' end, 'i' instant
+};
+
+/** Fixed-capacity chunk of a per-thread event buffer. */
+struct EventChunk
+{
+    static constexpr std::size_t kCapacity = 2048;
+
+    EventChunk() : events(kCapacity) {}
+
+    std::vector<TraceEvent> events;
+    /** Committed events in this chunk (published with release). */
+    std::atomic<std::size_t> count{0};
+    std::atomic<EventChunk *> next{nullptr};
+};
+
+/** A single thread's chunked, single-writer event buffer. */
+class ThreadBuffer
+{
+  public:
+    explicit ThreadBuffer(unsigned tid)
+        : _tid(tid), _head(new EventChunk), _tail(_head)
+    {
+    }
+
+    ~ThreadBuffer();
+
+    ThreadBuffer(const ThreadBuffer &) = delete;
+    ThreadBuffer &operator=(const ThreadBuffer &) = delete;
+
+    /** Record one event; called only by the owning thread. */
+    void append(TraceEvent &&event);
+
+    unsigned tid() const { return _tid; }
+    const EventChunk *head() const { return _head; }
+
+  private:
+    unsigned _tid;
+    EventChunk *_head;
+    EventChunk *_tail;   ///< writer-owned cursor
+};
+
+extern std::atomic<TraceCollector *> g_collector;
+
+/** Buffer of the calling thread under the installed collector. */
+ThreadBuffer *currentBuffer();
+
+void record(const char *name, const std::string *label, const char *cat,
+            char phase);
+
+} // namespace detail
+
+/** True when a collector is installed (spans will record). */
+inline bool
+tracingActive()
+{
+    return detail::g_collector.load(std::memory_order_relaxed) !=
+           nullptr;
+}
+
+/**
+ * Owns every recorded event of one tracing session. Construct,
+ * install(), run instrumented code, then writeChromeJson() after the
+ * instrumented threads have quiesced.
+ */
+class TraceCollector
+{
+  public:
+    TraceCollector();
+    ~TraceCollector();
+
+    TraceCollector(const TraceCollector &) = delete;
+    TraceCollector &operator=(const TraceCollector &) = delete;
+
+    /** Make this the process-wide collector (replaces any other). */
+    void install();
+
+    /** Stop recording into this collector. */
+    void uninstall();
+
+    bool installed() const;
+
+    /** Committed events across all thread buffers. */
+    std::size_t eventCount() const;
+
+    /**
+     * Write everything recorded so far as Chrome trace-event JSON:
+     * an object with a "traceEvents" array of B/E/i events with
+     * microsecond timestamps, one Chrome tid per recording thread.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** Nanoseconds since this collector's epoch. */
+    std::uint64_t nowNs() const;
+
+  private:
+    friend detail::ThreadBuffer *detail::currentBuffer();
+
+    /** Create + register the calling thread's buffer. */
+    detail::ThreadBuffer *registerThread();
+
+    std::chrono::steady_clock::time_point _epoch;
+    mutable std::mutex _mutex;   ///< guards _buffers growth
+    std::vector<std::unique_ptr<detail::ThreadBuffer>> _buffers;
+};
+
+/**
+ * RAII span: records a 'B' event at construction and the matching
+ * 'E' at destruction. When no collector is installed the constructor
+ * is one relaxed atomic load and a branch.
+ */
+class Span
+{
+  public:
+    /** @param name static-storage string (a literal). */
+    explicit Span(const char *name, const char *cat = "app")
+    {
+        if (tracingActive()) {
+            _active = true;
+            detail::record(name, nullptr, cat, 'B');
+        }
+    }
+
+    /** Dynamic-label overload (copies the label when active). */
+    explicit Span(const std::string &label, const char *cat = "app")
+    {
+        if (tracingActive()) {
+            _active = true;
+            detail::record(nullptr, &label, cat, 'B');
+        }
+    }
+
+    ~Span()
+    {
+        if (_active)
+            detail::record(nullptr, nullptr, "", 'E');
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    bool _active = false;
+};
+
+/** Record an instant event (a zero-duration marker). */
+inline void
+instant(const char *name, const char *cat = "app")
+{
+    if (tracingActive())
+        detail::record(name, nullptr, cat, 'i');
+}
+
+/** Dynamic-label instant event. */
+inline void
+instant(const std::string &label, const char *cat = "app")
+{
+    if (tracingActive())
+        detail::record(nullptr, &label, cat, 'i');
+}
+
+} // namespace obs
+} // namespace stack3d
+
+#endif // STACK3D_OBS_TRACE_HH

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace stack3d {
 namespace thermal {
@@ -67,6 +69,8 @@ TemperatureField
 solveSteadyState(const Mesh &mesh, double tolerance, unsigned max_iters,
                  SolveInfo *info)
 {
+    obs::Span span("thermal.solve", "thermal");
+
     std::size_t n = mesh.numCells();
     const std::vector<double> &b = mesh.rhs();
     const std::vector<double> &diag = mesh.diagonal();
@@ -98,6 +102,8 @@ solveSteadyState(const Mesh &mesh, double tolerance, unsigned max_iters,
         rz += r[i] * z[i];
 
     SolveInfo local;
+    if (info)
+        local.residual_curve.reserve(std::min(max_iters, 4096u));
     for (unsigned iter = 0; iter < max_iters; ++iter) {
         mesh.applyOperator(p, ap);
         double p_ap = 0.0;
@@ -116,6 +122,8 @@ solveSteadyState(const Mesh &mesh, double tolerance, unsigned max_iters,
         r_norm = std::sqrt(r_norm);
         local.iterations = iter + 1;
         local.residual = r_norm / b_norm;
+        if (info)
+            local.residual_curve.push_back(local.residual);
         if (local.residual < tolerance) {
             local.converged = true;
             break;
@@ -138,6 +146,18 @@ solveSteadyState(const Mesh &mesh, double tolerance, unsigned max_iters,
     if (info)
         *info = local;
     return TemperatureField(mesh, std::move(x));
+}
+
+void
+appendSolveCounters(obs::CounterSet &out, const std::string &prefix,
+                    const SolveInfo &info)
+{
+    out.set(prefix + "iterations", double(info.iterations));
+    out.set(prefix + "residual", info.residual);
+    out.set(prefix + "converged", info.converged ? 1.0 : 0.0);
+    if (!info.residual_curve.empty())
+        out.setSeries(prefix + "residual_curve",
+                      info.residual_curve);
 }
 
 } // namespace thermal

@@ -8,11 +8,17 @@
 #ifndef STACK3D_THERMAL_SOLVER_HH
 #define STACK3D_THERMAL_SOLVER_HH
 
+#include <string>
 #include <vector>
 
 #include "thermal/mesh.hh"
 
 namespace stack3d {
+
+namespace obs {
+class CounterSet;
+} // namespace obs
+
 namespace thermal {
 
 /** A solved temperature field with convenience queries. */
@@ -61,6 +67,12 @@ struct SolveInfo
     unsigned iterations = 0;
     double residual = 0.0;
     bool converged = false;
+    /**
+     * Relative residual after each iteration. Recorded only when a
+     * SolveInfo is passed to solveSteadyState, so info-less callers
+     * (and the microbenchmarks) pay nothing for it.
+     */
+    std::vector<double> residual_curve;
 };
 
 /**
@@ -74,6 +86,15 @@ TemperatureField solveSteadyState(const Mesh &mesh,
                                   double tolerance = 1e-8,
                                   unsigned max_iters = 20000,
                                   SolveInfo *info = nullptr);
+
+/**
+ * Fold a solve's convergence report into @p out under @p prefix:
+ * iterations, final residual, converged flag, and the residual
+ * curve as a series.
+ */
+void appendSolveCounters(obs::CounterSet &out,
+                         const std::string &prefix,
+                         const SolveInfo &info);
 
 } // namespace thermal
 } // namespace stack3d

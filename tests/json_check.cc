@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Validation helper for bench output files, driven from CTest:
+ *
+ *   json_check chrome <trace.json>
+ *       The file must be well-formed JSON with a "traceEvents" array
+ *       whose timestamps are monotonic per tid and whose B/E span
+ *       events balance — i.e. a trace chrome://tracing will load.
+ *
+ *   json_check fields <result.json> <dotted.path>...
+ *       The file must be well-formed JSON containing every listed
+ *       dotted path; a path resolving to an empty object or empty
+ *       array also fails (a present-but-hollow "counters" member is
+ *       a regression, not a pass).
+ *
+ * Exits 0 on success, 1 with a diagnostic on the first violation.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json_parse.hh"
+
+using namespace stack3d;
+
+namespace {
+
+bool
+readFile(const char *path, std::string &out)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+int
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "json_check: %s\n", message.c_str());
+    return 1;
+}
+
+int
+checkChrome(const JsonValue &root)
+{
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("no traceEvents array");
+    if (events->array.empty())
+        return fail("traceEvents is empty");
+
+    std::map<double, double> last_ts;
+    std::map<double, int> depth;
+    std::size_t n = 0;
+    for (const JsonValue &ev : events->array) {
+        const JsonValue *ph = ev.find("ph");
+        const JsonValue *ts = ev.find("ts");
+        const JsonValue *tid = ev.find("tid");
+        if (!ph || !ph->isString() || !ts || !ts->isNumber() ||
+            !tid || !tid->isNumber()) {
+            return fail("event " + std::to_string(n) +
+                        " lacks ph/ts/tid");
+        }
+        auto it = last_ts.find(tid->number);
+        if (it != last_ts.end() && ts->number < it->second) {
+            return fail("event " + std::to_string(n) +
+                        ": ts went backwards on its tid");
+        }
+        last_ts[tid->number] = ts->number;
+        if (ph->string == "B") {
+            ++depth[tid->number];
+        } else if (ph->string == "E") {
+            if (--depth[tid->number] < 0) {
+                return fail("event " + std::to_string(n) +
+                            ": E without matching B");
+            }
+        }
+        ++n;
+    }
+    for (const auto &[tid, d] : depth) {
+        if (d != 0) {
+            return fail("unbalanced spans on tid " +
+                        std::to_string(tid));
+        }
+    }
+    std::printf("json_check: %zu events OK\n", n);
+    return 0;
+}
+
+int
+checkFields(const JsonValue &root, int argc, char **argv)
+{
+    for (int i = 3; i < argc; ++i) {
+        const JsonValue *v = root.findPath(argv[i]);
+        if (!v)
+            return fail(std::string("missing field: ") + argv[i]);
+        if (v->isObject() && v->object.empty())
+            return fail(std::string("empty object: ") + argv[i]);
+        if (v->isArray() && v->array.empty())
+            return fail(std::string("empty array: ") + argv[i]);
+    }
+    std::printf("json_check: %d field(s) OK\n", argc - 3);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage:\n"
+                     "  json_check chrome <trace.json>\n"
+                     "  json_check fields <result.json> <path>...\n");
+        return 2;
+    }
+
+    std::string text;
+    if (!readFile(argv[2], text))
+        return fail(std::string("cannot read ") + argv[2]);
+    JsonValue root;
+    std::string error;
+    if (!parseJson(text, root, error))
+        return fail(std::string(argv[2]) + ": " + error);
+
+    if (std::strcmp(argv[1], "chrome") == 0)
+        return checkChrome(root);
+    if (std::strcmp(argv[1], "fields") == 0)
+        return checkFields(root, argc, argv);
+    return fail(std::string("unknown mode: ") + argv[1]);
+}
