@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "cpu/pipeline.hh"
+#include "exec/pool.hh"
 #include "mem/engine.hh"
 #include "obs/trace.hh"
 #include "thermal/solver.hh"
@@ -90,22 +93,70 @@ BM_TraceGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 
+namespace {
+
+/** The fixed two-die DRAM stack every thermal benchmark solves. */
+thermal::Mesh
+makeBenchMesh(const thermal::StackGeometry &geom, unsigned die_n)
+{
+    thermal::Mesh mesh(geom, die_n, die_n);
+    thermal::PowerMap map(die_n, die_n, 12e-3, 12e-3);
+    map.addUniform(90.0);
+    mesh.setLayerPower(geom.layerIndex("active1"), map);
+    return mesh;
+}
+
 void
-BM_ThermalSolve(benchmark::State &state)
+thermalSolveBench(benchmark::State &state, thermal::Precond precond,
+                  bool use_pool)
 {
     auto die_n = unsigned(state.range(0));
     thermal::StackGeometry geom =
         thermal::makeTwoDieStack(12e-3, 12e-3,
                                  thermal::StackedDieType::Dram);
+    // Mirror the studies' idiom: a worker pool only when the machine
+    // can actually fan out (a 1-core pool is pure handoff overhead).
+    std::unique_ptr<exec::ThreadPool> pool;
+    unsigned hw = exec::ThreadPool::hardwareThreads();
+    if (use_pool && hw > 1)
+        pool = std::make_unique<exec::ThreadPool>(hw);
     for (auto _ : state) {
-        thermal::Mesh mesh(geom, die_n, die_n);
-        thermal::PowerMap map(die_n, die_n, 12e-3, 12e-3);
-        map.addUniform(90.0);
-        mesh.setLayerPower(geom.layerIndex("active1"), map);
-        benchmark::DoNotOptimize(thermal::solveSteadyState(mesh, 1e-6));
+        thermal::Mesh mesh = makeBenchMesh(geom, die_n);
+        thermal::SolverOptions opt;
+        opt.precond = precond;
+        opt.tolerance = 1e-6;
+        opt.pool = pool.get();
+        benchmark::DoNotOptimize(thermal::solveSteadyState(mesh, opt));
     }
 }
-BENCHMARK(BM_ThermalSolve)->Arg(16)->Arg(32)
+
+} // anonymous namespace
+
+/** The production fast path: multigrid + slab-parallel kernels. */
+void
+BM_ThermalSolve(benchmark::State &state)
+{
+    thermalSolveBench(state, thermal::Precond::Multigrid, true);
+}
+BENCHMARK(BM_ThermalSolve)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/** Multigrid alone (serial kernels), for the parallel-gain split. */
+void
+BM_ThermalSolveMG(benchmark::State &state)
+{
+    thermalSolveBench(state, thermal::Precond::Multigrid, false);
+}
+BENCHMARK(BM_ThermalSolveMG)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/** The original serial Jacobi-CG solver, kept as the baseline. */
+void
+BM_ThermalSolveJacobi(benchmark::State &state)
+{
+    thermalSolveBench(state, thermal::Precond::Jacobi, false);
+}
+BENCHMARK(BM_ThermalSolveJacobi)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 void

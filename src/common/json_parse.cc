@@ -17,22 +17,43 @@ JsonValue::find(const std::string &key) const
     return nullptr;
 }
 
+namespace {
+
+/**
+ * Resolve @p path from @p start against @p node. Keys are tried
+ * shortest-first (up to the next dot), falling back to progressively
+ * longer dotted prefixes with backtracking: flat counter names such
+ * as "thermal.k=60/cu.v_cycles" legitimately contain dots, so inside
+ * "counters" the whole remainder can be a single key.
+ */
+const JsonValue *
+findPathFrom(const JsonValue &node, const std::string &path,
+             std::size_t start)
+{
+    std::size_t dot = path.find('.', start);
+    for (;;) {
+        const std::string key = path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        if (const JsonValue *child = node.find(key)) {
+            if (dot == std::string::npos)
+                return child;
+            if (const JsonValue *hit =
+                    findPathFrom(*child, path, dot + 1))
+                return hit;
+        }
+        if (dot == std::string::npos)
+            return nullptr;
+        dot = path.find('.', dot + 1);
+    }
+}
+
+} // anonymous namespace
+
 const JsonValue *
 JsonValue::findPath(const std::string &dotted_path) const
 {
-    const JsonValue *node = this;
-    std::size_t start = 0;
-    while (node) {
-        std::size_t dot = dotted_path.find('.', start);
-        std::string key = dotted_path.substr(
-            start, dot == std::string::npos ? std::string::npos
-                                            : dot - start);
-        node = node->find(key);
-        if (dot == std::string::npos)
-            return node;
-        start = dot + 1;
-    }
-    return nullptr;
+    return findPathFrom(*this, dotted_path, 0);
 }
 
 namespace {

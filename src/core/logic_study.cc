@@ -31,6 +31,8 @@ runLogicStudy(const RunOptions &options, const LogicStudySpec &spec)
         1.0 - spec.power_breakdown.stackedRelativePower();
 
     thermal::PackageModel pkg = thermal::makeP4Package();
+    thermal::SolverOptions sopt;
+    sopt.precond = options.thermal_precond;
     Floorplan planar = floorplan::makePentium4Planar();
     double planar_density = planar.peakBlockDensity(0);
 
@@ -56,7 +58,7 @@ runLogicStudy(const RunOptions &options, const LogicStudySpec &spec)
             tracker.runCell(1, "fig11/planar", [&] {
                 result.fig11.planar = solveFloorplanThermals(
                     planar, StackedDieType::None, pkg, {}, nullptr,
-                    spec.die_nx, spec.die_ny);
+                    spec.die_nx, spec.die_ny, sopt);
             });
             break;
           case 2:
@@ -65,7 +67,7 @@ runLogicStudy(const RunOptions &options, const LogicStudySpec &spec)
                     1.0 - result.power_saving_3d);
                 result.fig11.stacked = solveFloorplanThermals(
                     stacked, StackedDieType::LogicSram, pkg, {},
-                    nullptr, spec.die_nx, spec.die_ny);
+                    nullptr, spec.die_nx, spec.die_ny, sopt);
                 result.fig11.stacked_density_ratio =
                     stacked.peakStackedDensity() / planar_density;
             });
@@ -76,7 +78,7 @@ runLogicStudy(const RunOptions &options, const LogicStudySpec &spec)
                     floorplan::makePentium43DWorstCase();
                 result.fig11.worst_case = solveFloorplanThermals(
                     worst, StackedDieType::LogicSram, pkg, {}, nullptr,
-                    spec.die_nx, spec.die_ny);
+                    spec.die_nx, spec.die_ny, sopt);
                 result.fig11.worst_density_ratio =
                     worst.peakStackedDensity() / planar_density;
             });
@@ -119,7 +121,8 @@ runLogicStudy(const RunOptions &options, const LogicStudySpec &spec)
                 row.point.power_w / baseline_w);
             row.temp_c = solveFloorplanThermals(
                              scaled, StackedDieType::LogicSram, pkg,
-                             {}, nullptr, spec.die_nx, spec.die_ny)
+                             {}, nullptr, spec.die_nx, spec.die_ny,
+                             sopt)
                              .peak_c;
         });
     });

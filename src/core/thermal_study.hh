@@ -61,6 +61,7 @@ struct ThermalSolution
  * @param die2_type metal system of die #2 (None for planar)
  * @param pkg       package model (Core 2 default or makeP4Package())
  * @param solution_out optionally receives the full field + mesh
+ * @param solver    preconditioner / tolerance / warm-start knobs
  */
 ThermalPoint solveFloorplanThermals(
     const floorplan::Floorplan &combined,
@@ -68,7 +69,8 @@ ThermalPoint solveFloorplanThermals(
     const thermal::PackageModel &pkg = {},
     const thermal::StackOverrides &ovr = {},
     ThermalSolution *solution_out = nullptr,
-    unsigned die_nx = kDefaultDieNx, unsigned die_ny = kDefaultDieNy);
+    unsigned die_nx = kDefaultDieNx, unsigned die_ny = kDefaultDieNy,
+    const thermal::SolverOptions &solver = {});
 
 /** Figure 8(a): peak temperature per stacking option. */
 struct StackThermalResult

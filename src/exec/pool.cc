@@ -6,6 +6,16 @@
 namespace stack3d {
 namespace exec {
 
+namespace {
+thread_local bool t_is_pool_worker = false;
+} // anonymous namespace
+
+bool
+ThreadPool::currentThreadIsWorker()
+{
+    return t_is_pool_worker;
+}
+
 ThreadPool::ThreadPool(unsigned num_threads)
 {
     _workers.reserve(num_threads);
@@ -102,6 +112,7 @@ ThreadPool::anyQueued()
 void
 ThreadPool::workerLoop(unsigned self)
 {
+    t_is_pool_worker = true;
     for (;;) {
         Task task;
         bool stole = false;

@@ -103,6 +103,15 @@ class ThreadPool
     /** std::thread::hardware_concurrency with a sane floor of 1. */
     static unsigned hardwareThreads();
 
+    /**
+     * True when the calling thread is a worker of *any* ThreadPool.
+     * Nested parallel helpers (the thermal solver's slab kernels) use
+     * this to fall back to their serial path instead of submitting
+     * sub-tasks and blocking a worker on their futures — the classic
+     * nested-fork deadlock.
+     */
+    static bool currentThreadIsWorker();
+
   private:
     /** Type-erased move-only task (packaged_task<R()> wrapped). */
     class Task

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic slab-parallel helpers for numerical kernels.
+ *
+ * The contract: work is partitioned into a *fixed* number of slabs
+ * chosen by the problem (z-planes of a thermal mesh, rows of a grid),
+ * never by the thread count. Each slab produces its result — a side
+ * effect on disjoint output ranges, or a partial sum — independently,
+ * and partial sums are combined in slab-index order after every slab
+ * finished. An N-thread run therefore performs bit-identical
+ * floating-point arithmetic to a 1-thread run: the same slabs, the
+ * same per-slab loop order, the same final summation order. Threads
+ * only change *when* each slab runs, never *what* it computes.
+ *
+ * Both helpers degrade gracefully: with a null pool, an inline-mode
+ * pool, or when called from inside a pool worker (where submitting
+ * sub-tasks and blocking on their futures could deadlock the pool),
+ * they run the slab loop serially — through the exact same code path.
+ */
+
+#ifndef STACK3D_EXEC_REDUCE_HH
+#define STACK3D_EXEC_REDUCE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "exec/future_set.hh"
+#include "exec/pool.hh"
+
+namespace stack3d {
+namespace exec {
+
+/** True when @p pool can actually run sub-tasks for the caller. */
+inline bool
+canFanOut(const ThreadPool *pool)
+{
+    return pool != nullptr && pool->numThreads() > 0 &&
+           !ThreadPool::currentThreadIsWorker();
+}
+
+/**
+ * Run fn(slab) for every slab in [0, n). Slabs are grouped into
+ * contiguous chunks for submission (fewer tasks than slabs), which
+ * affects scheduling only — each fn(slab) call is identical to the
+ * serial loop's.
+ */
+template <typename F>
+void
+parallelSlabs(ThreadPool *pool, std::size_t n, F &&fn)
+{
+    if (!canFanOut(pool) || n < 2) {
+        for (std::size_t s = 0; s < n; ++s)
+            fn(s);
+        return;
+    }
+    std::size_t chunks = std::min<std::size_t>(
+        n, std::size_t(pool->numThreads()) * 2);
+    std::size_t per = (n + chunks - 1) / chunks;
+    FutureSet<void> futures;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::size_t begin = c * per;
+        std::size_t end = std::min(begin + per, n);
+        if (begin >= end)
+            break;
+        futures.add(pool->submit([&fn, begin, end] {
+            for (std::size_t s = begin; s < end; ++s)
+                fn(s);
+        }));
+    }
+    futures.wait();
+}
+
+/**
+ * Run fn(slab) -> double for every slab in [0, n) and return the sum
+ * of the partials, always added in slab-index order. The serial path
+ * computes the identical per-slab partials and sums them in the same
+ * order, so the result is independent of the thread count.
+ */
+template <typename F>
+double
+parallelSlabReduce(ThreadPool *pool, std::size_t n, F &&fn)
+{
+    std::vector<double> partial(n, 0.0);
+    parallelSlabs(pool, n,
+                  [&fn, &partial](std::size_t s) { partial[s] = fn(s); });
+    double total = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+        total += partial[s];
+    return total;
+}
+
+} // namespace exec
+} // namespace stack3d
+
+#endif // STACK3D_EXEC_REDUCE_HH

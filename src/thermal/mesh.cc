@@ -6,6 +6,73 @@
 namespace stack3d {
 namespace thermal {
 
+namespace stencil {
+
+void
+apply(const double *gx, const double *gy, const double *gz,
+      const double *diag, const double *x, double *y, unsigned nx,
+      unsigned ny, unsigned nz, unsigned z_begin, unsigned z_end)
+{
+    std::size_t plane = std::size_t(nx) * ny;
+    for (unsigned z = z_begin; z < z_end; ++z) {
+        for (unsigned j = 0; j < ny; ++j) {
+            std::size_t row = (std::size_t(z) * ny + j) * nx;
+            for (unsigned i = 0; i < nx; ++i) {
+                std::size_t c = row + i;
+                double acc = diag[c] * x[c];
+                if (z > 0)
+                    acc -= gz[c - plane] * x[c - plane];
+                if (z + 1 < nz)
+                    acc -= gz[c] * x[c + plane];
+                if (i > 0)
+                    acc -= gx[c - 1] * x[c - 1];
+                if (i + 1 < nx)
+                    acc -= gx[c] * x[c + 1];
+                if (j > 0)
+                    acc -= gy[c - nx] * x[c - nx];
+                if (j + 1 < ny)
+                    acc -= gy[c] * x[c + nx];
+                y[c] = acc;
+            }
+        }
+    }
+}
+
+double
+applyDot(const double *gx, const double *gy, const double *gz,
+         const double *diag, const double *x, double *y, unsigned nx,
+         unsigned ny, unsigned nz, unsigned z_begin, unsigned z_end)
+{
+    std::size_t plane = std::size_t(nx) * ny;
+    double dot = 0.0;
+    for (unsigned z = z_begin; z < z_end; ++z) {
+        for (unsigned j = 0; j < ny; ++j) {
+            std::size_t row = (std::size_t(z) * ny + j) * nx;
+            for (unsigned i = 0; i < nx; ++i) {
+                std::size_t c = row + i;
+                double acc = diag[c] * x[c];
+                if (z > 0)
+                    acc -= gz[c - plane] * x[c - plane];
+                if (z + 1 < nz)
+                    acc -= gz[c] * x[c + plane];
+                if (i > 0)
+                    acc -= gx[c - 1] * x[c - 1];
+                if (i + 1 < nx)
+                    acc -= gx[c] * x[c + 1];
+                if (j > 0)
+                    acc -= gy[c - nx] * x[c - nx];
+                if (j + 1 < ny)
+                    acc -= gy[c] * x[c + nx];
+                y[c] = acc;
+                dot += x[c] * acc;
+            }
+        }
+    }
+    return dot;
+}
+
+} // namespace stencil
+
 unsigned
 StackGeometry::layerIndex(const std::string &name) const
 {
@@ -79,74 +146,93 @@ Mesh::layerZEnd(unsigned layer_index) const
     return _layer_z_begin[layer_index] + _geom.layers[layer_index].nz;
 }
 
-double
-Mesh::cellK(unsigned i, unsigned j, unsigned z) const
+void
+Mesh::fillCellK(unsigned z_begin, unsigned z_end)
 {
-    const Layer &layer = _geom.layers[_layer_of_z[z]];
-    if (layer.margin_conductivity > 0.0 && !inDieWindow(i, j))
-        return layer.margin_conductivity;
-    return layer.conductivity;
+    std::size_t plane = std::size_t(_nx) * _ny;
+    for (unsigned z = z_begin; z < z_end; ++z) {
+        const Layer &layer = _geom.layers[_layer_of_z[z]];
+        double *k = _cell_k.data() + std::size_t(z) * plane;
+        bool has_margin = layer.margin_conductivity > 0.0 &&
+                          (_margin_cells_x > 0 || _margin_cells_y > 0);
+        if (!has_margin) {
+            std::fill(k, k + plane, layer.conductivity);
+            continue;
+        }
+        // Margin layers fill by row segment: rows outside the die
+        // window are all margin material; rows inside split into
+        // margin / die / margin runs.
+        unsigned j0 = _margin_cells_y, j1 = _margin_cells_y + _die_ny;
+        unsigned i0 = _margin_cells_x, i1 = _margin_cells_x + _die_nx;
+        for (unsigned j = 0; j < _ny; ++j) {
+            double *row = k + std::size_t(j) * _nx;
+            if (j < j0 || j >= j1) {
+                std::fill(row, row + _nx, layer.margin_conductivity);
+                continue;
+            }
+            std::fill(row, row + i0, layer.margin_conductivity);
+            std::fill(row + i0, row + i1, layer.conductivity);
+            std::fill(row + i1, row + _nx, layer.margin_conductivity);
+        }
+    }
 }
 
-void
-Mesh::assemble()
+std::size_t
+Mesh::assembleFaces(unsigned z_begin, unsigned z_end)
 {
     double cell_area = _dx * _dy;
-    std::size_t n = numCells();
-    _gx.assign(n, 0.0);
-    _gy.assign(n, 0.0);
-    _gz.assign(n, 0.0);
-    _rhs.assign(n, 0.0);
-    _diag.assign(n, 0.0);
+    std::size_t plane = std::size_t(_nx) * _ny;
+    std::size_t faces = 0;
 
     // Face conductances from harmonic means of the two cell halves.
-    for (unsigned z = 0; z < _nz_total; ++z) {
+    for (unsigned z = z_begin; z < z_end; ++z) {
         double dz = _dz[z];
         for (unsigned j = 0; j < _ny; ++j) {
+            std::size_t row = cellIndex(0, j, z);
             for (unsigned i = 0; i < _nx; ++i) {
-                std::size_t c = cellIndex(i, j, z);
-                double k0 = cellK(i, j, z);
+                std::size_t c = row + i;
+                double k0 = _cell_k[c];
                 if (i + 1 < _nx) {
-                    double k1 = cellK(i + 1, j, z);
-                    double r = _dx / (2.0 * k0) + _dx / (2.0 * k1);
+                    double r = _dx / (2.0 * k0) +
+                               _dx / (2.0 * _cell_k[c + 1]);
                     _gx[c] = (_dy * dz) / r;
+                    ++faces;
                 }
                 if (j + 1 < _ny) {
-                    double k1 = cellK(i, j + 1, z);
-                    double r = _dy / (2.0 * k0) + _dy / (2.0 * k1);
+                    double r = _dy / (2.0 * k0) +
+                               _dy / (2.0 * _cell_k[c + _nx]);
                     _gy[c] = (_dx * dz) / r;
+                    ++faces;
                 }
                 if (z + 1 < _nz_total) {
-                    double k1 = cellK(i, j, z + 1);
                     double r = dz / (2.0 * k0) +
-                               _dz[z + 1] / (2.0 * k1);
+                               _dz[z + 1] /
+                                   (2.0 * _cell_k[c + plane]);
                     _gz[c] = cell_area / r;
+                    ++faces;
                 }
             }
         }
     }
+    return faces;
+}
 
+void
+Mesh::assembleDiagonal()
+{
+    double cell_area = _dx * _dy;
     double g_top = _geom.h_top * cell_area;
     double g_bottom = _geom.h_bottom * cell_area;
     std::size_t plane = std::size_t(_nx) * _ny;
 
     for (unsigned z = 0; z < _nz_total; ++z) {
         for (unsigned j = 0; j < _ny; ++j) {
+            std::size_t row = cellIndex(0, j, z);
             for (unsigned i = 0; i < _nx; ++i) {
-                std::size_t c = cellIndex(i, j, z);
+                std::size_t c = row + i;
                 double d = 0.0;
-                if (z == 0) {
-                    d += g_top;
-                    _rhs[c] += g_top * _geom.ambient;
-                } else {
-                    d += _gz[c - plane];
-                }
-                if (z + 1 < _nz_total) {
-                    d += _gz[c];
-                } else {
-                    d += g_bottom;
-                    _rhs[c] += g_bottom * _geom.ambient;
-                }
+                d += z == 0 ? g_top : _gz[c - plane];
+                d += z + 1 < _nz_total ? _gz[c] : g_bottom;
                 if (i > 0)
                     d += _gx[c - 1];
                 if (i + 1 < _nx)
@@ -159,6 +245,54 @@ Mesh::assemble()
             }
         }
     }
+}
+
+void
+Mesh::assemble()
+{
+    std::size_t n = numCells();
+    _cell_k.assign(n, 0.0);
+    _gx.assign(n, 0.0);
+    _gy.assign(n, 0.0);
+    _gz.assign(n, 0.0);
+    _rhs.assign(n, 0.0);
+    _diag.assign(n, 0.0);
+
+    fillCellK(0, _nz_total);
+    assembleFaces(0, _nz_total);
+    assembleDiagonal();
+
+    // Convection ambient terms; setLayerPower adds sources on top.
+    double cell_area = _dx * _dy;
+    double g_top = _geom.h_top * cell_area;
+    double g_bottom = _geom.h_bottom * cell_area;
+    std::size_t plane = std::size_t(_nx) * _ny;
+    for (std::size_t c = 0; c < plane; ++c)
+        _rhs[c] += g_top * _geom.ambient;
+    for (std::size_t c = n - plane; c < n; ++c)
+        _rhs[c] += g_bottom * _geom.ambient;
+}
+
+std::size_t
+Mesh::updateLayerConductivity(unsigned layer_index, double conductivity)
+{
+    stack3d_assert(layer_index < _geom.layers.size(),
+                   "layer index out of range");
+    if (conductivity <= 0.0)
+        stack3d_fatal("layer conductivity must be positive");
+    Layer &layer = _geom.layers[layer_index];
+    if (layer.conductivity == conductivity)
+        return 0;
+    layer.conductivity = conductivity;
+
+    unsigned z0 = layerZBegin(layer_index);
+    unsigned z1 = layerZEnd(layer_index);
+    fillCellK(z0, z1);
+    // gz faces at plane z-1 reach into this layer, so reassemble one
+    // plane above as well; its gx/gy recompute to identical values.
+    std::size_t faces = assembleFaces(z0 > 0 ? z0 - 1 : 0, z1);
+    assembleDiagonal();
+    return faces;
 }
 
 double
@@ -200,30 +334,24 @@ Mesh::applyOperator(const std::vector<double> &x,
 {
     stack3d_assert(x.size() == numCells(), "operator input size");
     y.resize(numCells());
+    applyOperatorSlab(0, _nz_total, x.data(), y.data());
+}
 
-    std::size_t plane = std::size_t(_nx) * _ny;
-    for (unsigned z = 0; z < _nz_total; ++z) {
-        for (unsigned j = 0; j < _ny; ++j) {
-            std::size_t row = cellIndex(0, j, z);
-            for (unsigned i = 0; i < _nx; ++i) {
-                std::size_t c = row + i;
-                double acc = _diag[c] * x[c];
-                if (z > 0)
-                    acc -= _gz[c - plane] * x[c - plane];
-                if (z + 1 < _nz_total)
-                    acc -= _gz[c] * x[c + plane];
-                if (i > 0)
-                    acc -= _gx[c - 1] * x[c - 1];
-                if (i + 1 < _nx)
-                    acc -= _gx[c] * x[c + 1];
-                if (j > 0)
-                    acc -= _gy[c - _nx] * x[c - _nx];
-                if (j + 1 < _ny)
-                    acc -= _gy[c] * x[c + _nx];
-                y[c] = acc;
-            }
-        }
-    }
+void
+Mesh::applyOperatorSlab(unsigned z_begin, unsigned z_end,
+                        const double *x, double *y) const
+{
+    stencil::apply(_gx.data(), _gy.data(), _gz.data(), _diag.data(),
+                   x, y, _nx, _ny, _nz_total, z_begin, z_end);
+}
+
+double
+Mesh::applyOperatorAndDotSlab(unsigned z_begin, unsigned z_end,
+                              const double *x, double *y) const
+{
+    return stencil::applyDot(_gx.data(), _gy.data(), _gz.data(),
+                             _diag.data(), x, y, _nx, _ny, _nz_total,
+                             z_begin, z_end);
 }
 
 } // namespace thermal

@@ -26,6 +26,29 @@
 namespace stack3d {
 namespace thermal {
 
+/**
+ * Raw 7-point conductance-stencil kernels shared by the Mesh operator
+ * and the multigrid levels (whose coarse operators have the same
+ * shape but own their arrays). All kernels work on a z-plane range
+ * [z_begin, z_end) so callers can partition them into deterministic
+ * slabs (see exec/reduce.hh).
+ */
+namespace stencil {
+
+/** y = A x over the slab (gx/gy/gz/diag as in Mesh). */
+void apply(const double *gx, const double *gy, const double *gz,
+           const double *diag, const double *x, double *y,
+           unsigned nx, unsigned ny, unsigned nz, unsigned z_begin,
+           unsigned z_end);
+
+/** Fused y = A x plus the slab's partial dot Σ x[c]·y[c]. */
+double applyDot(const double *gx, const double *gy, const double *gz,
+                const double *diag, const double *x, double *y,
+                unsigned nx, unsigned ny, unsigned nz,
+                unsigned z_begin, unsigned z_end);
+
+} // namespace stencil
+
 /** One homogeneous layer of the vertical stack. */
 struct Layer
 {
@@ -153,18 +176,48 @@ class Mesh
     void applyOperator(const std::vector<double> &x,
                        std::vector<double> &y) const;
 
+    /** y = A x restricted to the z-plane slab [z_begin, z_end). */
+    void applyOperatorSlab(unsigned z_begin, unsigned z_end,
+                           const double *x, double *y) const;
+
+    /** Fused slab apply returning the partial dot Σ x[c]·(A x)[c]. */
+    double applyOperatorAndDotSlab(unsigned z_begin, unsigned z_end,
+                                   const double *x, double *y) const;
+
     /** Right-hand side: power sources + convection ambient terms. */
     const std::vector<double> &rhs() const { return _rhs; }
 
     /** Diagonal of the operator (Jacobi preconditioner). */
     const std::vector<double> &diagonal() const { return _diag; }
 
+    /** Face conductances (see the member docs for indexing). */
+    const std::vector<double> &faceGx() const { return _gx; }
+    const std::vector<double> &faceGy() const { return _gy; }
+    const std::vector<double> &faceGz() const { return _gz; }
+
+    /**
+     * Change one layer's die-window conductivity in place,
+     * reassembling only the face conductances that touch the layer's
+     * z-planes (the sweep-reuse fast path: a 1-cell-thick layer in a
+     * 20-plane stack reassembles ~10% of the faces instead of all of
+     * them). The margin conductivity, the right-hand side — including
+     * any attached power maps — and all untouched faces are preserved
+     * bit-for-bit; touched faces get exactly the values a fresh
+     * assembly would produce.
+     *
+     * @return number of face conductances recomputed.
+     */
+    std::size_t updateLayerConductivity(unsigned layer_index,
+                                        double conductivity);
+
     /** Per-cell heat capacity (rho c V), J/K, for transient solves. */
     double cellHeatCapacity(unsigned i, unsigned j, unsigned z) const;
 
   private:
     void assemble();
-    double cellK(unsigned i, unsigned j, unsigned z) const;
+    void fillCellK(unsigned z_begin, unsigned z_end);
+    std::size_t assembleFaces(unsigned z_begin, unsigned z_end);
+    void assembleDiagonal();
 
     StackGeometry _geom;
     unsigned _die_nx, _die_ny;
@@ -177,6 +230,13 @@ class Mesh
     std::vector<unsigned> _layer_of_z;
     std::vector<double> _dz;
     std::vector<unsigned> _layer_z_begin;
+
+    /**
+     * Per-cell conductivity, cached once per assembly so face loops
+     * never re-derive the layer struct or re-test the die window
+     * (margin layers fill by row segment; uniform layers by plane).
+     */
+    std::vector<double> _cell_k;
 
     /** Face conductances: _gx[c] couples c and c+1 in x (0 on the
      *  last column); _gy similarly in y; _gz[c] couples c to the

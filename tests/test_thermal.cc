@@ -502,3 +502,182 @@ TEST(MultiDie, TwoDieSpecialCaseAgrees)
     };
     EXPECT_NEAR(solve(a), solve(b), 0.05);
 }
+
+// ---------------------------------------------------------------------
+// multigrid preconditioner, incremental reassembly, warm starts
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A small two-die stack with power on both active layers. */
+Mesh
+smallTwoDieMesh(const StackGeometry &geom, unsigned die_n = 20)
+{
+    Mesh mesh(geom, die_n, die_n);
+    PowerMap map1(die_n, die_n, 1e-2, 1e-2);
+    map1.addUniform(60.0);
+    mesh.setLayerPower(geom.layerIndex("active1"), map1);
+    PowerMap map2(die_n, die_n, 1e-2, 1e-2);
+    map2.addUniform(4.0);
+    mesh.setLayerPower(geom.layerIndex("active2"), map2);
+    return mesh;
+}
+
+} // anonymous namespace
+
+TEST(Multigrid, AgreesWithJacobiOnTwoDieStack)
+{
+    StackGeometry geom =
+        makeTwoDieStack(1e-2, 1e-2, StackedDieType::Dram);
+    Mesh mesh = smallTwoDieMesh(geom);
+
+    SolverOptions jac;
+    jac.precond = Precond::Jacobi;
+    SolveInfo jac_info;
+    TemperatureField fj = solveSteadyState(mesh, jac, &jac_info);
+
+    SolverOptions mg;
+    mg.precond = Precond::Multigrid;
+    SolveInfo mg_info;
+    TemperatureField fm = solveSteadyState(mesh, mg, &mg_info);
+
+    EXPECT_TRUE(jac_info.converged);
+    EXPECT_TRUE(mg_info.converged);
+    EXPECT_GT(mg_info.v_cycles, 0u);
+    EXPECT_GT(mg_info.smoother_sweeps, 0u);
+    EXPECT_EQ(jac_info.v_cycles, 0u);
+    // Both converged to relative residual 1e-8; the fields agree to
+    // a comfortable multiple of that.
+    EXPECT_NEAR(fm.peak(), fj.peak(), 1e-5);
+    EXPECT_NEAR(fm.minimum(), fj.minimum(), 1e-5);
+}
+
+TEST(Multigrid, AgreesWithJacobiOnPlanarStack)
+{
+    StackGeometry geom = makePlanarStack(1e-2, 1e-2);
+    Mesh mesh(geom, 20, 20);
+    PowerMap map(20, 20, 1e-2, 1e-2);
+    map.addUniform(80.0);
+    mesh.setLayerPower(geom.layerIndex("active1"), map);
+
+    SolverOptions jac;
+    jac.precond = Precond::Jacobi;
+    TemperatureField fj = solveSteadyState(mesh, jac);
+
+    SolverOptions mg;
+    mg.precond = Precond::Multigrid;
+    TemperatureField fm = solveSteadyState(mesh, mg);
+
+    EXPECT_NEAR(fm.peak(), fj.peak(), 1e-5);
+    EXPECT_NEAR(fm.minimum(), fj.minimum(), 1e-5);
+}
+
+TEST(Multigrid, CutsIterationCountSubstantially)
+{
+    StackGeometry geom =
+        makeTwoDieStack(1e-2, 1e-2, StackedDieType::Dram);
+    Mesh mesh = smallTwoDieMesh(geom, 24);
+
+    SolverOptions jac;
+    jac.precond = Precond::Jacobi;
+    SolveInfo ji;
+    solveSteadyState(mesh, jac, &ji);
+
+    SolverOptions mg;
+    mg.precond = Precond::Multigrid;
+    SolveInfo mi;
+    solveSteadyState(mesh, mg, &mi);
+
+    // The whole point of the V-cycle: at least 4x fewer iterations.
+    EXPECT_LT(mi.iterations * 4, ji.iterations);
+}
+
+TEST(Mesh, IncrementalUpdateMatchesFreshAssembly)
+{
+    StackOverrides base_ovr;   // bond = 60 by default
+    StackGeometry geom_a = makeTwoDieStack(
+        1e-2, 1e-2, StackedDieType::LogicSram, {}, base_ovr);
+
+    StackOverrides swept_ovr;
+    swept_ovr.bond_conductivity = 7.0;
+    StackGeometry geom_b = makeTwoDieStack(
+        1e-2, 1e-2, StackedDieType::LogicSram, {}, swept_ovr);
+
+    Mesh updated = smallTwoDieMesh(geom_a);
+    std::size_t faces = updated.updateLayerConductivity(
+        geom_a.layerIndex("bond"), 7.0);
+    EXPECT_GT(faces, 0u);
+
+    Mesh fresh = smallTwoDieMesh(geom_b);
+
+    // The fast path must be indistinguishable from a fresh assembly,
+    // bit for bit.
+    ASSERT_EQ(updated.numCells(), fresh.numCells());
+    for (std::size_t c = 0; c < fresh.numCells(); ++c) {
+        EXPECT_EQ(updated.faceGx()[c], fresh.faceGx()[c]) << c;
+        EXPECT_EQ(updated.faceGy()[c], fresh.faceGy()[c]) << c;
+        EXPECT_EQ(updated.faceGz()[c], fresh.faceGz()[c]) << c;
+        EXPECT_EQ(updated.diagonal()[c], fresh.diagonal()[c]) << c;
+        EXPECT_EQ(updated.rhs()[c], fresh.rhs()[c]) << c;
+    }
+
+    // No-op updates report zero recomputed faces.
+    EXPECT_EQ(updated.updateLayerConductivity(
+                  geom_a.layerIndex("bond"), 7.0),
+              0u);
+}
+
+TEST(Solver, WarmStartAgreesAndConvergesFaster)
+{
+    StackGeometry geom = makeTwoDieStack(
+        1e-2, 1e-2, StackedDieType::LogicSram);
+    Mesh mesh = smallTwoDieMesh(geom);
+
+    SolveInfo cold0;
+    TemperatureField first =
+        solveSteadyState(mesh, SolverOptions{}, &cold0);
+
+    // Nudge the bond layer and re-solve cold vs. warm.
+    mesh.updateLayerConductivity(geom.layerIndex("bond"), 48.0);
+
+    SolveInfo cold;
+    TemperatureField f_cold =
+        solveSteadyState(mesh, SolverOptions{}, &cold);
+    EXPECT_FALSE(cold.warm_start_used);
+
+    SolverOptions warm;
+    warm.warm_start = &first.raw();
+    SolveInfo wi;
+    TemperatureField f_warm = solveSteadyState(mesh, warm, &wi);
+    EXPECT_TRUE(wi.warm_start_used);
+    EXPECT_LE(wi.iterations, cold.iterations);
+    EXPECT_NEAR(f_warm.peak(), f_cold.peak(), 1e-5);
+
+    // A size-mismatched guess is ignored, not an error.
+    std::vector<double> wrong(3, 40.0);
+    SolverOptions bad;
+    bad.warm_start = &wrong;
+    SolveInfo bi;
+    solveSteadyState(mesh, bad, &bi);
+    EXPECT_FALSE(bi.warm_start_used);
+}
+
+TEST(TemperatureField, LayerQueriesScanEveryPlane)
+{
+    // A layer two planes thick whose hottest cell sits on the
+    // *second* plane, at a different (i, j) than the first plane's
+    // maximum: layerPeakCell must find it.
+    StackGeometry geom = simpleSlab();
+    Mesh mesh(geom, 4, 4);   // layer 0 spans z = 0..1
+    std::vector<double> temps(mesh.numCells(), 40.0);
+    temps[mesh.cellIndex(1, 1, 0)] = 50.0;   // first-plane max
+    temps[mesh.cellIndex(3, 2, 1)] = 60.0;   // layer max, second plane
+    temps[mesh.cellIndex(0, 0, 1)] = 30.0;   // layer min
+    TemperatureField field(mesh, std::move(temps));
+
+    EXPECT_DOUBLE_EQ(field.layerPeak(0), 60.0);
+    EXPECT_DOUBLE_EQ(field.layerMin(0), 30.0);
+    auto cell = field.layerPeakCell(0);
+    EXPECT_EQ(cell.first, 3u);
+    EXPECT_EQ(cell.second, 2u);
+}
