@@ -1,0 +1,31 @@
+#include "common/check.hh"
+
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace check_detail {
+
+FailureStream::FailureStream(const char *file, int line,
+                             const char *macro, const char *expr)
+    : _file(file), _line(line)
+{
+    _os << macro << " failed: '" << expr << "'";
+}
+
+FailureStream::~FailureStream()
+{
+    std::string message = _os.str();
+    detail::panicImpl(_file, _line, message);
+}
+
+void
+boundsFailure(const char *file, int line, unsigned long long index,
+              unsigned long long size)
+{
+    std::ostringstream os;
+    os << "S3D_BOUNDS failed: index " << index << " >= size " << size;
+    detail::panicImpl(file, line, os.str());
+}
+
+} // namespace check_detail
+} // namespace stack3d

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The stack3d contract layer: assertion macros with a streaming
+ * message API, used to make the determinism and lifecycle invariants
+ * the simulator relies on *enforced* rather than documented.
+ *
+ *  - S3D_ASSERT(cond):  always-on invariant. Violation is a stack3d
+ *    bug; aborts via panic so a debugger / core dump captures state.
+ *  - S3D_DCHECK(cond):  debug contract. Compiled out entirely unless
+ *    the build defines S3D_CHECKED (the `checked` CMake preset);
+ *    free to use on hot paths (mesh indexing, per-record replay).
+ *  - S3D_BOUNDS(i, n):  index guard that returns `i`, so it nests in
+ *    subscripts: `_records[S3D_BOUNDS(i, _records.size())]`. Checked
+ *    only under S3D_CHECKED; compiles to the bare index otherwise.
+ *
+ * Both macros stream extra context:
+ *
+ *    S3D_ASSERT(z < nz) << "z=" << z << " nz=" << nz;
+ *
+ * The message expressions after << are only evaluated on failure
+ * (and never under the compiled-out S3D_DCHECK), so they may be
+ * arbitrarily expensive.
+ *
+ * Relationship to logging.hh: stack3d_assert remains for variadic
+ * call sites; S3D_* adds the streaming form, the Release/checked
+ * split, and the bounds helper. Both funnel into detail::panicImpl,
+ * so failure behaviour (abort + file:line message) is identical.
+ */
+
+#ifndef STACK3D_COMMON_CHECK_HH
+#define STACK3D_COMMON_CHECK_HH
+
+#include <cstddef>
+#include <sstream>
+
+namespace stack3d {
+namespace check_detail {
+
+/**
+ * Collects the streamed message for one failed check and panics in
+ * its destructor — the classic stream-until-end-of-statement trick,
+ * so the macro can sit to the left of any number of `<<`.
+ */
+class FailureStream
+{
+  public:
+    FailureStream(const char *file, int line, const char *macro,
+                  const char *expr);
+
+    /** Panics (aborts) with the accumulated message. */
+    ~FailureStream();
+
+    FailureStream(const FailureStream &) = delete;
+    FailureStream &operator=(const FailureStream &) = delete;
+
+    template <typename T>
+    FailureStream &
+    operator<<(const T &value)
+    {
+        if (_first) {
+            _os << "; ";
+            _first = false;
+        }
+        _os << value;
+        return *this;
+    }
+
+  private:
+    const char *_file;
+    int _line;
+    bool _first = true;
+    std::ostringstream _os;
+};
+
+/**
+ * Lowest-ish-precedence sink that turns a FailureStream expression
+ * into void, so both arms of the macro's ?: have type void.
+ */
+struct StreamVoidifier
+{
+    /** const& so a bare, message-less check's temporary binds too. */
+    void operator&(const FailureStream &) {}
+};
+
+[[noreturn]] void boundsFailure(const char *file, int line,
+                                unsigned long long index,
+                                unsigned long long size);
+
+} // namespace check_detail
+} // namespace stack3d
+
+/** Always-on invariant with streaming context. */
+#define S3D_ASSERT(cond)                                                    \
+    (cond) ? (void)0                                                        \
+           : ::stack3d::check_detail::StreamVoidifier() &                   \
+                 ::stack3d::check_detail::FailureStream(                    \
+                     __FILE__, __LINE__, "S3D_ASSERT", #cond)
+
+#ifdef S3D_CHECKED
+
+#define S3D_DCHECK(cond)                                                    \
+    (cond) ? (void)0                                                        \
+           : ::stack3d::check_detail::StreamVoidifier() &                   \
+                 ::stack3d::check_detail::FailureStream(                    \
+                     __FILE__, __LINE__, "S3D_DCHECK", #cond)
+
+namespace stack3d {
+namespace check_detail {
+
+template <typename IndexT>
+constexpr IndexT
+boundsChecked(IndexT index, std::size_t size, const char *file,
+              int line)
+{
+    if (static_cast<unsigned long long>(index) >=
+        static_cast<unsigned long long>(size)) {
+        boundsFailure(file, line,
+                      static_cast<unsigned long long>(index),
+                      static_cast<unsigned long long>(size));
+    }
+    return index;
+}
+
+} // namespace check_detail
+} // namespace stack3d
+
+#define S3D_BOUNDS(index, size)                                             \
+    ::stack3d::check_detail::boundsChecked((index), (size), __FILE__,       \
+                                           __LINE__)
+
+#else // !S3D_CHECKED
+
+/**
+ * Compiled-out form: `true || (cond)` keeps the condition compiled
+ * (so it cannot rot, and its operands count as used) while the
+ * short-circuit guarantees it is never evaluated; the streamed
+ * operands sit in the dead ?: branch and vanish with it.
+ */
+#define S3D_DCHECK(cond)                                                    \
+    (true || (cond)) ? (void)0                                              \
+                     : ::stack3d::check_detail::StreamVoidifier() &         \
+                           ::stack3d::check_detail::FailureStream(          \
+                               __FILE__, __LINE__, "S3D_DCHECK", #cond)
+
+#define S3D_BOUNDS(index, size) (index)
+
+#endif // S3D_CHECKED
+
+#endif // STACK3D_COMMON_CHECK_HH

@@ -148,7 +148,7 @@ JsonWriter::escape(const std::string &s)
             out += "\\r";
             break;
           default:
-            if ((unsigned char)c < 0x20) {
+            if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
                 std::snprintf(buf, sizeof(buf), "\\u%04x", c);
                 out += buf;

@@ -38,10 +38,11 @@ class JsonValue
     bool isObject() const { return kind == Kind::Object; }
 
     /** Object member by key; nullptr when absent or not an object. */
-    const JsonValue *find(const std::string &key) const;
+    [[nodiscard]] const JsonValue *find(const std::string &key) const;
 
     /** Nested lookup: find("a.b.c") walks objects by dotted path. */
-    const JsonValue *findPath(const std::string &dotted_path) const;
+    [[nodiscard]] const JsonValue *
+    findPath(const std::string &dotted_path) const;
 };
 
 /**
@@ -49,8 +50,8 @@ class JsonValue
  * @p error to "offset N: message"; on success @p out holds the root.
  * Trailing non-whitespace after the document is an error.
  */
-bool parseJson(const std::string &text, JsonValue &out,
-               std::string &error);
+[[nodiscard]] bool parseJson(const std::string &text, JsonValue &out,
+                             std::string &error);
 
 } // namespace stack3d
 

@@ -43,7 +43,7 @@ class BenchCli
      * Handle argv[i] when it is one of the shared flags (advancing
      * @p i past any flag value). @return true when consumed.
      */
-    bool consume(int argc, char **argv, int &i);
+    [[nodiscard]] bool consume(int argc, char **argv, int &i);
 
     /** Print the shared-flag help lines (for usage() messages). */
     static void printUsage(std::ostream &os);
@@ -98,7 +98,7 @@ class BenchCli
      * @return 0 on success, 1 when a file could not be written —
      *         meant to be the bench's exit status.
      */
-    int finish();
+    [[nodiscard]] int finish();
 
   private:
     std::string _tool;

@@ -142,7 +142,7 @@ struct RunOptions
     ProgressSink *progress = nullptr;
 
     /** The thread count after resolving 0 -> hardware cores. */
-    unsigned resolvedThreads() const;
+    [[nodiscard]] unsigned resolvedThreads() const;
 };
 
 /** Wall-clock timing of one finished cell. */
@@ -183,7 +183,7 @@ struct StudyMeta
      * clock can legitimately read 0 for trivially small studies) —
      * reports 1.0 rather than 0, inf, or nan.
      */
-    double
+    [[nodiscard]] double
     speedup() const
     {
         if (cells.empty() || wall_seconds <= 0.0 ||
@@ -208,17 +208,19 @@ struct StudyReport
  * (splitmix64 mixing). Equal inputs give equal streams on every
  * thread count; distinct keys give statistically independent streams.
  */
-std::uint64_t deriveCellSeed(std::uint64_t seed, std::uint64_t cell_key);
+[[nodiscard]] std::uint64_t deriveCellSeed(std::uint64_t seed,
+                                           std::uint64_t cell_key);
 
 /** FNV-1a hash for stable string-derived cell keys. */
-std::uint64_t cellKey(const std::string &name);
+[[nodiscard]] std::uint64_t cellKey(const std::string &name);
 
 /**
  * Parse a `--threads` style CLI argument into RunOptions::threads.
  * fatal()s (with the flag name) on anything but a plain non-negative
  * integer, instead of letting std::stoul terminate the process.
  */
-unsigned parseThreadArg(const char *text, const char *flag);
+[[nodiscard]] unsigned parseThreadArg(const char *text,
+                                      const char *flag);
 
 /**
  * Write `meta` as JSON fields into the writer's currently-open
@@ -259,7 +261,7 @@ class StudyTracker
     }
 
     /** Seal the report metadata (stops the study wall clock). */
-    StudyMeta finish();
+    [[nodiscard]] StudyMeta finish();
 
   private:
     void cellStarted(std::size_t index, const std::string &label);

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.hh"
 #include "exec/future_set.hh"
 #include "exec/pool.hh"
 
@@ -57,17 +58,26 @@ parallelSlabs(ThreadPool *pool, std::size_t n, F &&fn)
     std::size_t chunks = std::min<std::size_t>(
         n, std::size_t(pool->numThreads()) * 2);
     std::size_t per = (n + chunks - 1) / chunks;
+    // Partition contract: the chunks must tile [0, n) exactly — no
+    // gap, no overlap — or the "same slabs as serial" guarantee (and
+    // with it bit-reproducibility) is silently broken.
+    S3D_DCHECK(per >= 1 && per * chunks >= n)
+        << "n=" << n << " chunks=" << chunks << " per=" << per;
+    std::size_t covered = 0;
     FutureSet<void> futures;
     for (std::size_t c = 0; c < chunks; ++c) {
         std::size_t begin = c * per;
         std::size_t end = std::min(begin + per, n);
         if (begin >= end)
             break;
+        covered += end - begin;
         futures.add(pool->submit([&fn, begin, end] {
             for (std::size_t s = begin; s < end; ++s)
                 fn(s);
         }));
     }
+    S3D_DCHECK(covered == n)
+        << "covered=" << covered << " n=" << n << " per=" << per;
     futures.wait();
 }
 
@@ -82,8 +92,9 @@ double
 parallelSlabReduce(ThreadPool *pool, std::size_t n, F &&fn)
 {
     std::vector<double> partial(n, 0.0);
-    parallelSlabs(pool, n,
-                  [&fn, &partial](std::size_t s) { partial[s] = fn(s); });
+    parallelSlabs(pool, n, [&fn, &partial, n](std::size_t s) {
+        partial[S3D_BOUNDS(s, n)] = fn(s);
+    });
     double total = 0.0;
     for (std::size_t s = 0; s < n; ++s)
         total += partial[s];

@@ -99,7 +99,7 @@ class Floorplan
                                unsigned die) const;
 
     /** True if no two same-die blocks overlap (within tolerance). */
-    bool validateNoOverlap() const;
+    [[nodiscard]] bool validateNoOverlap() const;
 
   private:
     std::string _name;

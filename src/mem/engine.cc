@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 
@@ -98,11 +99,19 @@ TraceEngine::run(const trace::TraceBuffer &buf, MemoryHierarchy &hier) const
 
         bool issued_any = false;
         for (unsigned c = 0; c < num_cpus; ++c) {
-            // Refill the window in program order.
+            // Refill the window in program order. The cursor is
+            // monotone: it only ever advances, and never past the
+            // end of the cpu's program-order list.
             while (pos[c] < order[c].size() &&
                    pending[c].size() + inflight[c] < _params.window) {
                 pending[c].push_back(order[c][pos[c]++]);
             }
+            S3D_DCHECK(pos[c] <= order[c].size())
+                << "cpu=" << c << " pos=" << pos[c];
+            S3D_DCHECK(pending[c].size() + inflight[c] <=
+                       _params.window)
+                << "cpu=" << c << " window=" << pending[c].size()
+                << "+" << inflight[c];
 
             // Issue up to issue_width ready records, oldest first,
             // skipping dependency-stalled ones.
@@ -122,6 +131,12 @@ TraceEngine::run(const trace::TraceBuffer &buf, MemoryHierarchy &hier) const
                     continue;
                 }
                 const trace::TraceRecord &rec = buf[idx];
+                // Each record issues exactly once, and a dependency
+                // always points at an older record.
+                S3D_DCHECK(completion[idx] == kPending)
+                    << "record " << idx << " issued twice";
+                S3D_DCHECK(!rec.hasDep() || rec.dep < idx)
+                    << "record " << idx << " depends on " << rec.dep;
                 Cycles done = hier.access(c, rec.addr, rec.op, now);
                 stack3d_assert(done >= now,
                                "hierarchy returned completion in past");
@@ -143,6 +158,7 @@ TraceEngine::run(const trace::TraceBuffer &buf, MemoryHierarchy &hier) const
                 ++issued;
                 issued_any = true;
             }
+            S3D_DCHECK(kept <= window.size());
             window.resize(kept);
         }
 

@@ -1,5 +1,6 @@
 #include "obs/trace.hh"
 
+#include "common/check.hh"
 #include "common/json.hh"
 
 namespace stack3d {
@@ -29,11 +30,14 @@ thread_local ThreadCache t_cache;
 
 ThreadBuffer::~ThreadBuffer()
 {
+    // Chunks are manually owned: the record path publishes `next`
+    // with a release store and may never touch a lock or allocator
+    // bookkeeping that a smart pointer would add.
     EventChunk *chunk = _head->next.load(std::memory_order_acquire);
-    delete _head;
+    delete _head; // lint3d: safe-naked-new-ok
     while (chunk) {
         EventChunk *next = chunk->next.load(std::memory_order_acquire);
-        delete chunk;
+        delete chunk; // lint3d: safe-naked-new-ok
         chunk = next;
     }
 }
@@ -43,14 +47,20 @@ ThreadBuffer::append(TraceEvent &&event)
 {
     EventChunk *chunk = _tail;
     std::size_t n = chunk->count.load(std::memory_order_relaxed);
+    S3D_DCHECK(n <= EventChunk::kCapacity) << "count=" << n;
     if (n == EventChunk::kCapacity) {
-        auto *fresh = new EventChunk;
+        // A full chunk is sealed: its `next` must still be null,
+        // otherwise two writers raced on this single-writer buffer.
+        S3D_DCHECK(chunk->next.load(std::memory_order_relaxed) ==
+                   nullptr);
+        auto *fresh = new EventChunk; // lint3d: safe-naked-new-ok
         chunk->next.store(fresh, std::memory_order_release);
         _tail = fresh;
         chunk = fresh;
         n = 0;
     }
-    chunk->events[n] = std::move(event);
+    chunk->events[S3D_BOUNDS(n, chunk->events.size())] =
+        std::move(event);
     chunk->count.store(n + 1, std::memory_order_release);
 }
 
@@ -169,6 +179,8 @@ TraceCollector::writeChromeJson(std::ostream &os) const
         while (chunk) {
             std::size_t n =
                 chunk->count.load(std::memory_order_acquire);
+            S3D_DCHECK(n <= detail::EventChunk::kCapacity)
+                << "count=" << n;
             for (std::size_t i = 0; i < n; ++i) {
                 const detail::TraceEvent &ev = chunk->events[i];
                 w.beginObject();

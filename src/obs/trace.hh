@@ -71,6 +71,8 @@ class ThreadBuffer
 {
   public:
     explicit ThreadBuffer(unsigned tid)
+        // Manual chunk ownership is the lock-free design; freed in
+        // order in the destructor. lint3d: safe-naked-new-ok
         : _tid(tid), _head(new EventChunk), _tail(_head)
     {
     }

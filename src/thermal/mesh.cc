@@ -300,7 +300,8 @@ Mesh::cellHeatCapacity(unsigned i, unsigned j, unsigned z) const
 {
     (void)i;
     (void)j;
-    const Layer &layer = _geom.layers[_layer_of_z[z]];
+    const Layer &layer =
+        _geom.layers[_layer_of_z[S3D_BOUNDS(z, _layer_of_z.size())]];
     return layer.volumetric_heat_capacity * _dx * _dy * _dz[z];
 }
 

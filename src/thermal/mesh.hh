@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hh"
 #include "thermal/power_map.hh"
 
 namespace stack3d {
@@ -154,10 +155,13 @@ class Mesh
     /** One past the last z-index of layer @p layer_index. */
     unsigned layerZEnd(unsigned layer_index) const;
 
-    /** Flattened cell index. */
+    /** Flattened cell index. Bounds-checked under the `checked` preset. */
     std::size_t
     cellIndex(unsigned i, unsigned j, unsigned z) const
     {
+        S3D_DCHECK(i < _nx && j < _ny && z < _nz_total)
+            << "i=" << i << " j=" << j << " z=" << z << " nx=" << _nx
+            << " ny=" << _ny << " nz=" << _nz_total;
         return (std::size_t(z) * _ny + j) * _nx + i;
     }
 

@@ -121,7 +121,9 @@ solveSteadyState(const Mesh &mesh, const SolverOptions &options,
         r_norm2 += part_rr[s];
     }
     b_norm = std::sqrt(b_norm);
-    if (b_norm == 0.0)
+    // Exact zero means a literally empty RHS (no power anywhere) —
+    // the one case where scaling by it would divide by zero.
+    if (b_norm == 0.0) // lint3d: safe-float-eq-ok
         b_norm = 1.0;
 
     std::unique_ptr<MultigridPreconditioner> mg;

@@ -123,6 +123,8 @@ solveTransient(const Mesh &mesh, double duration, double dt,
         double peak = *std::max_element(temps.begin(), temps.end());
         result.samples.push_back({t, peak});
 
+        // 0.0 is the assigned-once "not yet crossed" sentinel, never
+        // a computed value. lint3d: safe-float-eq-ok
         if (result.time_constant_s == 0.0 && peak >= target &&
             steady_peak > initial_peak) {
             // Linear interpolation across the crossing step.

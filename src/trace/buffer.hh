@@ -54,7 +54,7 @@ class TraceBuffer
      * Validate structural invariants: every dependency points at an
      * earlier record. @return true if well-formed.
      */
-    bool validate() const;
+    [[nodiscard]] bool validate() const;
 
     /** Compute summary statistics (O(n), walks the whole trace). */
     TraceStats computeStats() const;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <type_traits>
 #include <vector>
 
 #include "common/logging.hh"
@@ -45,7 +46,10 @@ writeTraceFile(const std::string &path, const TraceBuffer &buf)
         stack3d_fatal("cannot create trace file '", path, "'");
 
     Header hdr{};
-    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    static_assert(std::is_trivially_copyable_v<Header>,
+                  "header is written as raw bytes");
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic)); // lint3d: safe-memcpy-ok
+
     hdr.version = kTraceFileVersion;
     hdr.num_records = buf.size();
     out.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));

@@ -1,5 +1,6 @@
 #include "writer.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace stack3d {
@@ -99,8 +100,15 @@ TraceMerger::merge(std::vector<std::vector<TraceRecord>> thread_traces) const
             for (std::size_t k = 0; k < take_n; ++k) {
                 std::size_t local = pos[t] + k;
                 TraceRecord rec = src[local];
-                if (rec.hasDep())
-                    rec.dep = remap[t][rec.dep];
+                if (rec.hasDep()) {
+                    // Same-thread, earlier-record dependency: its
+                    // remap entry was filled in a previous iteration.
+                    S3D_DCHECK(rec.dep < local)
+                        << "thread " << t << " record " << local
+                        << " depends on " << rec.dep;
+                    rec.dep = remap[t][S3D_BOUNDS(rec.dep,
+                                                  remap[t].size())];
+                }
                 remap[t][local] = merged.size();
                 merged.push_back(rec);
             }
@@ -109,6 +117,8 @@ TraceMerger::merge(std::vector<std::vector<TraceRecord>> thread_traces) const
         }
     }
 
+    S3D_DCHECK(merged.size() == total)
+        << "merged " << merged.size() << " of " << total;
     TraceBuffer buf(std::move(merged));
     stack3d_assert(buf.validate(), "merged trace failed validation");
     return buf;

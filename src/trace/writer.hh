@@ -27,7 +27,7 @@
 #define STACK3D_TRACE_WRITER_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "trace/buffer.hh"
@@ -87,8 +87,13 @@ class ThreadTracer
     std::uint8_t _cpu;
     bool _track_raw;
     std::vector<TraceRecord> _records;
-    /** 64 B line -> id of last store to it. */
-    std::unordered_map<Addr, RecordId> _last_writer;
+    /**
+     * 64 B line -> id of last store to it. Ordered map by policy
+     * (lint3d det-unordered-container): only point lookups today,
+     * but trace construction feeds bit-reproducible studies, and an
+     * ordered container can never leak hash order into results.
+     */
+    std::map<Addr, RecordId> _last_writer;
 };
 
 /**

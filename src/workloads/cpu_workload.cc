@@ -153,14 +153,15 @@ generateCpuTrace(const CpuWorkloadParams &params_in,
             return draw < acc;
         };
 
+        bool burst_store = false;
         if (store_run > 0) {
             // Stores cluster into bursts (register spills, copies).
             --store_run;
             uop.cls = UopClass::Store;
-            draw = 2.0;   // skip the mix draw below
+            burst_store = true;   // skip the mix draw below
         }
 
-        if (uop.cls == UopClass::Store && draw == 2.0) {
+        if (burst_store) {
             // burst store selected above
         } else if (pick(params.frac_load)) {
             uop.cls = UopClass::Load;

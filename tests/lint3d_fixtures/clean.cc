@@ -1,0 +1,88 @@
+// lint3d fixture: near-miss constructs that must NOT fire. A finding
+// in this file is a false positive — a lint3d bug.
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Generator
+{
+    // Member named like the banned function: calls through an object
+    // are project types, not libc.
+    int rand() { return 4; }
+    void memcpy(void *dst, const void *src, unsigned n);
+};
+
+struct NoCopy
+{
+    // `= delete` is not a deallocation.
+    NoCopy(const NoCopy &) = delete;
+    NoCopy &operator=(const NoCopy &) = delete;
+    NoCopy() = default;
+};
+
+int
+memberCalls(Generator &gen)
+{
+    // rand/memcpy through a member: clean.
+    int v = gen.rand();
+    gen.memcpy(nullptr, nullptr, 0);
+    return v;
+}
+
+double
+orderedIteration()
+{
+    // Ordered map: iteration order is well-defined.
+    std::map<std::string, double> table;
+    double sum = 0.0;
+    for (const auto &kv : table)
+        sum += kv.second;
+    return sum;
+}
+
+long long
+steadyIntervals()
+{
+    // steady_clock is the sanctioned clock for intervals.
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now();
+    return (t1 - t0).count();
+}
+
+void
+discardIdiom(int important)
+{
+    // (void)x is the discard idiom, not a C-style cast.
+    (void)important;
+}
+
+std::unique_ptr<int>
+ownedAllocation()
+{
+    // make_unique, not naked new.
+    return std::make_unique<int>(9);
+}
+
+bool
+toleranceCompare(double a, double b)
+{
+    // Tolerance-based comparison: clean.
+    double diff = a > b ? a - b : b - a;
+    return diff < 1e-9;
+}
+
+int
+functionalCast(double value)
+{
+    // Functional and static_cast forms: clean.
+    int a = int(value);
+    int b = static_cast<int>(value);
+    return a + b;
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// lint3d fixture: concurrency rules — positives and the
+// mutex-adjacency convention that keeps guarded globals clean.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace fixture {
+
+// Positive: mutable namespace-scope global, no protection in sight.
+int g_unguarded_counter = 0;
+
+// Positive: mutable global object.
+std::string g_last_message;
+
+// Clean: atomics are safe by construction.
+std::atomic<int> g_atomic_counter{0};
+
+// Clean: constants cannot race.
+const int g_limit = 64;
+constexpr double g_scale = 1.5;
+
+// Clean: the adjacency convention — a mutex declared immediately
+// before a global marks it guarded.
+std::mutex g_table_mutex;
+std::string g_guarded_table;
+
+void
+spawnsRawThread()
+{
+    // Positive: raw std::thread outside exec::.
+    std::thread worker([] {});
+    worker.join();
+}
+
+unsigned
+queriesHardware()
+{
+    // Clean: std::thread:: nested-name uses do not spawn anything.
+    return std::thread::hardware_concurrency();
+}
+
+} // namespace fixture

@@ -1,0 +1,58 @@
+// lint3d fixture: determinism rules — positive cases.
+// Not compiled; scanned by the lint3d_fixtures ctest entry and
+// diffed against golden_findings.json.
+
+#include <cstdlib>
+#include <ctime>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+int
+usesRand()
+{
+    return std::rand();
+}
+
+void
+seedsFromClock()
+{
+    std::srand(unsigned(time(nullptr)));
+}
+
+unsigned long
+usesRandomDevice()
+{
+    std::random_device rd;
+    return rd();
+}
+
+double
+iteratesUnordered()
+{
+    std::unordered_map<int, double> weights;
+    double sum = 0.0;
+    for (const auto &kv : weights)
+        sum += kv.second;
+    return sum;
+}
+
+double
+explicitIteratorLoop()
+{
+    std::unordered_map<int, double> table;
+    double sum = 0.0;
+    for (auto it = table.begin(); it != table.end(); ++it)
+        sum += it->second;
+    return sum;
+}
+
+double
+unorderedReduce(const std::vector<double> &v)
+{
+    return std::reduce(v.begin(), v.end());
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// lint3d fixture: header-only rules (safe-nodiscard,
+// conc-static-local) — positives and clean near-misses.
+
+#ifndef LINT3D_FIXTURE_SAFE_API_HH
+#define LINT3D_FIXTURE_SAFE_API_HH
+
+#include <string>
+
+namespace fixture {
+
+// Positive: status-returning parse* API without [[nodiscard]].
+bool parseConfigLine(const std::string &line);
+
+// Positive: try* API without [[nodiscard]].
+int tryDecode(const std::string &text);
+
+// Clean: already annotated.
+[[nodiscard]] bool parseHeader(const std::string &text);
+
+// Clean: void return — nothing to discard.
+void parseInto(const std::string &text, int &out);
+
+// Clean: name does not match a status-returning prefix.
+double interpolate(double a, double b, double t);
+
+inline int
+staticLocalCounter()
+{
+    // Positive: mutable static local in a header.
+    static int calls = 0;
+    return ++calls;
+}
+
+inline int
+staticConstLookup(int i)
+{
+    // Clean: constant static local.
+    static const int table[3] = {1, 2, 4};
+    return table[i % 3];
+}
+
+} // namespace fixture
+
+#endif // LINT3D_FIXTURE_SAFE_API_HH

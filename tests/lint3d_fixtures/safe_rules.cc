@@ -1,0 +1,56 @@
+// lint3d fixture: safety rules — positive cases.
+
+#include <cstring>
+
+namespace fixture {
+
+struct Blob
+{
+    int values[4];
+};
+
+int *
+nakedNew()
+{
+    int *p = new int(7);
+    return p;
+}
+
+void
+nakedDelete(int *p)
+{
+    delete p;
+}
+
+void
+rawCopy(Blob &dst, const Blob &src)
+{
+    std::memcpy(&dst, &src, sizeof(Blob));
+}
+
+bool
+exactFloatCompare(double x)
+{
+    return x == 0.0;
+}
+
+bool
+exactFloatInequality(double x)
+{
+    return 1.5 != x;
+}
+
+int
+cStyleCast(double value)
+{
+    int truncated = (int)value;
+    return truncated;
+}
+
+const unsigned char *
+cStylePointerCast(const char *text)
+{
+    return (const unsigned char *)text;
+}
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// lint3d fixture: suppressed findings. Every trigger below carries a
+// named-rule suppression, so this file contributes to the suppressed
+// count and zero findings.
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+int
+suppressedRand()
+{
+    return std::rand(); // lint3d: det-rand-ok
+}
+
+int
+suppressedUnordered()
+{
+    // Whole-line comment form: suppresses the next line.
+    // lint3d: det-unordered-container-ok
+    std::unordered_map<int, int> cache;
+    return int(cache.size());
+}
+
+bool
+suppressedFloatEq(double x)
+{
+    return x == 0.0; // lint3d: safe-float-eq-ok
+}
+
+int *
+suppressedNew()
+{
+    return new int(3); // lint3d: safe-naked-new-ok
+}
+
+} // namespace fixture

@@ -1,0 +1,47 @@
+# Runs lint3d over the fixture corpus and diffs the JSON report
+# against the blessed golden. Invoked by ctest (see
+# tests/CMakeLists.txt) as:
+#
+#   cmake -DLINT3D=<exe> -DFIXTURES=<dir> -DOUT=<file> -P run_lint3d_fixtures.cmake
+#
+# To re-bless after intentionally changing a rule or fixture:
+#
+#   build/tools/lint3d/lint3d --root tests/lint3d_fixtures \
+#       --config tests/lint3d_fixtures/lint3d.toml --json \
+#       > tests/lint3d_fixtures/golden_findings.json
+
+foreach(var LINT3D FIXTURES OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_lint3d_fixtures.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+set(golden "${FIXTURES}/golden_findings.json")
+if(NOT EXISTS "${golden}")
+    message(FATAL_ERROR "missing golden file '${golden}'")
+endif()
+
+# The fixtures intentionally contain findings, so the expected exit
+# status is 1 (the CI-gate signal); anything else is a lint3d failure.
+execute_process(
+    COMMAND "${LINT3D}" --root "${FIXTURES}"
+            --config "${FIXTURES}/lint3d.toml" --json
+    OUTPUT_FILE "${OUT}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "lint3d exited with ${rc} on the fixture corpus (expected 1: "
+        "fixtures contain deliberate findings)")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files "${OUT}" "${golden}"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E echo
+        "--- actual (${OUT}) ---")
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E cat "${OUT}")
+    message(FATAL_ERROR
+        "lint3d fixture findings diverged from ${golden}; if the "
+        "change is intentional, re-bless per the header comment")
+endif()

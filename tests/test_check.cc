@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the S3D_ASSERT / S3D_DCHECK / S3D_BOUNDS contract layer
+ * (common/check.hh). Built in every preset: the S3D_CHECKED blocks
+ * verify that debug contracts fire under the `checked` preset, the
+ * #else blocks verify they compile out — including that condition
+ * and message operands are never evaluated — in Release.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.hh"
+
+using namespace stack3d;
+
+namespace {
+
+/** Counts evaluations so tests can prove (non-)evaluation. */
+int
+countingTrue(int &counter)
+{
+    ++counter;
+    return 1;
+}
+
+} // anonymous namespace
+
+TEST(Check, AssertPassesSilently)
+{
+    int evals = 0;
+    S3D_ASSERT(countingTrue(evals) == 1) << "never shown";
+    EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckDeathTest, AssertFiresWithMessage)
+{
+    int x = 3;
+    EXPECT_DEATH(S3D_ASSERT(x == 4) << "x=" << x,
+                 "S3D_ASSERT failed: 'x == 4'; x=3");
+}
+
+TEST(CheckDeathTest, AssertFiresWithoutMessage)
+{
+    EXPECT_DEATH(S3D_ASSERT(false), "S3D_ASSERT failed: 'false'");
+}
+
+TEST(Check, MessageOperandsNotEvaluatedOnSuccess)
+{
+    int evals = 0;
+    S3D_ASSERT(true) << countingTrue(evals);
+    EXPECT_EQ(evals, 0);
+}
+
+#ifdef S3D_CHECKED
+
+TEST(CheckDeathTest, DcheckFiresWhenChecked)
+{
+    std::size_t n = 2;
+    EXPECT_DEATH(S3D_DCHECK(n > 5) << "n=" << n,
+                 "S3D_DCHECK failed: 'n > 5'; n=2");
+}
+
+TEST(Check, DcheckPassesSilently)
+{
+    int evals = 0;
+    S3D_DCHECK(countingTrue(evals) == 1);
+    EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckDeathTest, BoundsFiresWhenChecked)
+{
+    std::vector<int> v{1, 2, 3};
+    EXPECT_DEATH((void)v[S3D_BOUNDS(7, v.size())],
+                 "S3D_BOUNDS failed: index 7 >= size 3");
+}
+
+TEST(Check, BoundsReturnsIndexInRange)
+{
+    std::vector<int> v{10, 20, 30};
+    EXPECT_EQ(v[S3D_BOUNDS(2, v.size())], 30);
+}
+
+#else // !S3D_CHECKED
+
+TEST(Check, DcheckCompilesOutCondition)
+{
+    int evals = 0;
+    // The condition must not be evaluated at all in Release.
+    S3D_DCHECK(countingTrue(evals) == 0) << countingTrue(evals);
+    EXPECT_EQ(evals, 0);
+}
+
+TEST(Check, DcheckFalseIsHarmlessInRelease)
+{
+    S3D_DCHECK(false) << "never evaluated, never shown";
+    SUCCEED();
+}
+
+TEST(Check, BoundsPassesThroughInRelease)
+{
+    // Out-of-range index: Release S3D_BOUNDS is the identity, so the
+    // value comes back untouched (and must not be used to subscript).
+    EXPECT_EQ(S3D_BOUNDS(7, std::size_t(3)), 7);
+
+    std::vector<int> v{10, 20, 30};
+    EXPECT_EQ(v[S3D_BOUNDS(1, v.size())], 20);
+}
+
+#endif // S3D_CHECKED

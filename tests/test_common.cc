@@ -124,6 +124,7 @@ TEST(Stats, FormulaComputesAtReadTime)
     stats::Scalar a(&group, "a", "");
     stats::Scalar b(&group, "b", "");
     stats::Formula ratio(&group, "ratio", "a/b", [&]() {
+        // Exact-zero divisor guard. lint3d: safe-float-eq-ok
         return b.value() != 0.0 ? a.value() / b.value() : 0.0;
     });
     a = 6.0;

@@ -148,7 +148,8 @@ TEST(ObsTrace, StudyTrackerCellsEmitSpans)
     core::RunOptions opts;
     core::StudyTracker tracker("unit", 1, opts);
     tracker.runCell(0, "cell0", [] {});
-    tracker.finish();
+    core::StudyMeta meta = tracker.finish();
+    EXPECT_EQ(meta.cells.size(), 1u);
     collector.uninstall();
     EXPECT_EQ(collector.eventCount(), 2u);
 

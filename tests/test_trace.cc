@@ -9,11 +9,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "trace/buffer.hh"
 #include "trace/file.hh"
 #include "trace/record.hh"
 #include "trace/writer.hh"
+#include "workloads/config.hh"
+#include "workloads/registry.hh"
 
 using namespace stack3d;
 using namespace stack3d::trace;
@@ -327,4 +330,61 @@ TEST(TraceFile, TruncatedIsFatal)
     std::filesystem::resize_file(path, 100);
     EXPECT_THROW(readTraceFile(path), std::runtime_error);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// run-to-run reproducibility
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // anonymous namespace
+
+/**
+ * Two generations of the same workload trace must produce
+ * byte-identical trace files: generation, stats, and serialization
+ * may not depend on hash order, allocation addresses, or any other
+ * run-varying state. Guards the det-unordered-container policy
+ * (trace/writer.hh, trace/buffer.cc) end to end.
+ */
+TEST(TraceFile, IdenticalRunsAreByteIdentical)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.num_threads = 2;
+    cfg.records_per_thread = 20000;
+    cfg.seed = 42;
+    cfg.scale = 0.01;
+    auto kernel = workloads::makeRmsKernel("gauss");
+
+    std::string path_a = tempPath("stack3d_repro_a.bin");
+    std::string path_b = tempPath("stack3d_repro_b.bin");
+
+    TraceBuffer run_a = kernel->generate(cfg);
+    writeTraceFile(path_a, run_a);
+    TraceBuffer run_b = kernel->generate(cfg);
+    writeTraceFile(path_b, run_b);
+
+    TraceStats stats_a = run_a.computeStats();
+    TraceStats stats_b = run_b.computeStats();
+    EXPECT_EQ(stats_a.num_records, stats_b.num_records);
+    EXPECT_EQ(stats_a.footprint_lines, stats_b.footprint_lines);
+    EXPECT_EQ(stats_a.max_dep_chain, stats_b.max_dep_chain);
+
+    std::string bytes_a = fileBytes(path_a);
+    std::string bytes_b = fileBytes(path_b);
+    ASSERT_FALSE(bytes_a.empty());
+    EXPECT_EQ(bytes_a, bytes_b);
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
 }

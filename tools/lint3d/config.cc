@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Parser for the TOML subset `.lint3d.toml` uses:
+ *
+ *   # comment
+ *   paths = ["src", "tests"]
+ *   [rule.safe-naked-new]
+ *   severity = "error"
+ *   allow = ["src/obs/trace.hh"]
+ *
+ * Top-level keys configure the scan; `[rule.<name>]` sections
+ * configure individual rules. Values are double-quoted strings or
+ * single-line arrays of them. Anything fancier is a parse error —
+ * the config format is deliberately small enough to need no
+ * third-party TOML dependency.
+ */
+
+#include "lint3d.hh"
+
+#include <sstream>
+
+namespace lint3d {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Strip an unquoted # comment from a config line. */
+std::string
+stripComment(const std::string &s)
+{
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '"' && (i == 0 || s[i - 1] != '\\'))
+            in_string = !in_string;
+        else if (s[i] == '#' && !in_string)
+            return s.substr(0, i);
+    }
+    return s;
+}
+
+bool
+parseString(const std::string &value, std::string &out)
+{
+    if (value.size() < 2 || value.front() != '"' ||
+        value.back() != '"')
+        return false;
+    out = value.substr(1, value.size() - 2);
+    return true;
+}
+
+bool
+parseStringArray(const std::string &value,
+                 std::vector<std::string> &out)
+{
+    std::string v = trim(value);
+    if (v.size() < 2 || v.front() != '[' || v.back() != ']')
+        return false;
+    out.clear();
+    std::string inner = trim(v.substr(1, v.size() - 2));
+    if (inner.empty())
+        return true;
+    std::size_t pos = 0;
+    while (pos < inner.size()) {
+        std::size_t comma = std::string::npos;
+        bool in_string = false;
+        for (std::size_t i = pos; i < inner.size(); ++i) {
+            if (inner[i] == '"' && (i == 0 || inner[i - 1] != '\\'))
+                in_string = !in_string;
+            else if (inner[i] == ',' && !in_string) {
+                comma = i;
+                break;
+            }
+        }
+        std::string item = trim(
+            inner.substr(pos, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - pos));
+        std::string parsed;
+        if (!parseString(item, parsed))
+            return false;
+        out.push_back(parsed);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+} // namespace
+
+const RuleConfig &
+Config::ruleConfig(const std::string &rule) const
+{
+    static const RuleConfig kDefault;
+    auto it = rules.find(rule);
+    return it == rules.end() ? kDefault : it->second;
+}
+
+bool
+parseConfig(const std::string &text, Config &out, std::string &error)
+{
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    /** Empty = top level; otherwise the current [rule.<name>]. */
+    std::string section;
+
+    auto fail = [&](const std::string &what) {
+        std::ostringstream os;
+        os << "line " << lineno << ": " << what;
+        error = os.str();
+        return false;
+    };
+
+    while (std::getline(in, raw)) {
+        ++lineno;
+        std::string lineText = trim(stripComment(raw));
+        if (lineText.empty())
+            continue;
+
+        if (lineText.front() == '[') {
+            if (lineText.back() != ']')
+                return fail("unterminated section header");
+            std::string name =
+                trim(lineText.substr(1, lineText.size() - 2));
+            const std::string prefix = "rule.";
+            if (name.compare(0, prefix.size(), prefix) != 0)
+                return fail("unknown section '" + name +
+                            "' (expected [rule.<name>])");
+            section = name.substr(prefix.size());
+            if (section.empty())
+                return fail("empty rule name");
+            out.rules[section]; // default-construct the entry
+            continue;
+        }
+
+        std::size_t eq = lineText.find('=');
+        if (eq == std::string::npos)
+            return fail("expected key = value");
+        std::string key = trim(lineText.substr(0, eq));
+        std::string value = trim(lineText.substr(eq + 1));
+        if (key.empty())
+            return fail("empty key");
+
+        if (section.empty()) {
+            if (key == "paths") {
+                if (!parseStringArray(value, out.paths))
+                    return fail("'paths' must be a string array");
+            } else if (key == "exclude") {
+                if (!parseStringArray(value, out.exclude))
+                    return fail("'exclude' must be a string array");
+            } else if (key == "extensions") {
+                if (!parseStringArray(value, out.extensions))
+                    return fail("'extensions' must be a string array");
+            } else if (key == "nodiscard_prefixes") {
+                if (!parseStringArray(value, out.nodiscard_prefixes))
+                    return fail("'nodiscard_prefixes' must be a "
+                                "string array");
+            } else {
+                return fail("unknown top-level key '" + key + "'");
+            }
+            continue;
+        }
+
+        RuleConfig &rule = out.rules[section];
+        if (key == "severity") {
+            std::string sev;
+            if (!parseString(value, sev) ||
+                (sev != "error" && sev != "warn" && sev != "off")) {
+                return fail("severity must be \"error\", \"warn\" or "
+                            "\"off\"");
+            }
+            rule.severity = sev;
+        } else if (key == "allow") {
+            if (!parseStringArray(value, rule.allow))
+                return fail("'allow' must be a string array");
+        } else if (key == "paths") {
+            if (!parseStringArray(value, rule.paths))
+                return fail("'paths' must be a string array");
+        } else {
+            return fail("unknown rule key '" + key + "'");
+        }
+    }
+    return true;
+}
+
+} // namespace lint3d

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The lint3d tokenizer. Hand-rolled single pass: good enough line
+ * accounting for diagnostics, and strings / comments / preprocessor
+ * directives are consumed whole so rule trigger words inside them
+ * can never produce a match.
+ */
+
+#include "lint3d.hh"
+
+#include <cctype>
+
+namespace lint3d {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Scan a comment's text for `lint3d: <rule>-ok [, <rule>-ok ...]`
+ * markers and record the named rules against @p line. When the
+ * comment is the only content on its line (@p whole_line), the
+ * suppression also covers the next line, so a rule can be waived
+ * without pushing the offending statement past the column limit.
+ */
+void
+parseSuppressions(const std::string &comment, int line, bool whole_line,
+                  Suppressions &supp)
+{
+    const std::string tag = "lint3d:";
+    std::size_t at = comment.find(tag);
+    if (at == std::string::npos)
+        return;
+    std::size_t pos = at + tag.size();
+    while (pos < comment.size()) {
+        while (pos < comment.size() &&
+               !identStart(comment[pos]) )
+            ++pos;
+        std::size_t begin = pos;
+        while (pos < comment.size() &&
+               (identChar(comment[pos]) || comment[pos] == '-'))
+            ++pos;
+        if (pos == begin)
+            break;
+        std::string word = comment.substr(begin, pos - begin);
+        const std::string ok = "-ok";
+        if (word.size() > ok.size() &&
+            word.compare(word.size() - ok.size(), ok.size(), ok) == 0) {
+            std::string rule = word.substr(0, word.size() - ok.size());
+            supp[line].insert(rule);
+            if (whole_line)
+                supp[line + 1].insert(rule);
+        }
+    }
+}
+
+const char *kMultiCharOps[] = {"::", "->", "==", "!=", "<=", ">=",
+                               "&&", "||", "<<", ">>", "[[", "]]"};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source, Suppressions &supp)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+    /** Offset where the current line's first non-blank content sits. */
+    bool line_blank_so_far = true;
+
+    auto newline = [&] {
+        ++line;
+        line_blank_so_far = true;
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            newline();
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: consume to end of (continued) line.
+        if (c == '#' && line_blank_so_far) {
+            while (i < n) {
+                if (source[i] == '\\' && i + 1 < n &&
+                    source[i + 1] == '\n') {
+                    newline();
+                    i += 2;
+                    continue;
+                }
+                if (source[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t begin = i;
+            while (i < n && source[i] != '\n')
+                ++i;
+            parseSuppressions(source.substr(begin, i - begin), line,
+                              line_blank_so_far, supp);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            std::size_t begin = i;
+            int begin_line = line;
+            bool whole_line = line_blank_so_far;
+            i += 2;
+            while (i + 1 < n &&
+                   !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    newline();
+                ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            // Suppressions in a block comment attach to the line the
+            // comment *ends* on (and the next, for whole-line ones).
+            parseSuppressions(source.substr(begin, i - begin),
+                              begin_line == line ? begin_line : line,
+                              whole_line, supp);
+            continue;
+        }
+
+        line_blank_so_far = false;
+
+        // String literal (including raw strings).
+        if (c == '"' ||
+            (c == 'R' && i + 1 < n && source[i + 1] == '"')) {
+            Token t{TokKind::String, "\"\"", line};
+            if (c == 'R') {
+                // Raw string: R"delim( ... )delim"
+                std::size_t open = source.find('(', i);
+                std::string delim =
+                    open == std::string::npos
+                        ? std::string()
+                        : source.substr(i + 2, open - (i + 2));
+                std::string close = ")" + delim + "\"";
+                std::size_t end = open == std::string::npos
+                                      ? std::string::npos
+                                      : source.find(close, open);
+                std::size_t stop =
+                    end == std::string::npos ? n : end + close.size();
+                for (std::size_t k = i; k < stop; ++k) {
+                    if (source[k] == '\n')
+                        newline();
+                }
+                i = stop;
+            } else {
+                ++i;
+                while (i < n && source[i] != '"') {
+                    if (source[i] == '\\' && i + 1 < n)
+                        ++i;
+                    else if (source[i] == '\n')
+                        newline();
+                    ++i;
+                }
+                if (i < n)
+                    ++i;
+            }
+            toks.push_back(t);
+            continue;
+        }
+
+        // Character literal.
+        if (c == '\'') {
+            Token t{TokKind::CharLit, "''", line};
+            ++i;
+            while (i < n && source[i] != '\'') {
+                if (source[i] == '\\' && i + 1 < n)
+                    ++i;
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            toks.push_back(t);
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t begin = i;
+            while (i < n && identChar(source[i]))
+                ++i;
+            toks.push_back({TokKind::Ident,
+                            source.substr(begin, i - begin), line});
+            continue;
+        }
+
+        // Number (integer or floating; pp-number-ish, handles 1.5e-3,
+        // 0x1F, digit separators, and suffixes).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t begin = i;
+            ++i;
+            while (i < n) {
+                char d = source[i];
+                if (identChar(d) || d == '.' || d == '\'') {
+                    ++i;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && i > begin) {
+                    char prev = source[i - 1];
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P') {
+                        ++i;
+                        continue;
+                    }
+                }
+                break;
+            }
+            toks.push_back({TokKind::Number,
+                            source.substr(begin, i - begin), line});
+            continue;
+        }
+
+        // Punctuation: prefer two-character operators.
+        if (i + 1 < n) {
+            std::string two = source.substr(i, 2);
+            bool matched = false;
+            for (const char *op : kMultiCharOps) {
+                if (two == op) {
+                    toks.push_back({TokKind::Punct, two, line});
+                    i += 2;
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+        }
+        toks.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return toks;
+}
+
+} // namespace lint3d

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * lint3d — the stack3d project linter.
+ *
+ * A self-contained, tokenizer-based static analyzer (no libclang)
+ * that enforces the project-specific rules the simulator's
+ * bit-reproducibility guarantees depend on. Three rule families:
+ *
+ *  determinism  det-rand, det-wallclock, det-unordered-container,
+ *               det-unordered-iter, det-float-reduce
+ *  safety       safe-naked-new, safe-memcpy, safe-float-eq,
+ *               safe-c-cast, safe-nodiscard
+ *  concurrency  conc-global-mutable, conc-static-local,
+ *               conc-thread-outside-exec
+ *
+ * Configuration lives in a repo-root `.lint3d.toml` (scan paths,
+ * per-rule severity / allow lists). Individual findings are
+ * suppressed with `// lint3d: <rule>-ok` on the offending line, or
+ * on a whole-line comment immediately above it. Findings emit as
+ * human-readable text and as JSON for CI gating; the exit status is
+ * non-zero when any unsuppressed error-severity finding remains.
+ *
+ * The analyzer is heuristic by design: it sees tokens, not types.
+ * The rules are tuned so that everything they flag in this codebase
+ * is either a real hazard or worth an explicit, named suppression.
+ */
+
+#ifndef STACK3D_TOOLS_LINT3D_HH
+#define STACK3D_TOOLS_LINT3D_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lint3d {
+
+/** Lexical category of one token. */
+enum class TokKind { Ident, Number, String, CharLit, Punct };
+
+/** One source token (comments and preprocessor lines are skipped). */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 1;
+};
+
+/**
+ * Per-line suppressions parsed from comments: line number -> the set
+ * of rule names suppressed on that line. A whole-line comment
+ * suppresses the following line as well (NOLINTNEXTLINE-style).
+ */
+using Suppressions = std::map<int, std::set<std::string>>;
+
+/**
+ * Tokenize C++ source. Comments, string/char literal *contents*, and
+ * preprocessor directives never produce Ident/Punct tokens, so rule
+ * trigger words inside them cannot match. Multi-character operators
+ * (::, ->, ==, !=, <=, >=, &&, ||, <<, >>) lex as single tokens.
+ */
+std::vector<Token> lex(const std::string &source, Suppressions &supp);
+
+/** Per-rule configuration. */
+struct RuleConfig
+{
+    /** "error" (gates), "warn" (reported only), or "off". */
+    std::string severity = "error";
+
+    /** Path prefixes (relative, '/'-separated) exempt from the rule. */
+    std::vector<std::string> allow;
+
+    /** When non-empty, the rule only applies under these prefixes. */
+    std::vector<std::string> paths;
+};
+
+/** The parsed `.lint3d.toml`. */
+struct Config
+{
+    /** Directories scanned, relative to the root. */
+    std::vector<std::string> paths{"src", "tests", "bench",
+                                   "examples", "tools"};
+
+    /** Path prefixes never scanned (fixtures, build trees). */
+    std::vector<std::string> exclude;
+
+    /** File extensions considered C++ source. */
+    std::vector<std::string> extensions{".cc", ".hh", ".cpp", ".hpp",
+                                        ".h"};
+
+    /** Function-name prefixes safe-nodiscard checks in headers. */
+    std::vector<std::string> nodiscard_prefixes{"parse", "try",
+                                                "consume", "validate"};
+
+    std::map<std::string, RuleConfig> rules;
+
+    /** Effective config for @p rule (defaults when unconfigured). */
+    const RuleConfig &ruleConfig(const std::string &rule) const;
+};
+
+/**
+ * Parse the TOML subset lint3d understands: `key = value` pairs at
+ * top level, `[rule.<name>]` sections, string / single-line string
+ * array values, and # comments. @return false (with @p error set)
+ * on malformed input.
+ */
+[[nodiscard]] bool parseConfig(const std::string &text, Config &out,
+                               std::string &error);
+
+/** One reported rule violation. */
+struct Finding
+{
+    std::string file;   ///< path relative to the scan root
+    int line = 0;
+    std::string rule;
+    std::string severity;
+    std::string message;
+
+    bool
+    operator<(const Finding &other) const
+    {
+        if (file != other.file)
+            return file < other.file;
+        if (line != other.line)
+            return line < other.line;
+        return rule < other.rule;
+    }
+};
+
+/** Result of analyzing one file. */
+struct FileReport
+{
+    std::vector<Finding> findings;
+    std::size_t suppressed = 0;
+};
+
+/**
+ * Run every enabled rule over one tokenized file. @p path must be
+ * the root-relative path with '/' separators (used for allow-list
+ * and paths matching).
+ */
+FileReport analyzeFile(const std::string &path,
+                       const std::vector<Token> &toks,
+                       const Suppressions &supp, const Config &cfg);
+
+/** Names of all implemented rules (for --list-rules and tests). */
+const std::vector<std::string> &allRules();
+
+} // namespace lint3d
+
+#endif // STACK3D_TOOLS_LINT3D_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * lint3d entry point: load `.lint3d.toml`, walk the configured
+ * directories, run every rule over every C++ source file, and report
+ * findings as text and/or JSON. Exit status 1 when any unsuppressed
+ * error-severity finding remains — the CI gate.
+ *
+ *   lint3d --root . --config .lint3d.toml
+ *   lint3d --root . --json                # machine-readable findings
+ *   lint3d --root . --json-out out.json   # text + JSON file
+ *   lint3d --list-rules
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lint3d.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace lint3d;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: lint3d [options] [path-prefix...]\n"
+          "  --root DIR      scan root (default: .)\n"
+          "  --config FILE   config (default: <root>/.lint3d.toml)\n"
+          "  --json          print findings as JSON to stdout\n"
+          "  --json-out F    also write the JSON report to F\n"
+          "  --list-rules    print every implemented rule and exit\n"
+          "Positional path prefixes replace the configured scan "
+          "paths.\n";
+}
+
+[[nodiscard]] bool
+readFile(const fs::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeJsonReport(std::ostream &os, const std::vector<Finding> &findings,
+                std::size_t files_scanned, std::size_t suppressed)
+{
+    os << "{\n";
+    os << "  \"version\": 1,\n";
+    os << "  \"files_scanned\": " << files_scanned << ",\n";
+    os << "  \"suppressed\": " << suppressed << ",\n";
+    os << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? "," : "") << "\n    {\"file\": \""
+           << jsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << f.rule << "\", \"severity\": \""
+           << f.severity << "\", \"message\": \""
+           << jsonEscape(f.message) << "\"}";
+    }
+    os << (findings.empty() ? "" : "\n  ") << "]\n";
+    os << "}\n";
+}
+
+/** Root-relative path with '/' separators on every platform. */
+std::string
+relPath(const fs::path &file, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    return (ec ? file : rel).generic_string();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    fs::path config_path;
+    bool json_stdout = false;
+    std::string json_out;
+    std::vector<std::string> override_paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "lint3d: " << flag
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            root = value("--root");
+        } else if (arg == "--config") {
+            config_path = value("--config");
+        } else if (arg == "--json") {
+            json_stdout = true;
+        } else if (arg == "--json-out") {
+            json_out = value("--json-out");
+        } else if (arg == "--list-rules") {
+            for (const std::string &r : allRules())
+                std::cout << r << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "lint3d: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            override_paths.push_back(arg);
+        }
+    }
+
+    Config cfg;
+    if (config_path.empty()) {
+        fs::path candidate = root / ".lint3d.toml";
+        if (fs::exists(candidate))
+            config_path = candidate;
+    }
+    if (!config_path.empty()) {
+        std::string text;
+        if (!readFile(config_path, text)) {
+            std::cerr << "lint3d: cannot read config '"
+                      << config_path.string() << "'\n";
+            return 2;
+        }
+        std::string error;
+        if (!parseConfig(text, cfg, error)) {
+            std::cerr << "lint3d: " << config_path.string() << ": "
+                      << error << "\n";
+            return 2;
+        }
+    }
+    if (!override_paths.empty())
+        cfg.paths = override_paths;
+
+    // Collect the files to scan, sorted for deterministic output.
+    std::vector<fs::path> files;
+    for (const std::string &p : cfg.paths) {
+        fs::path base = root / p;
+        std::error_code ec;
+        if (fs::is_regular_file(base, ec)) {
+            files.push_back(base);
+            continue;
+        }
+        if (!fs::is_directory(base, ec)) {
+            std::cerr << "lint3d: warning: scan path '" << p
+                      << "' does not exist under '" << root.string()
+                      << "'\n";
+            continue;
+        }
+        for (fs::recursive_directory_iterator it(base, ec), end;
+             it != end && !ec; it.increment(ec)) {
+            if (!it->is_regular_file())
+                continue;
+            std::string ext = it->path().extension().string();
+            bool matches = false;
+            for (const std::string &e : cfg.extensions)
+                matches = matches || ext == e;
+            if (matches)
+                files.push_back(it->path());
+        }
+    }
+
+    std::vector<std::string> rels;
+    rels.reserve(files.size());
+    for (const fs::path &f : files) {
+        std::string rel = relPath(f, root);
+        bool excluded = false;
+        for (const std::string &e : cfg.exclude)
+            excluded = excluded || rel.compare(0, e.size(), e) == 0;
+        if (!excluded)
+            rels.push_back(rel);
+    }
+    std::sort(rels.begin(), rels.end());
+    rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+
+    std::vector<Finding> findings;
+    std::size_t suppressed = 0;
+    for (const std::string &rel : rels) {
+        std::string source;
+        if (!readFile(root / rel, source)) {
+            std::cerr << "lint3d: cannot read '" << rel << "'\n";
+            return 2;
+        }
+        Suppressions supp;
+        std::vector<Token> toks = lex(source, supp);
+        FileReport rep = analyzeFile(rel, toks, supp, cfg);
+        suppressed += rep.suppressed;
+        findings.insert(findings.end(), rep.findings.begin(),
+                        rep.findings.end());
+    }
+    std::sort(findings.begin(), findings.end());
+
+    std::size_t errors = 0, warnings = 0;
+    for (const Finding &f : findings)
+        (f.severity == "error" ? errors : warnings) += 1;
+
+    if (json_stdout) {
+        writeJsonReport(std::cout, findings, rels.size(), suppressed);
+    } else {
+        for (const Finding &f : findings) {
+            std::cout << f.file << ":" << f.line << ": " << f.severity
+                      << ": [" << f.rule << "] " << f.message << "\n";
+        }
+        std::cout << "lint3d: scanned " << rels.size() << " files: "
+                  << errors << " errors, " << warnings
+                  << " warnings, " << suppressed << " suppressed\n";
+    }
+    if (!json_out.empty()) {
+        std::ofstream out(json_out, std::ios::trunc);
+        if (!out) {
+            std::cerr << "lint3d: cannot write '" << json_out
+                      << "'\n";
+            return 2;
+        }
+        writeJsonReport(out, findings, rels.size(), suppressed);
+    }
+    return errors > 0 ? 1 : 0;
+}

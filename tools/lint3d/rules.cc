@@ -1,0 +1,707 @@
+/**
+ * @file
+ * The lint3d rule passes. Each rule is a focused scan over the token
+ * stream; a shared pre-pass computes, per token, the innermost brace
+ * scope (namespace / class / function / initializer) and the paren
+ * nesting depth, which is all the "parsing" the rules need.
+ *
+ * Heuristics are deliberately conservative about what they claim:
+ * every rule documents its blind spots in DESIGN.md. When a rule and
+ * reality disagree, the per-line `// lint3d: <rule>-ok` suppression
+ * records the decision in the source.
+ */
+
+#include "lint3d.hh"
+
+namespace lint3d {
+
+namespace {
+
+/** Innermost brace-scope classification. */
+enum class Scope { TU, Namespace, Class, Enum, Function, Block, Init };
+
+/** Per-token scope / paren-depth context. */
+struct Context
+{
+    std::vector<Scope> scope;
+    std::vector<int> paren;
+};
+
+bool
+isScopeOpenerKeyword(const std::string &s)
+{
+    return s == "namespace" || s == "class" || s == "struct" ||
+           s == "union" || s == "enum";
+}
+
+/**
+ * Classify every token's innermost scope with a brace stack. The
+ * opener of a brace is inferred from the tokens before it: `)` /
+ * `const` / `noexcept` / `override` open function bodies, a
+ * backward scan to the statement start finds `namespace` / `class` /
+ * `enum`, and everything else (after `=`, `,`, `return`, an
+ * identifier) is a braced initializer.
+ */
+Context
+buildContext(const std::vector<Token> &t)
+{
+    Context ctx;
+    ctx.scope.resize(t.size(), Scope::TU);
+    ctx.paren.resize(t.size(), 0);
+    std::vector<Scope> stack{Scope::TU};
+    int paren = 0;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ctx.scope[i] = stack.back();
+        ctx.paren[i] = paren;
+        const std::string &s = t[i].text;
+
+        if (s == "(" || s == "[") {
+            ++paren;
+            continue;
+        }
+        if (s == ")" || s == "]") {
+            if (paren > 0)
+                --paren;
+            continue;
+        }
+        if (s == "}") {
+            if (stack.size() > 1)
+                stack.pop_back();
+            continue;
+        }
+        if (s != "{")
+            continue;
+
+        if (paren > 0) {
+            stack.push_back(Scope::Init);
+            continue;
+        }
+        if (i == 0) {
+            stack.push_back(Scope::Block);
+            continue;
+        }
+        const std::string &p = t[i - 1].text;
+        if (p == ")" || p == "const" || p == "noexcept" ||
+            p == "override" || p == "final" || p == "else" ||
+            p == "do" || p == "try") {
+            bool inside_fn = stack.back() == Scope::Function ||
+                             stack.back() == Scope::Block;
+            stack.push_back(inside_fn ? Scope::Block
+                                      : Scope::Function);
+            continue;
+        }
+        // Backward scan to the statement start for a scope keyword.
+        Scope opened = Scope::Init;
+        bool classified = false;
+        for (std::size_t back = 1;
+             back <= i && back <= 64; ++back) {
+            const std::string &q = t[i - back].text;
+            if (q == ";" || q == "{" || q == "}" || q == ")" ||
+                q == "(" || q == ",")
+                break;
+            if (q == "enum") {
+                opened = Scope::Enum;
+                classified = true;
+                break;
+            }
+            if (isScopeOpenerKeyword(q)) {
+                opened = q == "namespace" ? Scope::Namespace
+                                          : Scope::Class;
+                classified = true;
+                break;
+            }
+        }
+        if (!classified &&
+            !(t[i - 1].kind == TokKind::Ident || p == "=" ||
+              p == "," || p == "(" || p == "[" || p == "return")) {
+            opened = Scope::Block;
+        }
+        stack.push_back(opened);
+    }
+    return ctx;
+}
+
+/** True when @p path (relative, '/') starts with any listed prefix. */
+bool
+underAny(const std::string &path,
+         const std::vector<std::string> &prefixes)
+{
+    for (const std::string &p : prefixes) {
+        if (p.empty())
+            continue;
+        if (path.compare(0, p.size(), p) == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Everything one rule pass needs, plus the finding sink. */
+struct Analysis
+{
+    const std::string &path;
+    const std::vector<Token> &t;
+    const Suppressions &supp;
+    const Config &cfg;
+    Context ctx;
+    bool header = false;
+    FileReport report;
+
+    const std::string &
+    text(std::size_t i) const
+    {
+        static const std::string empty;
+        return i < t.size() ? t[i].text : empty;
+    }
+
+    void
+    emit(int line, const std::string &rule, const std::string &msg)
+    {
+        const RuleConfig &rc = cfg.ruleConfig(rule);
+        if (rc.severity == "off")
+            return;
+        if (underAny(path, rc.allow))
+            return;
+        if (!rc.paths.empty() && !underAny(path, rc.paths))
+            return;
+        auto it = supp.find(line);
+        if (it != supp.end() && it->second.count(rule)) {
+            ++report.suppressed;
+            return;
+        }
+        report.findings.push_back(
+            {path, line, rule, rc.severity, msg});
+    }
+};
+
+bool
+isFloatLiteral(const Token &tok)
+{
+    if (tok.kind != TokKind::Number)
+        return false;
+    const std::string &s = tok.text;
+    if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+        return false;
+    for (char c : s) {
+        if (c == '.' || c == 'e' || c == 'E')
+            return true;
+    }
+    return false;
+}
+
+// --- determinism rules -------------------------------------------------
+
+void
+detRand(Analysis &a)
+{
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        const std::string &s = a.t[i].text;
+        if (a.t[i].kind != TokKind::Ident ||
+            (s != "rand" && s != "srand"))
+            continue;
+        if (a.text(i + 1) != "(")
+            continue;
+        const std::string &prev = i > 0 ? a.text(i - 1) : a.text(i);
+        if (prev == "." || prev == "->")
+            continue; // a member function of some project type
+        if (i > 0 && a.t[i - 1].kind == TokKind::Ident &&
+            prev != "return" && prev != "case")
+            continue; // `int rand(` — declaring a member, not calling
+        a.emit(a.t[i].line, "det-rand",
+               "'" + s + "' draws from hidden global state; derive "
+               "a stream from core::deriveCellSeed instead");
+    }
+}
+
+void
+detWallclock(Analysis &a)
+{
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        if (a.t[i].kind != TokKind::Ident)
+            continue;
+        const std::string &s = a.t[i].text;
+        const std::string prev = i > 0 ? a.text(i - 1) : "";
+        bool member = prev == "." || prev == "->";
+        bool declared = i > 0 && a.t[i - 1].kind == TokKind::Ident &&
+                        prev != "return" && prev != "case";
+        if ((s == "time" || s == "clock") && a.text(i + 1) == "(" &&
+            !member && !declared) {
+            a.emit(a.t[i].line, "det-wallclock",
+                   "wall-clock call '" + s + "(...)' makes runs "
+                   "unreproducible; seeds must come from RunOptions");
+            continue;
+        }
+        if (s == "system_clock" || s == "random_device") {
+            a.emit(a.t[i].line, "det-wallclock",
+                   "'" + s + "' is a nondeterministic source; use "
+                   "steady_clock for intervals and RunOptions seeds "
+                   "for randomness");
+        }
+    }
+}
+
+void
+detUnordered(Analysis &a)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        const std::string &s = a.t[i].text;
+        if (s != "unordered_map" && s != "unordered_set" &&
+            s != "unordered_multimap" && s != "unordered_multiset")
+            continue;
+        a.emit(a.t[i].line, "det-unordered-container",
+               "std::" + s + " iterates in hash order, which varies "
+               "across libraries and runs; use std::map/std::set or "
+               "a sorted vector in result-affecting code");
+        // Find the declared variable name: balance the template
+        // argument list, then take the following identifier.
+        std::size_t j = i + 1;
+        if (a.text(j) != "<")
+            continue;
+        int depth = 0;
+        for (; j < a.t.size(); ++j) {
+            const std::string &q = a.t[j].text;
+            if (q == "<")
+                ++depth;
+            else if (q == ">")
+                --depth;
+            else if (q == ">>")
+                depth -= 2;
+            if (depth <= 0)
+                break;
+        }
+        ++j;
+        while (a.text(j) == "*" || a.text(j) == "&")
+            ++j;
+        if (j < a.t.size() && a.t[j].kind == TokKind::Ident)
+            names.insert(a.t[j].text);
+    }
+    if (names.empty())
+        return;
+
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        // Range-for whose range expression names an unordered
+        // container declared in this file.
+        if (a.t[i].text == "for" && a.text(i + 1) == "(") {
+            int depth = 0;
+            bool seen_colon = false;
+            for (std::size_t j = i + 1; j < a.t.size(); ++j) {
+                const std::string &q = a.t[j].text;
+                if (q == "(") {
+                    ++depth;
+                } else if (q == ")") {
+                    if (--depth == 0)
+                        break;
+                } else if (q == ":" && depth == 1) {
+                    seen_colon = true;
+                } else if (seen_colon &&
+                           a.t[j].kind == TokKind::Ident &&
+                           names.count(q)) {
+                    a.emit(a.t[j].line, "det-unordered-iter",
+                           "iterating unordered container '" + q +
+                           "'; order is nondeterministic — sort "
+                           "keys first or use an ordered container");
+                    break;
+                }
+            }
+        }
+        // Explicit iterator loops: name.begin() / cbegin() / rbegin().
+        if (a.t[i].kind == TokKind::Ident && names.count(a.t[i].text) &&
+            a.text(i + 1) == "." &&
+            (a.text(i + 2) == "begin" || a.text(i + 2) == "cbegin" ||
+             a.text(i + 2) == "rbegin")) {
+            a.emit(a.t[i].line, "det-unordered-iter",
+                   "iterator over unordered container '" +
+                   a.t[i].text + "'; order is nondeterministic — "
+                   "sort keys first or use an ordered container");
+        }
+    }
+}
+
+void
+detFloatReduce(Analysis &a)
+{
+    for (std::size_t i = 1; i < a.t.size(); ++i) {
+        const std::string &s = a.t[i].text;
+        if ((s == "reduce" || s == "transform_reduce") &&
+            a.text(i - 1) == "::" && a.text(i + 1) == "(") {
+            a.emit(a.t[i].line, "det-float-reduce",
+                   "std::" + s + " sums in unspecified order; "
+                   "float results vary — use "
+                   "exec::parallelSlabReduce or an index-ordered "
+                   "loop");
+        }
+    }
+}
+
+// --- safety rules ------------------------------------------------------
+
+void
+safeNakedNew(Analysis &a)
+{
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        const std::string &s = a.t[i].text;
+        if (a.t[i].kind != TokKind::Ident ||
+            (s != "new" && s != "delete"))
+            continue;
+        const std::string prev = i > 0 ? a.text(i - 1) : "";
+        if (prev == "operator")
+            continue;
+        if (s == "delete" && prev == "=")
+            continue; // deleted special member, not a deallocation
+        a.emit(a.t[i].line, "safe-naked-new",
+               std::string("naked '") + s + "'; prefer "
+               "std::make_unique / containers, or suppress where "
+               "manual lifetime is the design (lock-free chunks)");
+    }
+}
+
+void
+safeMemcpy(Analysis &a)
+{
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        const std::string &s = a.t[i].text;
+        if (a.t[i].kind != TokKind::Ident ||
+            (s != "memcpy" && s != "memmove"))
+            continue;
+        if (a.text(i + 1) != "(")
+            continue;
+        const std::string prev = i > 0 ? a.text(i - 1) : "";
+        if (prev == "." || prev == "->")
+            continue;
+        if (i > 0 && a.t[i - 1].kind == TokKind::Ident &&
+            prev != "return" && prev != "case")
+            continue; // `void memcpy(` — a declaration, not a call
+        a.emit(a.t[i].line, "safe-memcpy",
+               "'" + s + "' bypasses constructors; prove the type "
+               "is trivially copyable (static_assert) or use "
+               "std::copy");
+    }
+}
+
+void
+safeFloatEq(Analysis &a)
+{
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        const std::string &s = a.t[i].text;
+        if (s != "==" && s != "!=")
+            continue;
+        bool floaty = (i > 0 && isFloatLiteral(a.t[i - 1])) ||
+                      (i + 1 < a.t.size() &&
+                       isFloatLiteral(a.t[i + 1]));
+        if (!floaty)
+            continue;
+        a.emit(a.t[i].line, "safe-float-eq",
+               "exact floating-point comparison; use a tolerance, "
+               "or suppress where bitwise equality is the contract");
+    }
+}
+
+const std::set<std::string> &
+builtinTypeWords()
+{
+    static const std::set<std::string> kTypes{
+        "bool",     "char",     "short",    "int",      "long",
+        "unsigned", "signed",   "float",    "double",   "size_t",
+        "ssize_t",  "ptrdiff_t", "int8_t",  "int16_t",  "int32_t",
+        "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
+        "intptr_t", "uintptr_t"};
+    return kTypes;
+}
+
+void
+safeCCast(Analysis &a)
+{
+    const std::set<std::string> &types = builtinTypeWords();
+    for (std::size_t i = 1; i + 2 < a.t.size(); ++i) {
+        if (a.t[i].text != "(")
+            continue;
+        const Token &p = a.t[i - 1];
+        // After an identifier or closing bracket this paren is a
+        // call / declarator, not a cast — except after statement
+        // keywords like `return`.
+        if ((p.kind == TokKind::Ident && p.text != "return" &&
+             p.text != "case") ||
+            p.text == ")" || p.text == "]" || p.text == ">")
+            continue;
+        std::size_t j = i + 1;
+        bool saw_type = false;
+        while (j < a.t.size()) {
+            const std::string &q = a.t[j].text;
+            if (types.count(q)) {
+                saw_type = true;
+                ++j;
+            } else if (q == "const" || q == "std" || q == "::") {
+                ++j;
+            } else {
+                break;
+            }
+        }
+        while (j < a.t.size() &&
+               (a.t[j].text == "*" || a.t[j].text == "&"))
+            ++j;
+        if (!saw_type || j >= a.t.size() || a.t[j].text != ")")
+            continue;
+        if (j + 1 >= a.t.size())
+            continue;
+        const Token &next = a.t[j + 1];
+        bool operand = next.kind == TokKind::Ident ||
+                       next.kind == TokKind::Number ||
+                       next.kind == TokKind::String ||
+                       next.text == "(";
+        if (!operand || types.count(next.text))
+            continue;
+        a.emit(a.t[i].line, "safe-c-cast",
+               "C-style cast; use static_cast (or the T(x) "
+               "functional form) so conversions stay searchable "
+               "and checked");
+    }
+}
+
+void
+safeNodiscard(Analysis &a)
+{
+    if (!a.header)
+        return;
+    for (std::size_t i = 1; i < a.t.size(); ++i) {
+        if (a.t[i].kind != TokKind::Ident || a.text(i + 1) != "(")
+            continue;
+        Scope sc = a.ctx.scope[i];
+        if (sc != Scope::Class && sc != Scope::Namespace &&
+            sc != Scope::TU)
+            continue;
+        if (a.ctx.paren[i] != 0)
+            continue;
+        const std::string &name = a.t[i].text;
+        bool matches = false;
+        for (const std::string &prefix : a.cfg.nodiscard_prefixes) {
+            if (name.size() >= prefix.size() &&
+                name.compare(0, prefix.size(), prefix) == 0) {
+                matches = true;
+                break;
+            }
+        }
+        if (!matches)
+            continue;
+        const std::string &prev = a.text(i - 1);
+        if (prev == "." || prev == "->" || prev == "operator")
+            continue;
+        // Scan back over the declaration for [[nodiscard]] / void.
+        bool has_nodiscard = false;
+        bool returns_void = false;
+        std::size_t decl_tokens = 0;
+        for (std::size_t back = 1; back <= i && back <= 48; ++back) {
+            const std::string &q = a.t[i - back].text;
+            if (q == ";" || q == "{" || q == "}" || q == ":")
+                break;
+            ++decl_tokens;
+            if (q == "nodiscard")
+                has_nodiscard = true;
+            if (q == "void" && a.text(i - back + 1) != "*")
+                returns_void = true;
+        }
+        if (decl_tokens == 0 || returns_void || has_nodiscard)
+            continue;
+        a.emit(a.t[i].line, "safe-nodiscard",
+               "'" + name + "' returns a status/result that call "
+               "sites silently dropped before; mark it "
+               "[[nodiscard]]");
+    }
+}
+
+// --- concurrency rules -------------------------------------------------
+
+/** Words whose presence makes a namespace-scope declaration safe. */
+bool
+globalStatementIsSafe(const std::vector<Token> &t, std::size_t begin,
+                      std::size_t end)
+{
+    static const std::set<std::string> kSafe{
+        "const",     "constexpr", "constinit",  "atomic",
+        "mutex",     "shared_mutex", "once_flag", "thread_local",
+        "extern",    "using",     "typedef",    "static_assert",
+        "friend",    "operator",  "template",   "class",
+        "struct",    "enum",      "union",      "namespace",
+        "inline",    "noexcept",  "asm"};
+    std::size_t first_eq = end;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (t[i].text == "=") {
+            first_eq = i;
+            break;
+        }
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+        if (kSafe.count(t[i].text))
+            return true;
+        // A paren before any '=' means a function declaration.
+        if (t[i].text == "(" && i < first_eq)
+            return true;
+    }
+    return false;
+}
+
+/** Does [begin, end) declare a lock (the adjacency convention)? */
+bool
+statementDeclaresLock(const std::vector<Token> &t, std::size_t begin,
+                      std::size_t end)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::string &s = t[i].text;
+        if (s == "mutex" || s == "shared_mutex" || s == "once_flag")
+            return true;
+    }
+    return false;
+}
+
+void
+concGlobalMutable(Analysis &a)
+{
+    std::size_t stmt_begin = 0;
+    /** The immediately preceding namespace-scope statement declared
+     *  a mutex: by project convention it guards what follows. */
+    bool prev_was_lock = false;
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        Scope sc = a.ctx.scope[i];
+        const std::string &s = a.t[i].text;
+        if (s == "{") {
+            // A brace that opens a scope resets the statement; a
+            // braced initializer does not (the declaration
+            // continues to the ';' after it).
+            Scope opened = i + 1 < a.t.size() ? a.ctx.scope[i + 1]
+                                              : Scope::Init;
+            if (opened != Scope::Init)
+                stmt_begin = i + 1;
+            continue;
+        }
+        if (s == "}") {
+            // Closing anything but a braced initializer (a function
+            // body, class, enum, namespace) starts a new statement.
+            if (sc != Scope::Init)
+                stmt_begin = i + 1;
+            continue;
+        }
+        bool at_ns = (sc == Scope::Namespace || sc == Scope::TU) &&
+                     a.ctx.paren[i] == 0;
+        if (!at_ns || s != ";")
+            continue;
+
+        std::size_t begin = stmt_begin;
+        stmt_begin = i + 1;
+        bool guarded = prev_was_lock;
+        prev_was_lock = statementDeclaresLock(a.t, begin, i);
+        if (i <= begin + 1)
+            continue; // too short to declare anything mutable
+        if (guarded || globalStatementIsSafe(a.t, begin, i))
+            continue;
+        // The declared name: the identifier before '=', '{', '['
+        // or the terminating ';'.
+        std::size_t name_at = a.t.size();
+        for (std::size_t j = begin; j < i; ++j) {
+            const std::string &q = a.t[j].text;
+            if (q == "=" || q == "{" || q == "[")
+                break;
+            if (a.t[j].kind == TokKind::Ident)
+                name_at = j;
+        }
+        if (name_at >= a.t.size())
+            continue;
+        a.emit(a.t[name_at].line, "conc-global-mutable",
+               "mutable namespace-scope global '" +
+               a.t[name_at].text + "'; make it std::atomic, guard "
+               "it with a mutex, or make it constexpr");
+    }
+}
+
+void
+concStaticLocal(Analysis &a)
+{
+    if (!a.header)
+        return;
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        if (a.t[i].text != "static")
+            continue;
+        Scope sc = a.ctx.scope[i];
+        if (sc != Scope::Function && sc != Scope::Block)
+            continue;
+        const std::string &next = a.text(i + 1);
+        if (next == "const" || next == "constexpr" ||
+            next == "constinit")
+            continue;
+        a.emit(a.t[i].line, "conc-static-local",
+               "mutable function-local static in a header: one "
+               "shared instance across every TU and thread; hoist "
+               "it into a .cc or make it constexpr");
+    }
+}
+
+void
+concThreadOutsideExec(Analysis &a)
+{
+    for (std::size_t i = 2; i < a.t.size(); ++i) {
+        const std::string &s = a.t[i].text;
+        if ((s != "thread" && s != "jthread") ||
+            a.text(i - 1) != "::" || a.text(i - 2) != "std")
+            continue;
+        if (a.text(i + 1) == "::")
+            continue; // std::thread::id / hardware_concurrency
+        a.emit(a.t[i].line, "conc-thread-outside-exec",
+               "raw std::" + s + " outside exec::; use "
+               "exec::ThreadPool so join/detach discipline and "
+               "worker detection stay centralized");
+    }
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allRules()
+{
+    static const std::vector<std::string> kRules{
+        "det-rand",
+        "det-wallclock",
+        "det-unordered-container",
+        "det-unordered-iter",
+        "det-float-reduce",
+        "safe-naked-new",
+        "safe-memcpy",
+        "safe-float-eq",
+        "safe-c-cast",
+        "safe-nodiscard",
+        "conc-global-mutable",
+        "conc-static-local",
+        "conc-thread-outside-exec"};
+    return kRules;
+}
+
+FileReport
+analyzeFile(const std::string &path, const std::vector<Token> &toks,
+            const Suppressions &supp, const Config &cfg)
+{
+    Analysis a{path, toks, supp, cfg, buildContext(toks), false, {}};
+    a.header = endsWith(path, ".hh") || endsWith(path, ".hpp") ||
+               endsWith(path, ".h");
+
+    detRand(a);
+    detWallclock(a);
+    detUnordered(a);
+    detFloatReduce(a);
+    safeNakedNew(a);
+    safeMemcpy(a);
+    safeFloatEq(a);
+    safeCCast(a);
+    safeNodiscard(a);
+    concGlobalMutable(a);
+    concStaticLocal(a);
+    concThreadOutsideExec(a);
+    return a.report;
+}
+
+} // namespace lint3d
