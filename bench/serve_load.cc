@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Closed-loop load generator for the stack3d-serve study service.
+ *
+ * Drives a StudyService in process (no sockets), so it measures the
+ * service itself — request parsing, digesting, scheduling, and the
+ * result cache — rather than kernel networking. A sweep over target
+ * cache hit rates shows how throughput scales from all-cold (every
+ * request runs a study) to all-hot (every request is a memoized
+ * lookup), and the hit/cold latency split quantifies what the cache
+ * buys.
+ *
+ * Each sweep point gets a fresh service. The hot working set is
+ * pre-warmed untimed; then --clients client threads fire --requests
+ * requests with a deterministic hot/cold interleave and the point is
+ * scored from the service's own serve.* counters (delta across the
+ * timed phase for the hit rate; cumulative for the latency split,
+ * since pre-warm misses are real cold runs too).
+ *
+ * Usage: serve_load [--clients N] [--requests N] [--hot N]
+ *                   [--workers N] [--die-nx N] [--die-ny N]
+ *                   [--json PATH] [shared flags]
+ *
+ * The committed BENCH_serve.json is this tool's --json output.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/timing.hh"
+#include "core/cli.hh"
+#include "exec/pool.hh"
+#include "obs/provenance.hh"
+#include "serve/service.hh"
+
+using namespace stack3d;
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: serve_load [--clients N] [--requests N] [--hot N] "
+          "[--workers N]\n"
+          "                  [--die-nx N] [--die-ny N] [--json PATH]\n";
+    core::BenchCli::printUsage(os);
+}
+
+/** Like core::parseThreadArg but without its 4096 thread-count cap —
+ *  request counts legitimately exceed it. */
+unsigned
+parseCountArg(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || value > 0xfffffffful)
+        stack3d_fatal(flag, " expects a non-negative number, got '",
+                      text, "'");
+    return unsigned(value);
+}
+
+/** A stack-thermal request line; the seed makes digests distinct. */
+std::string
+requestLine(std::uint64_t seed, unsigned die_nx, unsigned die_ny)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*compact=*/true);
+    w.beginObject();
+    w.key("schema_version").value(unsigned(obs::kSchemaVersion));
+    w.key("study").value("stack-thermal");
+    w.key("options").beginObject();
+    w.key("seed").value(seed);
+    w.endObject();
+    w.key("spec").beginObject();
+    w.key("die_nx").value(die_nx);
+    w.key("die_ny").value(die_ny);
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+struct SweepPoint
+{
+    unsigned hit_pct_target = 0;
+    double hit_pct_measured = 0;
+    double wall_s = 0;
+    double req_per_s = 0;
+    double cold_ms = 0;
+    double hit_ms = 0;
+    double cold_p99_ms = 0;
+    double hit_p99_ms = 0;
+    double cold_over_hit = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+};
+
+} // anonymous namespace
+
+int
+realMain(int argc, char **argv)
+{
+    core::BenchCli cli("serve_load");
+    unsigned n_clients = 4;
+    unsigned n_requests = 200;
+    unsigned n_hot = 8;
+    unsigned n_workers = 2;
+    unsigned die_nx = 10;
+    unsigned die_ny = 8;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (cli.consume(argc, argv, i))
+            continue;
+        if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
+            n_clients = core::parseThreadArg(argv[++i], "--clients");
+        else if (std::strcmp(argv[i], "--requests") == 0 &&
+                 i + 1 < argc)
+            n_requests = parseCountArg(argv[++i], "--requests");
+        else if (std::strcmp(argv[i], "--hot") == 0 && i + 1 < argc)
+            n_hot = parseCountArg(argv[++i], "--hot");
+        else if (std::strcmp(argv[i], "--workers") == 0 &&
+                 i + 1 < argc)
+            n_workers = core::parseThreadArg(argv[++i], "--workers");
+        else if (std::strcmp(argv[i], "--die-nx") == 0 && i + 1 < argc)
+            die_nx = core::parseThreadArg(argv[++i], "--die-nx");
+        else if (std::strcmp(argv[i], "--die-ny") == 0 && i + 1 < argc)
+            die_ny = core::parseThreadArg(argv[++i], "--die-ny");
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else {
+            usage(std::cerr);
+            return 1;
+        }
+    }
+    if (n_clients == 0 || n_requests == 0 || n_hot == 0)
+        stack3d_fatal("--clients/--requests/--hot must be positive");
+
+    cli.begin();
+    cli.addConfig("clients", double(n_clients));
+    cli.addConfig("requests", double(n_requests));
+    cli.addConfig("hot", double(n_hot));
+    cli.addConfig("workers", double(n_workers));
+    cli.addConfig("die_nx", double(die_nx));
+    cli.addConfig("die_ny", double(die_ny));
+
+    const unsigned kHitTargets[] = {0, 50, 90, 100};
+    std::vector<SweepPoint> points;
+    for (unsigned sweep = 0; sweep < 4; ++sweep) {
+        SweepPoint point;
+        point.hit_pct_target = kHitTargets[sweep];
+
+        serve::ServiceOptions service_options;
+        service_options.workers = n_workers;
+        service_options.queue_limit = n_clients + n_requests;
+        service_options.cache_entries = n_requests + n_hot;
+        service_options.max_study_threads = 1;
+        serve::StudyService service(service_options);
+
+        // Request i is "hot" (pre-warmed, guaranteed hit) when its
+        // percentile lands under the target; cold seeds are unique
+        // per sweep so nothing leaks across points.
+        std::vector<std::string> lines;
+        lines.reserve(n_requests);
+        for (unsigned i = 0; i < n_requests; ++i) {
+            bool hot = i % 100 < point.hit_pct_target;
+            std::uint64_t seed =
+                hot ? 1 + (i % n_hot)
+                    : 1000000ull * (sweep + 1) + i;
+            lines.push_back(requestLine(seed, die_nx, die_ny));
+        }
+        for (unsigned h = 0; h < n_hot; ++h)
+            (void)service.handle(requestLine(1 + h, die_nx, die_ny));
+
+        obs::CounterSet before = service.counters();
+
+        exec::ThreadPool clients(n_clients);
+        std::vector<std::future<std::uint64_t>> futures;
+        futures.reserve(n_clients);
+        WallTimer timer;
+        for (unsigned c = 0; c < n_clients; ++c) {
+            futures.push_back(clients.submit(
+                [c, n_clients, &lines, &service]() -> std::uint64_t {
+                    std::uint64_t ok = 0;
+                    for (std::size_t i = c; i < lines.size();
+                         i += n_clients) {
+                        serve::ServeResult r = service.handle(lines[i]);
+                        if (r.status == serve::ServeResult::Status::Ok)
+                            ++ok;
+                    }
+                    return ok;
+                }));
+        }
+        for (auto &f : futures)
+            point.ok += f.get();
+        point.wall_s = timer.seconds();
+
+        obs::CounterSet after = service.counters();
+        double hits = after.value("serve.cache.hits") -
+                      before.value("serve.cache.hits");
+        point.hit_pct_measured = 100.0 * hits / n_requests;
+        point.req_per_s = n_requests / point.wall_s;
+        point.errors = std::uint64_t(after.value("serve.errors"));
+        double cold_n = after.value("serve.latency.cold.count");
+        double hit_n = after.value("serve.latency.hit.count");
+        if (cold_n > 0)
+            point.cold_ms =
+                1e3 * after.value("serve.latency.cold.total_s") /
+                cold_n;
+        if (hit_n > 0)
+            point.hit_ms =
+                1e3 * after.value("serve.latency.hit.total_s") / hit_n;
+        point.cold_p99_ms = after.value("serve.latency.cold.p99_ms");
+        point.hit_p99_ms = after.value("serve.latency.hit.p99_ms");
+        if (point.hit_ms > 0)
+            point.cold_over_hit = point.cold_ms / point.hit_ms;
+        points.push_back(point);
+    }
+
+    if (!cli.quiet()) {
+        printBanner(std::cout, "stack3d-serve sustained load");
+        TextTable t({"hit% target", "hit% seen", "req/s", "cold ms",
+                     "hit ms", "cold/hit"});
+        for (const SweepPoint &p : points) {
+            t.newRow()
+                .cell(double(p.hit_pct_target), 0)
+                .cell(p.hit_pct_measured, 1)
+                .cell(p.req_per_s, 1)
+                .cell(p.cold_ms, 3)
+                .cell(p.hit_ms, 4)
+                .cell(p.cold_over_hit, 0);
+        }
+        t.print(std::cout);
+        std::cout << "(" << n_clients << " clients, " << n_workers
+                  << " workers, " << n_requests
+                  << " requests per point, stack-thermal " << die_nx
+                  << "x" << die_ny << ")\n";
+    }
+
+    for (const SweepPoint &p : points) {
+        if (p.errors != 0)
+            stack3d_fatal("sweep point had ", p.errors,
+                          " error responses");
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream jf(json_path);
+        if (!jf) {
+            std::cerr << "cannot open " << json_path << "\n";
+            return 1;
+        }
+        JsonWriter w(jf);
+        w.beginObject();
+        cli.writeJsonHeader(w);
+        w.key("machine").beginObject();
+        w.key("hardware_threads")
+            .value(exec::ThreadPool::hardwareThreads());
+        w.endObject();
+        w.key("sweep").beginArray();
+        for (const SweepPoint &p : points) {
+            w.beginObject();
+            w.key("hit_pct_target").value(p.hit_pct_target);
+            w.key("hit_pct_measured").value(p.hit_pct_measured);
+            w.key("wall_s").value(p.wall_s);
+            w.key("req_per_s").value(p.req_per_s);
+            w.key("cold_ms").value(p.cold_ms);
+            w.key("cold_p99_ms").value(p.cold_p99_ms);
+            w.key("hit_ms").value(p.hit_ms);
+            w.key("hit_p99_ms").value(p.hit_p99_ms);
+            w.key("cold_over_hit").value(p.cold_over_hit);
+            w.key("ok").value(std::uint64_t(p.ok));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        jf << "\n";
+        if (!cli.quiet())
+            std::cout << "wrote " << json_path << "\n";
+    }
+    return cli.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

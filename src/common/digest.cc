@@ -1,0 +1,68 @@
+#include "common/digest.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace stack3d {
+
+namespace {
+
+constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+std::uint64_t
+mixBytes(std::uint64_t hash, const std::string &s)
+{
+    for (char c : s) {
+        hash ^= std::uint64_t(static_cast<unsigned char>(c));
+        hash *= kPrime;
+    }
+    return hash;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    return mixBytes(kOffsetBasis, s);
+}
+
+void
+Fnv1aDigest::mix(const std::string &s)
+{
+    // Length prefix keeps field boundaries in the digest.
+    _hash ^= s.size();
+    _hash *= kPrime;
+    _hash = mixBytes(_hash, s);
+}
+
+void
+Fnv1aDigest::mix(std::uint64_t v)
+{
+    mix(std::to_string(v));
+}
+
+void
+Fnv1aDigest::mixDouble(double v)
+{
+    mix(canonicalDouble(v));
+}
+
+std::string
+canonicalDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, digest);
+    return buf;
+}
+
+} // namespace stack3d

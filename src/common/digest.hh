@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The one FNV-1a digest implementation shared by everything that
+ * content-addresses configuration: RunManifest provenance digests,
+ * study-cell seed keys, and stack3d-serve request/cache keys. Cache
+ * correctness depends on these digests never silently shifting, so
+ * the scheme lives here exactly once and tests pin known values.
+ *
+ * Two layers:
+ *  - fnv1a(): the plain 64-bit FNV-1a hash of a byte string.
+ *  - Fnv1aDigest: an order-sensitive streaming digest over a
+ *    *sequence* of fields. Each field is mixed length-prefixed, so
+ *    {"ab","c"} and {"a","bc"} digest differently.
+ */
+
+#ifndef STACK3D_COMMON_DIGEST_HH
+#define STACK3D_COMMON_DIGEST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stack3d {
+
+/** 64-bit FNV-1a of a byte string (offset basis / prime per spec). */
+[[nodiscard]] std::uint64_t fnv1a(const std::string &s);
+
+/**
+ * Order-sensitive streaming digest: mix() each field in a canonical
+ * order, then read value(). Equal field sequences give equal digests
+ * on every platform; any insertion, removal, or reordering changes
+ * the result.
+ */
+class Fnv1aDigest
+{
+  public:
+    /** Mix one string field (length-prefixed). */
+    void mix(const std::string &s);
+
+    /** Mix an integer field (as its decimal string). */
+    void mix(std::uint64_t v);
+
+    /**
+     * Mix a double field via its canonical text form (%.17g, enough
+     * digits to round-trip every finite double exactly).
+     */
+    void mixDouble(double v);
+
+    [[nodiscard]] std::uint64_t value() const { return _hash; }
+
+  private:
+    std::uint64_t _hash = 0xcbf29ce484222325ull;
+};
+
+/**
+ * Canonical text form of a double: %.17g, the same formatting the
+ * digest mixes and the exact-JSON writer emits, so "the digest of a
+ * spec" and "the digest of its JSON round-trip" agree.
+ */
+[[nodiscard]] std::string canonicalDouble(double v);
+
+/** Digest rendered the way result files carry it: "0x%016x". */
+[[nodiscard]] std::string digestHex(std::uint64_t digest);
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_DIGEST_HH

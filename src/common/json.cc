@@ -23,12 +23,12 @@ JsonWriter::endObject()
                    "endObject outside an object");
     bool had_items = _scopes.back().has_items;
     _scopes.pop_back();
-    if (had_items) {
+    if (had_items && !_compact) {
         _os << "\n";
         indent();
     }
     _os << "}";
-    if (_scopes.empty())
+    if (_scopes.empty() && !_compact)
         _os << "\n";
     return *this;
 }
@@ -49,7 +49,7 @@ JsonWriter::endArray()
                    "endArray outside an array");
     bool had_items = _scopes.back().has_items;
     _scopes.pop_back();
-    if (had_items) {
+    if (had_items && !_compact) {
         _os << "\n";
         indent();
     }
@@ -66,9 +66,13 @@ JsonWriter::key(const std::string &name)
     if (_scopes.back().has_items)
         _os << ",";
     _scopes.back().has_items = true;
-    _os << "\n";
-    indent();
-    _os << "\"" << escape(name) << "\": ";
+    if (_compact) {
+        _os << "\"" << escape(name) << "\":";
+    } else {
+        _os << "\n";
+        indent();
+        _os << "\"" << escape(name) << "\": ";
+    }
     _after_key = true;
     return *this;
 }
@@ -97,6 +101,20 @@ JsonWriter::value(double v)
     }
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.9g", v);
+    _os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueExact(double v)
+{
+    prepare();
+    if (!std::isfinite(v)) {
+        _os << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
     _os << buf;
     return *this;
 }
@@ -174,8 +192,10 @@ JsonWriter::prepare()
     if (_scopes.back().has_items)
         _os << ",";
     _scopes.back().has_items = true;
-    _os << "\n";
-    indent();
+    if (!_compact) {
+        _os << "\n";
+        indent();
+    }
 }
 
 void

@@ -29,7 +29,15 @@ namespace stack3d {
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::ostream &os) : _os(os) {}
+    /**
+     * @param compact emit no whitespace at all — for NDJSON wire
+     *        lines and digest-canonical text, where byte layout is
+     *        part of the contract. Default is pretty-printed.
+     */
+    explicit JsonWriter(std::ostream &os, bool compact = false)
+        : _os(os), _compact(compact)
+    {
+    }
 
     JsonWriter &beginObject();
     JsonWriter &endObject();
@@ -42,6 +50,14 @@ class JsonWriter
     JsonWriter &value(const std::string &v);
     JsonWriter &value(const char *v);
     JsonWriter &value(double v);
+
+    /**
+     * Emit a double with enough digits (%.17g) to round-trip the
+     * exact bit pattern through parseJson. value(double) prints a
+     * display-precision %.9g; serialized study specs must survive
+     * fromJson(toJson(spec)) bit-exactly, so they use this.
+     */
+    JsonWriter &valueExact(double v);
     JsonWriter &value(std::int64_t v);
     JsonWriter &value(std::uint64_t v);
     JsonWriter &value(int v) { return value(std::int64_t(v)); }
@@ -64,6 +80,7 @@ class JsonWriter
     std::ostream &_os;
     std::vector<Scope> _scopes;
     bool _after_key = false;
+    bool _compact = false;
 };
 
 } // namespace stack3d

@@ -167,6 +167,10 @@ class Parser
             return fail("malformed number '" + token + "'");
         out.kind = JsonValue::Kind::Number;
         out.number = v;
+        // Keep the raw token: consumers of 64-bit integer fields
+        // (seeds, cache keys) re-parse it exactly, since a double
+        // only holds integers up to 2^53.
+        out.string = token;
         return true;
     }
 

@@ -26,6 +26,7 @@ class JsonValue
     Kind kind = Kind::Null;
     bool boolean = false;
     double number = 0.0;
+    /** String value; for numbers, the raw token (exact u64 re-parse). */
     std::string string;
     std::vector<JsonValue> array;
     std::vector<std::pair<std::string, JsonValue>> object;

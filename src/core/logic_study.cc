@@ -145,23 +145,5 @@ runLogicStudy(const RunOptions &options, const LogicStudySpec &spec)
     return report;
 }
 
-LogicStudyResult
-runLogicStudy(const LogicStudyConfig &config)
-{
-    RunOptions options;
-    options.threads = 1;
-    options.seed = config.suite.seed;
-
-    LogicStudySpec spec;
-    spec.suite = config.suite;
-    spec.power_breakdown = config.power_breakdown;
-    spec.vf_model = config.vf_model;
-    spec.die_nx = config.die_nx;
-    spec.die_ny = config.die_ny;
-    spec.use_measured_gain = config.use_measured_gain;
-
-    return runLogicStudy(options, spec).payload;
-}
-
 } // namespace core
 } // namespace stack3d

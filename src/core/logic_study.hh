@@ -17,22 +17,6 @@
 namespace stack3d {
 namespace core {
 
-/** Study configuration (deprecated serial entry point). */
-struct LogicStudyConfig
-{
-    cpu::SuiteOptions suite;
-    power::LogicPowerBreakdown power_breakdown;
-    power::VfScalingModel vf_model;
-    /** Lateral thermal resolution. */
-    unsigned die_nx = 50;
-    unsigned die_ny = 46;
-    /**
-     * Use the measured Table 4 total gain in Table 5 (true) or the
-     * paper's nominal 15% (false).
-     */
-    bool use_measured_gain = true;
-};
-
 /** Figure 11's three bars. */
 struct Fig11Result
 {
@@ -89,13 +73,6 @@ struct LogicStudySpec
  */
 StudyReport<LogicStudyResult> runLogicStudy(
     const RunOptions &options, const LogicStudySpec &spec = {});
-
-/**
- * Deprecated serial entry point; forwards to the unified API with
- * threads = 1 and config.suite.seed as the master seed. Prefer
- * runLogicStudy(RunOptions, LogicStudySpec).
- */
-LogicStudyResult runLogicStudy(const LogicStudyConfig &config = {});
 
 } // namespace core
 } // namespace stack3d

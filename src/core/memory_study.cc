@@ -222,21 +222,5 @@ runMemoryStudy(const RunOptions &options, const MemoryStudySpec &spec)
     return report;
 }
 
-MemoryStudyResult
-runMemoryStudy(const MemoryStudyConfig &config)
-{
-    RunOptions options;
-    options.threads = 1;
-    options.seed = config.seed;
-    options.depth = config.depth;
-    options.scale = config.scale;
-
-    MemoryStudySpec spec;
-    spec.benchmarks = config.benchmarks;
-    spec.engine = config.engine;
-
-    return runMemoryStudy(options, spec).payload;
-}
-
 } // namespace core
 } // namespace stack3d

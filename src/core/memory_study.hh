@@ -28,24 +28,6 @@ constexpr std::array<mem::StackOption, 4> kStackOptions = {
     mem::StackOption::Dram64MB,
 };
 
-/** Study configuration. */
-struct MemoryStudyConfig
-{
-    /** Benchmarks to run (default: all 12 of Table 1). */
-    std::vector<std::string> benchmarks;
-
-    /**
-     * Trace-length multiplier. 1.0 uses each benchmark's calibrated
-     * budget (enough working-set sweeps to expose capacity effects);
-     * smaller values run proportionally faster.
-     */
-    double depth = 1.0;
-
-    double scale = 1.0;      ///< working-set scale (tests use < 1)
-    std::uint64_t seed = 1;
-    mem::EngineParams engine;
-};
-
 /** Per-benchmark results across the four options. */
 struct MemoryStudyRow
 {
@@ -109,13 +91,6 @@ struct MemoryStudySpec
  */
 StudyReport<MemoryStudyResult> runMemoryStudy(
     const RunOptions &options, const MemoryStudySpec &spec = {});
-
-/**
- * Deprecated serial entry point; forwards to the unified API with
- * threads = 1 and discards the report metadata. Prefer
- * runMemoryStudy(RunOptions, MemoryStudySpec).
- */
-MemoryStudyResult runMemoryStudy(const MemoryStudyConfig &config = {});
 
 } // namespace core
 } // namespace stack3d

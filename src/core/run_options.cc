@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/digest.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "exec/pool.hh"
@@ -38,13 +39,7 @@ deriveCellSeed(std::uint64_t seed, std::uint64_t cell_key)
 std::uint64_t
 cellKey(const std::string &name)
 {
-    // FNV-1a.
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (char c : name) {
-        h ^= std::uint64_t(static_cast<unsigned char>(c));
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    return fnv1a(name);
 }
 
 unsigned

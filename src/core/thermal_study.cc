@@ -165,17 +165,6 @@ runStackThermalStudy(const RunOptions &options,
     return report;
 }
 
-StackThermalResult
-runStackThermalStudy(unsigned die_nx, unsigned die_ny)
-{
-    RunOptions options;
-    options.threads = 1;
-    StackThermalSpec spec;
-    spec.die_nx = die_nx;
-    spec.die_ny = die_ny;
-    return runStackThermalStudy(options, spec).payload;
-}
-
 StudyReport<std::vector<SensitivityPoint>>
 runConductivitySensitivity(const RunOptions &options,
                            const SensitivitySpec &spec)
@@ -298,19 +287,6 @@ runConductivitySensitivity(const RunOptions &options,
         double(faces_updated[0] + faces_updated[1]));
     pool.appendCounters(report.meta.counters);
     return report;
-}
-
-std::vector<SensitivityPoint>
-runConductivitySensitivity(const std::vector<double> &conductivities,
-                           unsigned die_nx, unsigned die_ny)
-{
-    RunOptions options;
-    options.threads = 1;
-    SensitivitySpec spec;
-    spec.conductivities = conductivities;
-    spec.die_nx = die_nx;
-    spec.die_ny = die_ny;
-    return runConductivitySensitivity(options, spec).payload;
 }
 
 } // namespace core

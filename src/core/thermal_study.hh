@@ -93,13 +93,6 @@ struct StackThermalSpec
 StudyReport<StackThermalResult> runStackThermalStudy(
     const RunOptions &options, const StackThermalSpec &spec = {});
 
-/**
- * Deprecated serial entry point; forwards to the unified API.
- * Prefer runStackThermalStudy(RunOptions, StackThermalSpec).
- */
-StackThermalResult runStackThermalStudy(
-    unsigned die_nx = kDefaultDieNx, unsigned die_ny = kDefaultDieNy);
-
 /** One point of the Figure 3 sensitivity sweep. */
 struct SensitivityPoint
 {
@@ -122,14 +115,6 @@ struct SensitivitySpec
  */
 StudyReport<std::vector<SensitivityPoint>> runConductivitySensitivity(
     const RunOptions &options, const SensitivitySpec &spec = {});
-
-/**
- * Deprecated serial entry point; forwards to the unified API.
- * Prefer runConductivitySensitivity(RunOptions, SensitivitySpec).
- */
-std::vector<SensitivityPoint> runConductivitySensitivity(
-    const std::vector<double> &conductivities = {60, 40, 20, 12, 6, 3},
-    unsigned die_nx = 40, unsigned die_ny = 36);
 
 } // namespace core
 } // namespace stack3d

@@ -1,8 +1,6 @@
 #include "obs/provenance.hh"
 
-#include <cinttypes>
-#include <cstdio>
-
+#include "common/digest.hh"
 #include "common/json.hh"
 
 #ifndef STACK3D_VERSION
@@ -36,41 +34,6 @@ compiler()
     return STACK3D_COMPILER;
 }
 
-std::uint64_t
-fnv1a(const std::string &s)
-{
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (char c : s) {
-        hash ^= std::uint64_t(static_cast<unsigned char>(c));
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
-}
-
-namespace {
-
-void
-mix(std::uint64_t &hash, const std::string &s)
-{
-    // Hash the length too so {"ab","c"} != {"a","bc"}.
-    hash ^= s.size();
-    hash *= 0x100000001b3ull;
-    for (char c : s) {
-        hash ^= std::uint64_t(static_cast<unsigned char>(c));
-        hash *= 0x100000001b3ull;
-    }
-}
-
-std::string
-formatDouble(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-} // namespace
-
 void
 RunManifest::addConfig(std::string key, std::string value)
 {
@@ -86,25 +49,26 @@ RunManifest::addConfig(std::string key, std::uint64_t value)
 void
 RunManifest::addConfig(std::string key, double value)
 {
-    config.emplace_back(std::move(key), formatDouble(value));
+    config.emplace_back(std::move(key), canonicalDouble(value));
 }
 
 std::uint64_t
 RunManifest::digest() const
 {
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    mix(hash, tool);
-    mix(hash, version);
-    mix(hash, std::to_string(seed));
-    mix(hash, std::to_string(threads));
-    mix(hash, formatDouble(depth));
-    mix(hash, formatDouble(scale));
-    mix(hash, verbosity);
+    Fnv1aDigest d;
+    d.mix(std::uint64_t(schema_version));
+    d.mix(tool);
+    d.mix(version);
+    d.mix(seed);
+    d.mix(std::uint64_t(threads));
+    d.mixDouble(depth);
+    d.mixDouble(scale);
+    d.mix(verbosity);
     for (const auto &kv : config) {
-        mix(hash, kv.first);
-        mix(hash, kv.second);
+        d.mix(kv.first);
+        d.mix(kv.second);
     }
-    return hash;
+    return d.value();
 }
 
 RunManifest
@@ -123,6 +87,7 @@ void
 writeManifestJson(JsonWriter &w, const RunManifest &m)
 {
     w.beginObject();
+    w.key("schema_version").value(unsigned(m.schema_version));
     w.key("tool").value(m.tool);
     w.key("version").value(m.version);
     w.key("build");
@@ -141,10 +106,7 @@ writeManifestJson(JsonWriter &w, const RunManifest &m)
     for (const auto &kv : m.config)
         w.key(kv.first).value(kv.second);
     w.endObject();
-    char digest_hex[32];
-    std::snprintf(digest_hex, sizeof(digest_hex), "0x%016" PRIx64,
-                  m.digest());
-    w.key("config_digest").value(digest_hex);
+    w.key("config_digest").value(digestHex(m.digest()));
     w.endObject();
 }
 

@@ -30,8 +30,14 @@ const char *buildType();
 /** Compiler id + version string ("GNU 13.2.0", ...). */
 const char *compiler();
 
-/** FNV-1a 64-bit hash (same scheme as core::cellKey). */
-std::uint64_t fnv1a(const std::string &s);
+/**
+ * Version of every machine-readable schema stack3d emits or accepts:
+ * the manifest header of --json / --stats-json files and the
+ * stack3d-serve request/response wire format. Bump on any
+ * incompatible change; stack3d-serve rejects requests whose
+ * schema_version does not match.
+ */
+constexpr unsigned kSchemaVersion = 2;
 
 /**
  * Provenance record for one run. Fill the run fields from
@@ -42,6 +48,7 @@ std::uint64_t fnv1a(const std::string &s);
  */
 struct RunManifest
 {
+    unsigned schema_version = kSchemaVersion;
     std::string tool;
     std::string version;
     std::string build_type;

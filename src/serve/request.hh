@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The stack3d-serve wire request: one newline-delimited JSON object
+ * per study run.
+ *
+ *   {"schema_version": 2, "study": "stack-thermal", "id": "r1",
+ *    "options": {"seed": 3}, "spec": {"die_nx": 20, "die_ny": 18}}
+ *
+ * Top-level keys:
+ *   schema_version  required; must equal obs::kSchemaVersion, any
+ *                   other value is rejected (no best-effort parsing
+ *                   of foreign schema generations)
+ *   study           required; "memory", "logic", "stack-thermal" or
+ *                   "sensitivity"
+ *   id              optional client correlation id, echoed back
+ *   options         optional RunOptions object (core/study_json.hh)
+ *   spec            optional study-spec object; absent keys keep the
+ *                   spec defaults
+ *
+ * Parsing is strict throughout: unknown keys anywhere are an error.
+ */
+
+#ifndef STACK3D_SERVE_REQUEST_HH
+#define STACK3D_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/logic_study.hh"
+#include "core/memory_study.hh"
+#include "core/run_options.hh"
+#include "core/thermal_study.hh"
+
+namespace stack3d {
+namespace serve {
+
+/** The four study entry points a request can target. */
+enum class StudyKind { Memory, Logic, StackThermal, Sensitivity };
+
+/** Wire name of a study kind ("memory", "stack-thermal", ...). */
+const char *studyKindName(StudyKind kind);
+
+/** One parsed, validated study request. */
+struct Request
+{
+    std::string id;
+    StudyKind kind = StudyKind::StackThermal;
+    core::RunOptions options;
+
+    // Only the spec matching `kind` is meaningful; the others stay
+    // default-constructed.
+    core::MemoryStudySpec memory;
+    core::LogicStudySpec logic;
+    core::StackThermalSpec stack_thermal;
+    core::SensitivitySpec sensitivity;
+
+    /** Canonical (compact) JSON of the active spec. */
+    std::string canonicalSpec() const;
+
+    /**
+     * Content digest of this request — the result-cache key. Two
+     * requests that must produce identical reports share a digest;
+     * threads and verbosity are excluded (see core::specDigest).
+     */
+    std::uint64_t digest() const;
+};
+
+/**
+ * Parse one request line. @return false with @p error set on
+ * malformed JSON, schema_version mismatch, unknown study, unknown or
+ * ill-typed keys, or invalid field values.
+ */
+[[nodiscard]] bool parseRequest(const std::string &line, Request &out,
+                                std::string &error);
+
+} // namespace serve
+} // namespace stack3d
+
+#endif // STACK3D_SERVE_REQUEST_HH

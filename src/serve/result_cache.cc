@@ -1,0 +1,112 @@
+#include "serve/result_cache.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/digest.hh"
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace serve {
+
+ResultCache::ResultCache(std::size_t capacity, std::string disk_dir)
+    : _capacity(capacity), _dir(std::move(disk_dir))
+{
+}
+
+std::string
+ResultCache::diskPath(std::uint64_t digest) const
+{
+    // digestHex gives "0x<16 hex>"; drop the prefix for the filename.
+    return _dir + "/" + digestHex(digest).substr(2) + ".json";
+}
+
+bool
+ResultCache::tryGet(std::uint64_t digest, std::string &out)
+{
+    if (_capacity == 0) {
+        ++_stats.misses;
+        return false;
+    }
+    auto it = _entries.find(digest);
+    if (it != _entries.end()) {
+        _order.splice(_order.begin(), _order, it->second.order);
+        out = it->second.json;
+        ++_stats.hits;
+        return true;
+    }
+    if (!_dir.empty()) {
+        std::ifstream in(diskPath(digest), std::ios::binary);
+        if (in) {
+            std::string json((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+            if (in.good() || in.eof()) {
+                insert(digest, json);
+                out = std::move(json);
+                ++_stats.hits;
+                ++_stats.disk_hits;
+                return true;
+            }
+        }
+    }
+    ++_stats.misses;
+    return false;
+}
+
+void
+ResultCache::insert(std::uint64_t digest, const std::string &report_json)
+{
+    _order.push_front(digest);
+    _entries[digest] = Entry{_order.begin(), report_json};
+    while (_entries.size() > _capacity) {
+        std::uint64_t victim = _order.back();
+        _order.pop_back();
+        _entries.erase(victim);
+        ++_stats.evictions;
+    }
+}
+
+void
+ResultCache::put(std::uint64_t digest, const std::string &report_json)
+{
+    if (_capacity == 0)
+        return;
+    auto it = _entries.find(digest);
+    if (it != _entries.end()) {
+        _order.splice(_order.begin(), _order, it->second.order);
+        it->second.json = report_json;
+    } else {
+        insert(digest, report_json);
+    }
+    if (_dir.empty())
+        return;
+    if (!_dir_ready) {
+        ::mkdir(_dir.c_str(), 0755);   // a pre-existing dir is fine
+        _dir_ready = true;
+    }
+    // Write-then-rename so a concurrent reader never sees a torn
+    // file (the service lock covers this process, not a second one).
+    std::string path = diskPath(digest);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            warn("result cache: cannot write " + tmp);
+            return;
+        }
+        os << report_json;
+        if (!os.good()) {
+            warn("result cache: short write to " + tmp);
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        warn("result cache: cannot rename " + tmp);
+    else
+        ++_stats.disk_writes;
+}
+
+} // namespace serve
+} // namespace stack3d

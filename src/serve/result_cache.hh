@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Content-addressed store of serialized StudyReport JSON, keyed by
+ * the request digest. A hit returns the byte-identical string that
+ * was put — the serve cache contract is "cached response == freshly
+ * computed response", verified by tests/test_serve.cc.
+ *
+ * Two tiers:
+ *  - an in-memory LRU bounded by `capacity` entries (capacity 0
+ *    disables the cache entirely: every lookup misses, puts are
+ *    dropped);
+ *  - an optional on-disk tier (one "<hex digest>.json" file per
+ *    entry under `disk_dir`) that survives restarts. Memory misses
+ *    fall through to disk and promote back into memory.
+ *
+ * Not internally synchronized: StudyService serializes access under
+ * its own lock.
+ */
+
+#ifndef STACK3D_SERVE_RESULT_CACHE_HH
+#define STACK3D_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+namespace stack3d {
+namespace serve {
+
+/** Activity counters of one ResultCache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;        ///< lookups served (either tier)
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;   ///< LRU evictions from memory
+    std::uint64_t disk_hits = 0;   ///< hits that came from disk
+    std::uint64_t disk_writes = 0;
+};
+
+/** LRU + optional disk result store. See file comment. */
+class ResultCache
+{
+  public:
+    /**
+     * @param capacity max in-memory entries; 0 disables the cache
+     * @param disk_dir directory for the disk tier ("" = memory only);
+     *        created on first put if missing
+     */
+    explicit ResultCache(std::size_t capacity,
+                         std::string disk_dir = "");
+
+    /**
+     * Look up @p digest; on a hit copies the stored bytes into
+     * @p out and marks the entry most-recently-used.
+     */
+    [[nodiscard]] bool tryGet(std::uint64_t digest, std::string &out);
+
+    /** Store @p report_json under @p digest (no-op when disabled). */
+    void put(std::uint64_t digest, const std::string &report_json);
+
+    std::size_t size() const { return _entries.size(); }
+    const CacheStats &stats() const { return _stats; }
+
+  private:
+    struct Entry
+    {
+        std::list<std::uint64_t>::iterator order;
+        std::string json;
+    };
+
+    std::string diskPath(std::uint64_t digest) const;
+    void insert(std::uint64_t digest, const std::string &report_json);
+
+    std::size_t _capacity;
+    std::string _dir;
+    bool _dir_ready = false;
+    std::list<std::uint64_t> _order;   ///< front = most recent
+    std::map<std::uint64_t, Entry> _entries;
+    CacheStats _stats;
+};
+
+} // namespace serve
+} // namespace stack3d
+
+#endif // STACK3D_SERVE_RESULT_CACHE_HH

@@ -1,0 +1,248 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "exec/pool.hh"
+#include "obs/provenance.hh"
+
+namespace stack3d {
+namespace serve {
+
+namespace {
+
+/** Non-request control line ({"op": ...}), if this line is one. */
+enum class ControlOp { None, Stop, Counters };
+
+ControlOp
+classifyLine(const std::string &line)
+{
+    // Cheap pre-filter: every control line mentions "op".
+    if (line.find("\"op\"") == std::string::npos)
+        return ControlOp::None;
+    JsonValue root;
+    std::string error;
+    if (!parseJson(line, root, error) || !root.isObject())
+        return ControlOp::None;
+    const JsonValue *op = root.find("op");
+    if (!op || !op->isString())
+        return ControlOp::None;
+    if (op->string == "stop")
+        return ControlOp::Stop;
+    if (op->string == "counters")
+        return ControlOp::Counters;
+    return ControlOp::None;
+}
+
+std::string
+countersLine(const StudyService &service)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*compact=*/true);
+    w.beginObject();
+    w.key("schema_version").value(unsigned(obs::kSchemaVersion));
+    w.key("status").value("ok");
+    w.key("counters");
+    obs::writeCountersJson(w, service.counters());
+    w.endObject();
+    return os.str();
+}
+
+std::string
+stopLine()
+{
+    return "{\"schema_version\":" +
+           std::to_string(obs::kSchemaVersion) +
+           ",\"status\":\"ok\",\"stopping\":true}";
+}
+
+/**
+ * Handle one protocol line; returns false when it was a stop op
+ * (after emitting the acknowledgement via @p emit).
+ */
+template <typename EmitFn>
+bool
+handleLine(StudyService &service, const std::string &line,
+           EmitFn &&emit)
+{
+    switch (classifyLine(line)) {
+      case ControlOp::Stop:
+        emit(stopLine());
+        return false;
+      case ControlOp::Counters:
+        emit(countersLine(service));
+        return true;
+      case ControlOp::None:
+        break;
+    }
+    emit(service.handle(line).line);
+    return true;
+}
+
+bool
+isBlank(const std::string &line)
+{
+    return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+runPipeServer(StudyService &service, std::istream &in,
+              std::ostream &out)
+{
+    std::uint64_t handled = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (isBlank(line))
+            continue;
+        ++handled;
+        bool keep_going = handleLine(
+            service, line, [&out](const std::string &response) {
+                out << response << "\n";
+                out.flush();
+            });
+        if (!keep_going)
+            break;
+    }
+    return handled;
+}
+
+namespace {
+
+/** Loop ::send until @p data is fully written (or the peer is gone). */
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        sent += std::size_t(n);
+    }
+}
+
+/** Shared shutdown handshake between connections and the acceptor. */
+struct ServerState
+{
+    std::atomic<bool> stopping{false};
+    int listen_fd = -1;
+};
+
+void
+handleConnection(StudyService &service, ServerState &state, int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buffer.append(chunk, std::size_t(n));
+        std::size_t newline;
+        while (open &&
+               (newline = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (isBlank(line))
+                continue;
+            bool keep_going =
+                handleLine(service, line,
+                           [fd](const std::string &response) {
+                               sendAll(fd, response + "\n");
+                           });
+            if (!keep_going) {
+                // Stop: wake the acceptor out of accept().
+                state.stopping.store(true);
+                ::shutdown(state.listen_fd, SHUT_RDWR);
+                open = false;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+} // anonymous namespace
+
+int
+runTcpServer(StudyService &service, unsigned port,
+             unsigned connection_threads)
+{
+    int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        warn("stack3d-serve: socket() failed: ",
+             std::strerror(errno));
+        return 1;
+    }
+    int reuse = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof(reuse));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(std::uint16_t(port));
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        warn("stack3d-serve: cannot bind 127.0.0.1:", port, ": ",
+             std::strerror(errno));
+        ::close(listen_fd);
+        return 1;
+    }
+    if (::listen(listen_fd, 64) != 0) {
+        warn("stack3d-serve: listen() failed: ",
+             std::strerror(errno));
+        ::close(listen_fd);
+        return 1;
+    }
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0) {
+        inform("stack3d-serve: listening on 127.0.0.1:",
+               ntohs(bound.sin_port));
+    }
+
+    ServerState state;
+    state.listen_fd = listen_fd;
+    {
+        exec::ThreadPool connections(connection_threads);
+        while (!state.stopping.load()) {
+            int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (state.stopping.load() || errno != EINTR)
+                    break;
+                continue;
+            }
+            // The future is intentionally dropped; the pool drains
+            // every connection before it is destroyed.
+            (void)connections.submit([&service, &state, fd] {
+                handleConnection(service, state, fd);
+            });
+        }
+    }
+    ::close(listen_fd);
+    return 0;
+}
+
+} // namespace serve
+} // namespace stack3d

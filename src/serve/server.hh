@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Transport front-ends for StudyService: a pipe server reading
+ * newline-delimited requests from a stream (the --stdin mode scripts
+ * and CI use) and a TCP server accepting concurrent clients on
+ * 127.0.0.1.
+ *
+ * Both speak the same protocol: one JSON request per line in, one
+ * JSON response per line out. Two control lines are handled by the
+ * transport, not the service:
+ *
+ *   {"op": "counters"}  respond with the serve.* counter snapshot
+ *   {"op": "stop"}      respond, then shut the server down
+ */
+
+#ifndef STACK3D_SERVE_SERVER_HH
+#define STACK3D_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "serve/service.hh"
+
+namespace stack3d {
+namespace serve {
+
+/**
+ * Serve requests from @p in to @p out until EOF or a stop op.
+ * Requests are handled in arrival order on the calling thread (the
+ * service's own pool still parallelizes each study internally).
+ * @return the number of lines handled.
+ */
+std::uint64_t runPipeServer(StudyService &service, std::istream &in,
+                            std::ostream &out);
+
+/**
+ * Accept TCP clients on 127.0.0.1:@p port (0 = kernel-assigned,
+ * printed via inform) until a stop op arrives from any client. Each
+ * connection is handled by a task on a exec::ThreadPool of
+ * @p connection_threads workers, so that many clients can have
+ * requests in flight — this is what drives the service's batching.
+ * @return 0 on clean shutdown, 1 on a socket setup error.
+ */
+int runTcpServer(StudyService &service, unsigned port,
+                 unsigned connection_threads);
+
+} // namespace serve
+} // namespace stack3d
+
+#endif // STACK3D_SERVE_SERVER_HH

@@ -1,0 +1,315 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+
+#include "common/digest.hh"
+#include "common/json.hh"
+#include "common/timing.hh"
+#include "core/study_json.hh"
+#include "obs/provenance.hh"
+#include "obs/trace.hh"
+
+namespace stack3d {
+namespace serve {
+
+namespace {
+
+/** Assemble the NDJSON response line around the raw report bytes. */
+std::string
+renderLine(const ServeResult &result, const std::string &id)
+{
+    std::string line = "{\"schema_version\":" +
+                       std::to_string(obs::kSchemaVersion);
+    if (!id.empty())
+        line += ",\"id\":\"" + JsonWriter::escape(id) + "\"";
+    switch (result.status) {
+      case ServeResult::Status::Ok:
+        line += ",\"status\":\"ok\",\"cached\":";
+        line += result.cached ? "true" : "false";
+        line += ",\"digest\":\"" + result.digest_hex + "\"";
+        // Splice the stored bytes verbatim: a cache hit's report is
+        // byte-identical to the miss that produced it.
+        line += ",\"report\":" + result.report_json;
+        break;
+      case ServeResult::Status::Error:
+        line += ",\"status\":\"error\",\"error\":\"" +
+                JsonWriter::escape(result.error) + "\"";
+        break;
+      case ServeResult::Status::Rejected:
+        line += ",\"status\":\"rejected\",\"error\":\"" +
+                JsonWriter::escape(result.error) + "\"";
+        break;
+    }
+    line += "}";
+    return line;
+}
+
+} // anonymous namespace
+
+void
+StudyService::LatencyRing::add(double seconds)
+{
+    if (samples.size() < kCapacity) {
+        samples.push_back(seconds);
+    } else {
+        samples[next] = seconds;
+        next = (next + 1) % kCapacity;
+    }
+}
+
+double
+StudyService::LatencyRing::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    std::vector<double> sorted(samples);
+    std::size_t rank = std::size_t(p * double(sorted.size() - 1));
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + std::ptrdiff_t(rank),
+                     sorted.end());
+    return sorted[rank];
+}
+
+StudyService::StudyService(const ServiceOptions &options)
+    : _options(options), _pool(options.workers),
+      _cache(options.cache_entries, options.cache_dir)
+{
+}
+
+StudyService::~StudyService() = default;
+
+std::string
+StudyService::execute(const Request &request)
+{
+    core::RunOptions opts = request.options;
+    if (_options.max_study_threads != 0 &&
+        (opts.threads == 0 ||
+         opts.threads > _options.max_study_threads)) {
+        opts.threads = _options.max_study_threads;
+    }
+    // Server mode: results stream back as JSON; nothing should write
+    // to the console mid-request.
+    opts.verbosity = core::Verbosity::Silent;
+    opts.progress = nullptr;
+
+    std::ostringstream os;
+    JsonWriter w(os, /*compact=*/true);
+    w.beginObject();
+    w.key("study").value(studyKindName(request.kind));
+    switch (request.kind) {
+      case StudyKind::Memory: {
+        auto report = core::runMemoryStudy(opts, request.memory);
+        w.key("meta").beginObject();
+        core::writeMetaJson(w, report.meta);
+        w.endObject();
+        w.key("payload");
+        core::writeMemoryStudyResultJson(w, report.payload);
+        break;
+      }
+      case StudyKind::Logic: {
+        auto report = core::runLogicStudy(opts, request.logic);
+        w.key("meta").beginObject();
+        core::writeMetaJson(w, report.meta);
+        w.endObject();
+        w.key("payload");
+        core::writeLogicStudyResultJson(w, report.payload);
+        break;
+      }
+      case StudyKind::StackThermal: {
+        auto report =
+            core::runStackThermalStudy(opts, request.stack_thermal);
+        w.key("meta").beginObject();
+        core::writeMetaJson(w, report.meta);
+        w.endObject();
+        w.key("payload");
+        core::writeStackThermalResultJson(w, report.payload);
+        break;
+      }
+      case StudyKind::Sensitivity: {
+        auto report =
+            core::runConductivitySensitivity(opts,
+                                             request.sensitivity);
+        w.key("meta").beginObject();
+        core::writeMetaJson(w, report.meta);
+        w.endObject();
+        w.key("payload");
+        core::writeSensitivityResultJson(w, report.payload);
+        break;
+      }
+    }
+    w.endObject();
+    return os.str();
+}
+
+ServeResult
+StudyService::handle(const std::string &line)
+{
+    WallTimer timer;
+    ServeResult result;
+
+    Request request;
+    std::string error;
+    if (!parseRequest(line, request, error)) {
+        result.status = ServeResult::Status::Error;
+        result.error = error;
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_n_requests;
+        ++_n_errors;
+        result.line = renderLine(result, request.id);
+        return result;
+    }
+
+    obs::Span span(std::string("serve/") + studyKindName(request.kind),
+                   "serve");
+    std::uint64_t digest = request.digest();
+    result.digest_hex = digestHex(digest);
+
+    std::shared_future<std::string> shared;
+    std::shared_ptr<std::promise<std::string>> promise;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_n_requests;
+
+        std::string cached;
+        if (_cache.tryGet(digest, cached)) {
+            result.status = ServeResult::Status::Ok;
+            result.cached = true;
+            result.report_json = std::move(cached);
+            ++_n_ok;
+            ++_n_hit;
+            double elapsed = timer.seconds();
+            _hit_seconds += elapsed;
+            _hit_latency.add(elapsed);
+            result.line = renderLine(result, request.id);
+            return result;
+        }
+
+        auto pending = _pending.find(digest);
+        if (pending != _pending.end()) {
+            shared = pending->second;
+            result.coalesced = true;
+            ++_n_coalesced;
+        } else {
+            unsigned limit = std::max(_options.workers, 1u) +
+                             _options.queue_limit;
+            if (_in_flight >= limit) {
+                result.status = ServeResult::Status::Rejected;
+                result.error = "server overloaded (" +
+                               std::to_string(_in_flight) +
+                               " requests in flight)";
+                ++_n_rejected;
+                result.line = renderLine(result, request.id);
+                return result;
+            }
+            ++_in_flight;
+            _in_flight_high_water =
+                std::max(_in_flight_high_water, _in_flight);
+            promise = std::make_shared<std::promise<std::string>>();
+            shared = promise->get_future().share();
+            _pending[digest] = shared;
+        }
+    }
+
+    if (promise) {
+        // We own the execution: run it on the study pool and publish
+        // the outcome (value or exception) to every coalesced waiter.
+        std::string report;
+        std::string exec_error;
+        bool ok = false;
+        try {
+            report =
+                _pool.submit([this, request] { return execute(request); })
+                    .get();
+            ok = true;
+            promise->set_value(report);
+        } catch (const std::exception &e) {
+            exec_error = e.what();
+            promise->set_exception(std::current_exception());
+        } catch (...) {
+            exec_error = "study execution failed";
+            promise->set_exception(std::current_exception());
+        }
+
+        std::lock_guard<std::mutex> lock(_mutex);
+        _pending.erase(digest);
+        --_in_flight;
+        if (ok) {
+            _cache.put(digest, report);
+            result.status = ServeResult::Status::Ok;
+            result.report_json = std::move(report);
+            ++_n_ok;
+            ++_n_cold;
+            double elapsed = timer.seconds();
+            _cold_seconds += elapsed;
+            _cold_latency.add(elapsed);
+        } else {
+            result.status = ServeResult::Status::Error;
+            result.error = exec_error;
+            ++_n_errors;
+        }
+        result.line = renderLine(result, request.id);
+        return result;
+    }
+
+    // Coalesced: wait for the owning execution.
+    try {
+        result.report_json = shared.get();
+        result.status = ServeResult::Status::Ok;
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_n_ok;
+        ++_n_cold;
+        double elapsed = timer.seconds();
+        _cold_seconds += elapsed;
+        _cold_latency.add(elapsed);
+    } catch (const std::exception &e) {
+        result.status = ServeResult::Status::Error;
+        result.error = e.what();
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_n_errors;
+    }
+    result.line = renderLine(result, request.id);
+    return result;
+}
+
+obs::CounterSet
+StudyService::counters() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    obs::CounterSet c;
+    c.set("serve.requests", double(_n_requests));
+    c.set("serve.ok", double(_n_ok));
+    c.set("serve.errors", double(_n_errors));
+    c.set("serve.rejected", double(_n_rejected));
+    c.set("serve.cache.hits", double(_cache.stats().hits));
+    c.set("serve.cache.misses", double(_cache.stats().misses));
+    c.set("serve.cache.evictions", double(_cache.stats().evictions));
+    c.set("serve.cache.disk_hits", double(_cache.stats().disk_hits));
+    c.set("serve.cache.disk_writes",
+          double(_cache.stats().disk_writes));
+    c.set("serve.cache.entries", double(_cache.size()));
+    c.set("serve.coalesced", double(_n_coalesced));
+    c.set("serve.queue.high_water", double(_in_flight_high_water));
+    c.set("serve.latency.hit.count", double(_n_hit));
+    c.set("serve.latency.hit.total_s", _hit_seconds);
+    c.set("serve.latency.hit.p50_ms",
+          1e3 * _hit_latency.percentile(0.50));
+    c.set("serve.latency.hit.p95_ms",
+          1e3 * _hit_latency.percentile(0.95));
+    c.set("serve.latency.hit.p99_ms",
+          1e3 * _hit_latency.percentile(0.99));
+    c.set("serve.latency.cold.count", double(_n_cold));
+    c.set("serve.latency.cold.total_s", _cold_seconds);
+    c.set("serve.latency.cold.p50_ms",
+          1e3 * _cold_latency.percentile(0.50));
+    c.set("serve.latency.cold.p95_ms",
+          1e3 * _cold_latency.percentile(0.95));
+    c.set("serve.latency.cold.p99_ms",
+          1e3 * _cold_latency.percentile(0.99));
+    _pool.appendCounters(c, "serve.pool.");
+    return c;
+}
+
+} // namespace serve
+} // namespace stack3d

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The study service behind stack3d-serve: takes request lines,
+ * schedules study execution on a stack3d::exec pool, memoizes
+ * results in a ResultCache, and renders NDJSON response lines.
+ *
+ * Scheduling model:
+ *  - Executions run on an exec::ThreadPool of `workers` threads
+ *    (0 = inline on the calling thread), so `workers` studies
+ *    compute concurrently; each study may itself fan cells out on
+ *    its own internal pool (request options.threads, capped by
+ *    max_study_threads).
+ *  - Admission is bounded: at most workers + queue_limit requests
+ *    may be in flight (computing or queued). handle() blocks its
+ *    caller until the result is ready — the bound is what creates
+ *    backpressure on the connection handlers — and requests beyond
+ *    the bound are rejected immediately with status "rejected".
+ *  - Duplicate in-flight requests coalesce: the second arrival of a
+ *    digest waits on the first execution's future instead of
+ *    computing (and does not consume an admission slot).
+ *
+ * Caching model: the serialized report (study + meta + payload JSON,
+ * compact) is the cached unit. A cache hit splices the stored bytes
+ * into the response envelope verbatim, so hit and miss responses
+ * carry byte-identical reports. The digest excludes threads and
+ * verbosity — the determinism guarantee makes results independent of
+ * them — so e.g. a 4-thread re-run of a cached 1-thread request hits.
+ */
+
+#ifndef STACK3D_SERVE_SERVICE_HH
+#define STACK3D_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/pool.hh"
+#include "obs/metrics.hh"
+#include "serve/request.hh"
+#include "serve/result_cache.hh"
+
+namespace stack3d {
+namespace serve {
+
+/** StudyService configuration. */
+struct ServiceOptions
+{
+    /** Concurrent study executions (0 = run inline in handle()). */
+    unsigned workers = 2;
+
+    /** Extra requests admitted beyond `workers` before rejecting. */
+    unsigned queue_limit = 16;
+
+    /** In-memory result-cache entries (0 disables caching). */
+    std::size_t cache_entries = 64;
+
+    /** On-disk result store directory ("" = memory only). */
+    std::string cache_dir;
+
+    /** Cap on a request's options.threads (0 = leave uncapped). */
+    unsigned max_study_threads = 8;
+};
+
+/** Outcome of one handled request line. */
+struct ServeResult
+{
+    enum class Status { Ok, Error, Rejected };
+
+    Status status = Status::Error;
+    bool cached = false;      ///< served from the result cache
+    bool coalesced = false;   ///< shared an in-flight execution
+    std::string digest_hex;   ///< "0x..." (empty when unparsable)
+    std::string report_json;  ///< the cached unit (ok only)
+    std::string error;        ///< message (error/rejected only)
+
+    /** The full NDJSON response line (no trailing newline). */
+    std::string line;
+};
+
+/** The request scheduler + cache. Thread-safe. */
+class StudyService
+{
+  public:
+    explicit StudyService(const ServiceOptions &options);
+    ~StudyService();
+
+    StudyService(const StudyService &) = delete;
+    StudyService &operator=(const StudyService &) = delete;
+
+    /**
+     * Handle one request line end to end; blocks until the response
+     * is ready. Callable from any thread.
+     */
+    ServeResult handle(const std::string &line);
+
+    /** Snapshot of the serve.* counters (including cache stats). */
+    obs::CounterSet counters() const;
+
+  private:
+    /** Run the study and serialize its report (the cached unit). */
+    std::string execute(const Request &request);
+
+    ServiceOptions _options;
+    exec::ThreadPool _pool;
+
+    mutable std::mutex _mutex;
+    /** Admitted executions (computing or queued), bounded. */
+    unsigned _in_flight = 0;
+    unsigned _in_flight_high_water = 0;
+    /** digest -> future of the execution already running it. */
+    std::map<std::uint64_t, std::shared_future<std::string>> _pending;
+    ResultCache _cache;
+
+    /**
+     * Ring of the most recent latency samples (seconds), enough for
+     * stable p50/p95/p99 without unbounded growth on a long-lived
+     * daemon. Guarded by _mutex like the counters.
+     */
+    struct LatencyRing
+    {
+        static constexpr std::size_t kCapacity = 4096;
+        std::vector<double> samples;
+        std::size_t next = 0;
+
+        void add(double seconds);
+        /** p in [0,1]; 0 when no samples yet. */
+        double percentile(double p) const;
+    };
+
+    // serve.* counters (guarded by _mutex).
+    std::uint64_t _n_requests = 0;
+    std::uint64_t _n_ok = 0;
+    std::uint64_t _n_errors = 0;
+    std::uint64_t _n_rejected = 0;
+    std::uint64_t _n_coalesced = 0;
+    double _hit_seconds = 0.0;
+    double _cold_seconds = 0.0;
+    std::uint64_t _n_hit = 0;
+    std::uint64_t _n_cold = 0;
+    LatencyRing _hit_latency;
+    LatencyRing _cold_latency;
+};
+
+} // namespace serve
+} // namespace stack3d
+
+#endif // STACK3D_SERVE_SERVICE_HH

@@ -13,10 +13,17 @@
  *       array also fails (a present-but-hollow "counters" member is
  *       a regression, not a pass).
  *
+ *   json_check eq <result.json> <dotted.path> <value>
+ *       The path must exist and equal <value>: numerically for
+ *       numbers, verbatim for strings, "true"/"false" for booleans.
+ *       Used by the serve smoke test to assert counter values
+ *       ("the duplicate request was a cache hit").
+ *
  * Exits 0 on success, 1 with a diagnostic on the first violation.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -111,6 +118,40 @@ checkFields(const JsonValue &root, int argc, char **argv)
     return 0;
 }
 
+int
+checkEq(const JsonValue &root, const char *path, const char *expected)
+{
+    const JsonValue *v = root.findPath(path);
+    if (!v)
+        return fail(std::string("missing field: ") + path);
+    if (v->isNumber()) {
+        char *end = nullptr;
+        double want = std::strtod(expected, &end);
+        if (!end || *end != '\0')
+            return fail(std::string("not a number: ") + expected);
+        if (v->number != want) {
+            return fail(std::string(path) + " is " + v->string +
+                        ", expected " + expected);
+        }
+    } else if (v->isString()) {
+        if (v->string != expected) {
+            return fail(std::string(path) + " is \"" + v->string +
+                        "\", expected \"" + expected + "\"");
+        }
+    } else if (v->isBool()) {
+        const char *actual = v->boolean ? "true" : "false";
+        if (std::strcmp(actual, expected) != 0) {
+            return fail(std::string(path) + " is " + actual +
+                        ", expected " + expected);
+        }
+    } else {
+        return fail(std::string(path) +
+                    " is not a comparable scalar");
+    }
+    std::printf("json_check: %s == %s OK\n", path, expected);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -120,7 +161,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage:\n"
                      "  json_check chrome <trace.json>\n"
-                     "  json_check fields <result.json> <path>...\n");
+                     "  json_check fields <result.json> <path>...\n"
+                     "  json_check eq <result.json> <path> <value>\n");
         return 2;
     }
 
@@ -136,5 +178,10 @@ main(int argc, char **argv)
         return checkChrome(root);
     if (std::strcmp(argv[1], "fields") == 0)
         return checkFields(root, argc, argv);
+    if (std::strcmp(argv[1], "eq") == 0) {
+        if (argc != 5)
+            return fail("eq needs <file> <path> <value>");
+        return checkEq(root, argv[3], argv[4]);
+    }
     return fail(std::string("unknown mode: ") + argv[1]);
 }

@@ -1,0 +1,19 @@
+# Drives stack3d_serve in stdin mode against the canned request
+# script (a duplicate stack-thermal pair — the second varies only
+# threads — plus a sensitivity study and control lines), leaving the
+# stats JSON behind for the json_check eq assertions that prove the
+# duplicate was a cache hit. Invoked with cmake -P because CTest
+# COMMAND lines cannot redirect stdin.
+#
+# Required definitions: -DSERVE=<stack3d_serve binary>
+#   -DREQUESTS=<request .jsonl> -DSTATS=<stats out> -DOUT=<responses>
+
+execute_process(
+    COMMAND ${SERVE} --stdin --quiet --threads 2
+            --stats-json ${STATS}
+    INPUT_FILE ${REQUESTS}
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "stack3d_serve exited with status ${rc}")
+endif()

@@ -20,11 +20,13 @@ using namespace stack3d::core;
 
 TEST(MemoryStudy, TinyRunProducesAllColumns)
 {
-    MemoryStudyConfig cfg;
-    cfg.benchmarks = {"gauss", "svd"};
-    cfg.depth = 0.02;
-    cfg.scale = 0.3;
-    MemoryStudyResult result = runMemoryStudy(cfg);
+    RunOptions opts;
+    opts.depth = 0.02;
+    opts.scale = 0.3;
+    opts.verbosity = Verbosity::Silent;
+    MemoryStudySpec spec;
+    spec.benchmarks = {"gauss", "svd"};
+    MemoryStudyResult result = runMemoryStudy(opts, spec).payload;
 
     ASSERT_EQ(result.rows.size(), 2u);
     for (const auto &row : result.rows) {
@@ -40,10 +42,12 @@ TEST(MemoryStudy, TinyRunProducesAllColumns)
 
 TEST(MemoryStudy, CapacitySensitiveBenchmarkImproves)
 {
-    MemoryStudyConfig cfg;
-    cfg.benchmarks = {"gauss"};   // 6.2 MB: thrashes 4 MB, fits 12+
-    cfg.depth = 0.25;
-    MemoryStudyResult result = runMemoryStudy(cfg);
+    RunOptions opts;
+    opts.depth = 0.25;
+    opts.verbosity = Verbosity::Silent;
+    MemoryStudySpec spec;
+    spec.benchmarks = {"gauss"};   // 6.2 MB: thrashes 4 MB, fits 12+
+    MemoryStudyResult result = runMemoryStudy(opts, spec).payload;
     const auto &row = result.rows[0];
     EXPECT_GT(row.cpma[0], row.cpma[1] * 2.0);
     EXPECT_NEAR(row.cpma[1], row.cpma[2], row.cpma[1] * 0.25);
@@ -57,9 +61,11 @@ TEST(MemoryStudy, RecommendedBudgetsCoverAllBenchmarks)
 
 TEST(MemoryStudy, UnknownBenchmarkIsFatal)
 {
-    MemoryStudyConfig cfg;
-    cfg.benchmarks = {"bogus"};
-    EXPECT_THROW(runMemoryStudy(cfg), std::runtime_error);
+    RunOptions opts;
+    opts.verbosity = Verbosity::Silent;
+    MemoryStudySpec spec;
+    spec.benchmarks = {"bogus"};
+    EXPECT_THROW(runMemoryStudy(opts, spec), std::runtime_error);
 }
 
 // ---------------------------------------------------------------------
@@ -86,7 +92,12 @@ TEST(ThermalStudy, PlanarBaselineNearFigure6)
 
 TEST(ThermalStudy, StackOrderingMatchesFigure8)
 {
-    StackThermalResult r = runStackThermalStudy(kNx, kNy);
+    RunOptions opts;
+    opts.verbosity = Verbosity::Silent;
+    StackThermalSpec spec;
+    spec.die_nx = kNx;
+    spec.die_ny = kNy;
+    StackThermalResult r = runStackThermalStudy(opts, spec).payload;
     double base = r.options[0].peak_c;
     double t12 = r.options[1].peak_c;
     double t32 = r.options[2].peak_c;
@@ -103,7 +114,13 @@ TEST(ThermalStudy, StackOrderingMatchesFigure8)
 
 TEST(ThermalStudy, SensitivityCurvesRiseAsConductivityFalls)
 {
-    auto points = runConductivitySensitivity({60, 12, 3}, 20, 18);
+    RunOptions opts;
+    opts.verbosity = Verbosity::Silent;
+    SensitivitySpec spec;
+    spec.conductivities = {60, 12, 3};
+    spec.die_nx = 20;
+    spec.die_ny = 18;
+    auto points = runConductivitySensitivity(opts, spec).payload;
     ASSERT_EQ(points.size(), 3u);
     // Peak temperature increases monotonically as k drops.
     EXPECT_LT(points[0].peak_cu_swept, points[1].peak_cu_swept);
@@ -123,11 +140,14 @@ TEST(ThermalStudy, SensitivityCurvesRiseAsConductivityFalls)
 
 TEST(LogicStudy, EndToEndShape)
 {
-    LogicStudyConfig cfg;
-    cfg.suite.uops_per_trace = 8000;
-    cfg.die_nx = 25;
-    cfg.die_ny = 23;
-    LogicStudyResult r = runLogicStudy(cfg);
+    RunOptions opts;
+    opts.seed = 7;   // the retired wrapper's suite seed
+    opts.verbosity = Verbosity::Silent;
+    LogicStudySpec spec;
+    spec.suite.uops_per_trace = 8000;
+    spec.die_nx = 25;
+    spec.die_ny = 23;
+    LogicStudyResult r = runLogicStudy(opts, spec).payload;
 
     // Table 4: ten rows, positive total gain.
     EXPECT_EQ(r.table4.rows.size(), 10u);

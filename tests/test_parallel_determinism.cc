@@ -100,22 +100,6 @@ TEST(ParallelDeterminism, MemoryStudySeedChangesResults)
     EXPECT_NE(cpma_a, cpma_b);
 }
 
-TEST(ParallelDeterminism, DeprecatedWrapperMatchesUnifiedApi)
-{
-    MemoryStudyConfig config;
-    config.benchmarks = {"svd"};
-    config.depth = 0.02;
-    config.scale = 0.3;
-    config.seed = 11;
-
-    MemoryStudySpec spec;
-    spec.benchmarks = {"svd"};
-
-    MemoryStudyResult via_wrapper = runMemoryStudy(config);
-    auto via_unified = runMemoryStudy(tinyOptions(1), spec);
-    expectRowsIdentical(via_wrapper, via_unified.payload);
-}
-
 TEST(ParallelDeterminism, LogicStudyTable5MatchesSerial)
 {
     LogicStudySpec spec;

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the stack3d-serve stack: the spec JSON wire forms
+ * (round-trip exact, digest-stable), the shared digest
+ * implementation (pinned known values), the result cache (LRU,
+ * byte-identical hits, disk tier), and the study service end to end
+ * (cache hit on duplicate, schema rejection, strict parsing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/digest.hh"
+#include "common/json.hh"
+#include "common/json_parse.hh"
+#include "core/study_json.hh"
+#include "serve/request.hh"
+#include "serve/result_cache.hh"
+#include "serve/service.hh"
+
+using namespace stack3d;
+using namespace stack3d::core;
+
+namespace {
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, v, error)) << error;
+    return v;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// shared digest implementation
+// ---------------------------------------------------------------------
+
+TEST(Digest, PinnedFnv1aVectors)
+{
+    // Standard 64-bit FNV-1a test vectors. If these move, every
+    // cached result and provenance digest in existence is invalidated
+    // — bump obs::kSchemaVersion if you change the scheme.
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Digest, FieldBoundariesMatter)
+{
+    Fnv1aDigest ab_c;
+    ab_c.mix(std::string("ab"));
+    ab_c.mix(std::string("c"));
+    Fnv1aDigest a_bc;
+    a_bc.mix(std::string("a"));
+    a_bc.mix(std::string("bc"));
+    EXPECT_NE(ab_c.value(), a_bc.value());
+}
+
+TEST(Digest, HexFormIsStable)
+{
+    EXPECT_EQ(digestHex(0x1234abcdull), "0x000000001234abcd");
+}
+
+// ---------------------------------------------------------------------
+// spec JSON round-trips
+// ---------------------------------------------------------------------
+
+TEST(SpecJson, RunOptionsRoundTripExact)
+{
+    RunOptions a;
+    a.threads = 6;
+    a.seed = 18446744073709551557ull;   // > 2^53: needs exact u64
+    a.depth = 0.1;                      // not representable exactly
+    a.scale = 1.0 / 3.0;
+    a.verbosity = Verbosity::Verbose;
+    a.thermal_precond = thermal::Precond::Jacobi;
+
+    std::ostringstream os;
+    JsonWriter w(os, true);
+    writeRunOptionsJson(w, a);
+
+    RunOptions b;
+    std::string error;
+    ASSERT_TRUE(parseRunOptions(parsed(os.str()), b, error)) << error;
+    EXPECT_EQ(b.threads, a.threads);
+    EXPECT_EQ(b.seed, a.seed);
+    EXPECT_EQ(b.depth, a.depth);
+    EXPECT_EQ(b.scale, a.scale);
+    EXPECT_EQ(b.verbosity, a.verbosity);
+    EXPECT_EQ(b.thermal_precond, a.thermal_precond);
+}
+
+TEST(SpecJson, MemorySpecRoundTripAndDigestStable)
+{
+    MemoryStudySpec a;
+    a.benchmarks = {"gauss", "svd"};
+    a.engine.window = 64;
+    a.engine.issue_width = 2;
+    a.engine.honor_dependencies = false;
+    a.engine.warmup_fraction = 0.125;
+
+    MemoryStudySpec b;
+    std::string error;
+    ASSERT_TRUE(
+        parseMemoryStudySpec(parsed(canonicalSpecJson(a)), b, error))
+        << error;
+    EXPECT_EQ(b.benchmarks, a.benchmarks);
+    EXPECT_EQ(b.engine.window, a.engine.window);
+    EXPECT_EQ(b.engine.issue_width, a.engine.issue_width);
+    EXPECT_EQ(b.engine.honor_dependencies,
+              a.engine.honor_dependencies);
+    EXPECT_EQ(b.engine.warmup_fraction, a.engine.warmup_fraction);
+    EXPECT_EQ(canonicalSpecJson(b), canonicalSpecJson(a));
+}
+
+TEST(SpecJson, LogicSpecRoundTripAndDigestStable)
+{
+    LogicStudySpec a;
+    a.suite.full_suite = true;
+    a.suite.uops_per_trace = 123456789012345ull;
+    a.power_breakdown.repeater_fraction = 0.11;
+    a.power_breakdown.clock_reduction = 0.45;
+    a.vf_model.perf_per_freq = 0.79;
+    a.die_nx = 33;
+    a.die_ny = 31;
+    a.use_measured_gain = false;
+
+    LogicStudySpec b;
+    std::string error;
+    ASSERT_TRUE(
+        parseLogicStudySpec(parsed(canonicalSpecJson(a)), b, error))
+        << error;
+    EXPECT_EQ(b.suite.full_suite, a.suite.full_suite);
+    EXPECT_EQ(b.suite.uops_per_trace, a.suite.uops_per_trace);
+    EXPECT_EQ(b.power_breakdown.repeater_fraction,
+              a.power_breakdown.repeater_fraction);
+    EXPECT_EQ(b.power_breakdown.clock_reduction,
+              a.power_breakdown.clock_reduction);
+    EXPECT_EQ(b.vf_model.perf_per_freq, a.vf_model.perf_per_freq);
+    EXPECT_EQ(b.die_nx, a.die_nx);
+    EXPECT_EQ(b.die_ny, a.die_ny);
+    EXPECT_EQ(b.use_measured_gain, a.use_measured_gain);
+    EXPECT_EQ(canonicalSpecJson(b), canonicalSpecJson(a));
+}
+
+TEST(SpecJson, ThermalSpecsRoundTripAndDigestStable)
+{
+    StackThermalSpec a;
+    a.die_nx = 20;
+    a.die_ny = 18;
+    StackThermalSpec b;
+    std::string error;
+    ASSERT_TRUE(
+        parseStackThermalSpec(parsed(canonicalSpecJson(a)), b, error))
+        << error;
+    EXPECT_EQ(b.die_nx, a.die_nx);
+    EXPECT_EQ(b.die_ny, a.die_ny);
+    EXPECT_EQ(canonicalSpecJson(b), canonicalSpecJson(a));
+
+    SensitivitySpec c;
+    c.conductivities = {60, 12.5, 3.0625};
+    c.die_nx = 16;
+    c.die_ny = 14;
+    SensitivitySpec d;
+    ASSERT_TRUE(
+        parseSensitivitySpec(parsed(canonicalSpecJson(c)), d, error))
+        << error;
+    EXPECT_EQ(d.conductivities, c.conductivities);
+    EXPECT_EQ(d.die_nx, c.die_nx);
+    EXPECT_EQ(d.die_ny, c.die_ny);
+    EXPECT_EQ(canonicalSpecJson(d), canonicalSpecJson(c));
+}
+
+TEST(SpecJson, MissingKeysKeepDefaults)
+{
+    MemoryStudySpec spec;
+    std::string error;
+    ASSERT_TRUE(parseMemoryStudySpec(
+        parsed("{\"benchmarks\": [\"gauss\"]}"), spec, error))
+        << error;
+    EXPECT_EQ(spec.benchmarks,
+              std::vector<std::string>{std::string("gauss")});
+    EXPECT_EQ(spec.engine.window, 128u);   // default survived
+}
+
+TEST(SpecJson, UnknownKeysRejected)
+{
+    StackThermalSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseStackThermalSpec(
+        parsed("{\"die_nx\": 20, \"die_nz\": 4}"), spec, error));
+    EXPECT_NE(error.find("die_nz"), std::string::npos) << error;
+}
+
+TEST(SpecJson, TypeMismatchRejected)
+{
+    RunOptions opts;
+    std::string error;
+    EXPECT_FALSE(
+        parseRunOptions(parsed("{\"threads\": \"four\"}"), opts,
+                        error));
+    EXPECT_NE(error.find("threads"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// request parsing + digests
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char *kThermalRequest =
+    "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+    "\"id\": \"r1\", \"options\": {\"seed\": 3}, "
+    "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}";
+
+} // anonymous namespace
+
+TEST(Request, ParsesAndDigestIsReproducible)
+{
+    serve::Request a, b;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest(kThermalRequest, a, error))
+        << error;
+    ASSERT_TRUE(serve::parseRequest(kThermalRequest, b, error));
+    EXPECT_EQ(a.kind, serve::StudyKind::StackThermal);
+    EXPECT_EQ(a.id, "r1");
+    EXPECT_EQ(a.options.seed, 3u);
+    EXPECT_EQ(a.stack_thermal.die_nx, 14u);
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Request, DigestIgnoresThreadsVerbosityAndId)
+{
+    serve::Request base;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest(kThermalRequest, base, error));
+
+    serve::Request variant;
+    ASSERT_TRUE(serve::parseRequest(
+        "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+        "\"id\": \"other\", \"options\": {\"seed\": 3, \"threads\": 8,"
+        " \"verbosity\": \"verbose\"}, "
+        "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}",
+        variant, error))
+        << error;
+    // The determinism guarantee makes results independent of threads
+    // and verbosity, so they must not split the cache.
+    EXPECT_EQ(variant.digest(), base.digest());
+
+    serve::Request different;
+    ASSERT_TRUE(serve::parseRequest(
+        "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+        "\"options\": {\"seed\": 4}, "
+        "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}",
+        different, error));
+    EXPECT_NE(different.digest(), base.digest());
+}
+
+TEST(Request, SchemaVersionMismatchRejected)
+{
+    serve::Request req;
+    std::string error;
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"schema_version\": 1, \"study\": \"memory\"}", req,
+        error));
+    EXPECT_NE(error.find("schema_version"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(serve::parseRequest("{\"study\": \"memory\"}", req,
+                                     error));
+    EXPECT_NE(error.find("schema_version"), std::string::npos);
+}
+
+TEST(Request, MalformedAndUnknownRejected)
+{
+    serve::Request req;
+    std::string error;
+    EXPECT_FALSE(serve::parseRequest("{not json", req, error));
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"schema_version\": 2, \"study\": \"quantum\"}", req,
+        error));
+    EXPECT_NE(error.find("quantum"), std::string::npos);
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"schema_version\": 2, \"study\": \"memory\", "
+        "\"extra\": 1}",
+        req, error));
+    EXPECT_NE(error.find("extra"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// result cache
+// ---------------------------------------------------------------------
+
+TEST(ResultCache, HitReturnsByteIdenticalValue)
+{
+    serve::ResultCache cache(4);
+    const std::string stored = "{\"x\":1.0000000000000002}";
+    cache.put(7, stored);
+    std::string out;
+    ASSERT_TRUE(cache.tryGet(7, out));
+    EXPECT_EQ(out, stored);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ResultCache, LruEvictsLeastRecentlyUsed)
+{
+    serve::ResultCache cache(2);
+    cache.put(1, "one");
+    cache.put(2, "two");
+    std::string out;
+    ASSERT_TRUE(cache.tryGet(1, out));   // 1 is now most recent
+    cache.put(3, "three");               // evicts 2
+    EXPECT_FALSE(cache.tryGet(2, out));
+    EXPECT_TRUE(cache.tryGet(1, out));
+    EXPECT_TRUE(cache.tryGet(3, out));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, CapacityZeroDisables)
+{
+    serve::ResultCache cache(0);
+    cache.put(1, "one");
+    std::string out;
+    EXPECT_FALSE(cache.tryGet(1, out));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, DiskTierSurvivesRestart)
+{
+    std::string dir =
+        ::testing::TempDir() + "stack3d_serve_cache_test";
+    {
+        serve::ResultCache cache(4, dir);
+        cache.put(42, "{\"answer\":42}");
+        EXPECT_EQ(cache.stats().disk_writes, 1u);
+    }
+    serve::ResultCache fresh(4, dir);
+    std::string out;
+    ASSERT_TRUE(fresh.tryGet(42, out));
+    EXPECT_EQ(out, "{\"answer\":42}");
+    EXPECT_EQ(fresh.stats().disk_hits, 1u);
+    std::remove((dir + "/" + digestHex(42).substr(2) + ".json")
+                    .c_str());
+}
+
+// ---------------------------------------------------------------------
+// study service end to end
+// ---------------------------------------------------------------------
+
+namespace {
+
+serve::ServiceOptions
+tinyServiceOptions()
+{
+    serve::ServiceOptions options;
+    options.workers = 0;   // inline execution: deterministic tests
+    options.cache_entries = 8;
+    options.max_study_threads = 1;
+    return options;
+}
+
+} // anonymous namespace
+
+TEST(StudyService, DuplicateRequestHitsCacheByteIdentically)
+{
+    serve::StudyService service(tinyServiceOptions());
+    serve::ServeResult cold = service.handle(kThermalRequest);
+    ASSERT_EQ(cold.status, serve::ServeResult::Status::Ok)
+        << cold.error;
+    EXPECT_FALSE(cold.cached);
+    ASSERT_FALSE(cold.report_json.empty());
+
+    serve::ServeResult hit = service.handle(kThermalRequest);
+    ASSERT_EQ(hit.status, serve::ServeResult::Status::Ok);
+    EXPECT_TRUE(hit.cached);
+    // The serve cache contract: a hit returns the byte-identical
+    // report the cold run produced.
+    EXPECT_EQ(hit.report_json, cold.report_json);
+    EXPECT_EQ(hit.digest_hex, cold.digest_hex);
+
+    obs::CounterSet counters = service.counters();
+    EXPECT_EQ(counters.value("serve.requests"), 2.0);
+    EXPECT_EQ(counters.value("serve.cache.hits"), 1.0);
+    EXPECT_EQ(counters.value("serve.cache.misses"), 1.0);
+}
+
+TEST(StudyService, ReportIsValidJsonWithStudyMetaPayload)
+{
+    serve::StudyService service(tinyServiceOptions());
+    serve::ServeResult result = service.handle(kThermalRequest);
+    ASSERT_EQ(result.status, serve::ServeResult::Status::Ok);
+
+    JsonValue report = parsed(result.report_json);
+    const JsonValue *study = report.find("study");
+    ASSERT_NE(study, nullptr);
+    EXPECT_EQ(study->string, "stack-thermal");
+    EXPECT_NE(report.find("meta"), nullptr);
+    ASSERT_NE(report.find("payload"), nullptr);
+    const JsonValue *opts = report.find("payload")->find("options");
+    ASSERT_NE(opts, nullptr);
+    EXPECT_EQ(opts->array.size(), 4u);
+
+    // And the full response line is itself one valid JSON document.
+    JsonValue line = parsed(result.line);
+    EXPECT_NE(line.find("report"), nullptr);
+}
+
+TEST(StudyService, BadRequestsAreErrorsNotCrashes)
+{
+    serve::StudyService service(tinyServiceOptions());
+    serve::ServeResult bad = service.handle("{\"schema_version\":1}");
+    EXPECT_EQ(bad.status, serve::ServeResult::Status::Error);
+    EXPECT_NE(bad.line.find("\"status\":\"error\""),
+              std::string::npos);
+
+    // A user-level failure inside the study (unknown benchmark)
+    // surfaces as an error response, and the service keeps serving.
+    serve::ServeResult fail = service.handle(
+        "{\"schema_version\": 2, \"study\": \"memory\", "
+        "\"spec\": {\"benchmarks\": [\"bogus\"]}}");
+    EXPECT_EQ(fail.status, serve::ServeResult::Status::Error);
+
+    serve::ServeResult ok = service.handle(kThermalRequest);
+    EXPECT_EQ(ok.status, serve::ServeResult::Status::Ok) << ok.error;
+}

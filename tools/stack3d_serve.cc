@@ -1,0 +1,155 @@
+/**
+ * @file
+ * stack3d-serve: a study service daemon. Accepts newline-delimited
+ * JSON study requests (see src/serve/request.hh for the schema) over
+ * a TCP socket or a stdin pipe, runs them on a worker pool, and
+ * memoizes results by request digest — a repeated request returns
+ * the byte-identical cached report without recomputing.
+ *
+ * Usage: stack3d_serve [--stdin | --port N] [--workers N]
+ *                      [--queue N] [--cache-entries N]
+ *                      [--cache-dir PATH] [--conn-threads N]
+ *                      [shared flags]
+ *
+ *   --stdin            serve requests from stdin, responses to stdout
+ *                      (default when --port is not given)
+ *   --port N           listen on 127.0.0.1:N (0 = kernel-assigned)
+ *   --workers N        concurrent study executions (default 2)
+ *   --queue N          extra requests admitted beyond the workers
+ *                      before rejecting with "rejected" (default 16)
+ *   --cache-entries N  in-memory result-cache entries; 0 disables
+ *                      caching (default 64)
+ *   --cache-dir PATH   also persist results to PATH/<digest>.json
+ *   --conn-threads N   TCP connection-handler threads (default 4)
+ *
+ * The shared --threads flag caps the per-study thread count a request
+ * may ask for. --stats-json captures the serve.* counters (requests,
+ * cache hits/misses, latency sums) at shutdown.
+ *
+ * Protocol control lines: {"op": "counters"} returns the counter
+ * snapshot; {"op": "stop"} shuts the server down.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/cli.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+
+using namespace stack3d;
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: stack3d_serve [--stdin | --port N] [--workers N] "
+          "[--queue N]\n"
+          "                     [--cache-entries N] [--cache-dir "
+          "PATH] [--conn-threads N]\n";
+    core::BenchCli::printUsage(os);
+}
+
+/** Like core::parseThreadArg but without its 4096 thread-count cap —
+ *  ports and queue/cache sizes legitimately exceed it. */
+unsigned
+parseCountArg(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || value > 0xfffffffful)
+        stack3d_fatal(flag, " expects a non-negative number, got '",
+                      text, "'");
+    return unsigned(value);
+}
+
+} // anonymous namespace
+
+int
+realMain(int argc, char **argv)
+{
+    core::BenchCli cli("stack3d_serve");
+    serve::ServiceOptions service_options;
+    bool use_stdin = false;
+    bool have_port = false;
+    unsigned port = 0;
+    unsigned conn_threads = 4;
+    for (int i = 1; i < argc; ++i) {
+        if (cli.consume(argc, argv, i))
+            continue;
+        if (std::strcmp(argv[i], "--stdin") == 0)
+            use_stdin = true;
+        else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            port = parseCountArg(argv[++i], "--port");
+            have_port = true;
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   i + 1 < argc)
+            service_options.workers =
+                parseCountArg(argv[++i], "--workers");
+        else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc)
+            service_options.queue_limit =
+                parseCountArg(argv[++i], "--queue");
+        else if (std::strcmp(argv[i], "--cache-entries") == 0 &&
+                 i + 1 < argc)
+            service_options.cache_entries =
+                parseCountArg(argv[++i], "--cache-entries");
+        else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                 i + 1 < argc)
+            service_options.cache_dir = argv[++i];
+        else if (std::strcmp(argv[i], "--conn-threads") == 0 &&
+                 i + 1 < argc)
+            conn_threads = parseCountArg(argv[++i], "--conn-threads");
+        else {
+            usage(std::cerr);
+            return 1;
+        }
+    }
+    if (use_stdin && have_port) {
+        std::cerr << "--stdin and --port are mutually exclusive\n";
+        return 1;
+    }
+    if (!have_port)
+        use_stdin = true;
+    if (port > 65535)
+        stack3d_fatal("--port must be <= 65535");
+
+    cli.begin();
+    service_options.max_study_threads = cli.options.resolvedThreads();
+    cli.addConfig("mode", use_stdin ? "stdin" : "tcp");
+    cli.addConfig("workers", double(service_options.workers));
+    cli.addConfig("queue", double(service_options.queue_limit));
+    cli.addConfig("cache_entries",
+                  double(service_options.cache_entries));
+
+    serve::StudyService service(service_options);
+    int status = 0;
+    if (use_stdin) {
+        std::uint64_t handled =
+            serve::runPipeServer(service, std::cin, std::cout);
+        if (!cli.quiet())
+            inform("stack3d-serve: handled ", handled, " request(s)");
+    } else {
+        status = serve::runTcpServer(service, port, conn_threads);
+    }
+
+    cli.counters().accumulate(service.counters());
+    int finish_status = cli.finish();
+    return status != 0 ? status : finish_status;
+}
+
+int
+main(int argc, char **argv)
+{
+    // fatal() throws so user/config errors stay testable; surface them
+    // here as a message + exit(1) instead of std::terminate.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
