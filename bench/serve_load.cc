@@ -19,24 +19,38 @@
  *
  * Usage: serve_load [--clients N] [--requests N] [--hot N]
  *                   [--workers N] [--die-nx N] [--die-ny N]
+ *                   [--queue N] [--retry N] [--backoff-ms N]
  *                   [--json PATH] [shared flags]
+ *
+ * Overload behavior: by default the admission queue is sized so
+ * nothing is ever rejected (the sweep measures the cache, not
+ * shedding). --queue N shrinks it so the service rejects under
+ * load; clients then retry with jittered exponential backoff
+ * (deterministically seeded) honoring the server's retry_after_ms
+ * hint, and the sweep reports retries/give-ups alongside goodput —
+ * the measure of what survives overload.
  *
  * The committed BENCH_serve.json is this tool's --json output.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "common/table.hh"
 #include "common/timing.hh"
 #include "core/cli.hh"
+#include "core/run_options.hh"
 #include "exec/pool.hh"
 #include "obs/provenance.hh"
 #include "serve/service.hh"
@@ -50,7 +64,9 @@ usage(std::ostream &os)
 {
     os << "usage: serve_load [--clients N] [--requests N] [--hot N] "
           "[--workers N]\n"
-          "                  [--die-nx N] [--die-ny N] [--json PATH]\n";
+          "                  [--die-nx N] [--die-ny N] [--queue N] "
+          "[--retry N]\n"
+          "                  [--backoff-ms N] [--json PATH]\n";
     core::BenchCli::printUsage(os);
 }
 
@@ -93,6 +109,7 @@ struct SweepPoint
     double hit_pct_measured = 0;
     double wall_s = 0;
     double req_per_s = 0;
+    double goodput_per_s = 0;   ///< ok responses per second
     double cold_ms = 0;
     double hit_ms = 0;
     double cold_p99_ms = 0;
@@ -100,7 +117,47 @@ struct SweepPoint
     double cold_over_hit = 0;
     std::uint64_t ok = 0;
     std::uint64_t errors = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t gave_up = 0;
 };
+
+/** Per-client tally a worker returns to the sweep loop. */
+struct ClientTally
+{
+    std::uint64_t ok = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t gave_up = 0;
+};
+
+/**
+ * The retry client: handle one request, backing off and retrying on
+ * rejection. Waits are jittered exponential — at least the server's
+ * retry_after_ms hint, scaled by a deterministic jitter in
+ * [0.5, 1.5) — so retry storms decorrelate but runs stay seeded.
+ */
+serve::ServeResult
+handleWithRetry(serve::StudyService &service, const std::string &line,
+                unsigned max_retries, unsigned backoff_ms, Random &rng,
+                ClientTally &tally)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        serve::ServeResult r = service.handle(line);
+        if (r.status != serve::ServeResult::Status::Rejected ||
+            attempt >= max_retries) {
+            if (r.status == serve::ServeResult::Status::Rejected)
+                ++tally.gave_up;
+            return r;
+        }
+        double base_ms = double(backoff_ms) *
+                         double(1u << std::min(attempt, 10u));
+        double wait_ms = std::max(double(r.retry_after_ms), base_ms);
+        wait_ms *= rng.uniformDouble(0.5, 1.5);
+        wait_ms = std::min(wait_ms, 1000.0);
+        ++tally.retries;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::int64_t(wait_ms * 1000.0)));
+    }
+}
 
 } // anonymous namespace
 
@@ -114,6 +171,9 @@ realMain(int argc, char **argv)
     unsigned n_workers = 2;
     unsigned die_nx = 10;
     unsigned die_ny = 8;
+    unsigned queue_limit = 0;   // 0 = effectively unbounded
+    unsigned max_retries = 4;
+    unsigned backoff_ms = 5;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (cli.consume(argc, argv, i))
@@ -132,6 +192,13 @@ realMain(int argc, char **argv)
             die_nx = core::parseThreadArg(argv[++i], "--die-nx");
         else if (std::strcmp(argv[i], "--die-ny") == 0 && i + 1 < argc)
             die_ny = core::parseThreadArg(argv[++i], "--die-ny");
+        else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc)
+            queue_limit = parseCountArg(argv[++i], "--queue");
+        else if (std::strcmp(argv[i], "--retry") == 0 && i + 1 < argc)
+            max_retries = parseCountArg(argv[++i], "--retry");
+        else if (std::strcmp(argv[i], "--backoff-ms") == 0 &&
+                 i + 1 < argc)
+            backoff_ms = parseCountArg(argv[++i], "--backoff-ms");
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
         else {
@@ -149,6 +216,9 @@ realMain(int argc, char **argv)
     cli.addConfig("workers", double(n_workers));
     cli.addConfig("die_nx", double(die_nx));
     cli.addConfig("die_ny", double(die_ny));
+    cli.addConfig("queue", double(queue_limit));
+    cli.addConfig("retry", double(max_retries));
+    cli.addConfig("backoff_ms", double(backoff_ms));
 
     const unsigned kHitTargets[] = {0, 50, 90, 100};
     std::vector<SweepPoint> points;
@@ -158,7 +228,8 @@ realMain(int argc, char **argv)
 
         serve::ServiceOptions service_options;
         service_options.workers = n_workers;
-        service_options.queue_limit = n_clients + n_requests;
+        service_options.queue_limit =
+            queue_limit != 0 ? queue_limit : n_clients + n_requests;
         service_options.cache_entries = n_requests + n_hot;
         service_options.max_study_threads = 1;
         serve::StudyService service(service_options);
@@ -181,24 +252,35 @@ realMain(int argc, char **argv)
         obs::CounterSet before = service.counters();
 
         exec::ThreadPool clients(n_clients);
-        std::vector<std::future<std::uint64_t>> futures;
+        std::vector<std::future<ClientTally>> futures;
         futures.reserve(n_clients);
+        std::uint64_t client_seed_base = cli.options.seed;
         WallTimer timer;
         for (unsigned c = 0; c < n_clients; ++c) {
             futures.push_back(clients.submit(
-                [c, n_clients, &lines, &service]() -> std::uint64_t {
-                    std::uint64_t ok = 0;
+                [c, n_clients, max_retries, backoff_ms,
+                 client_seed_base, &lines, &service]() -> ClientTally {
+                    ClientTally tally;
+                    Random rng(core::deriveCellSeed(
+                        client_seed_base,
+                        core::cellKey("serve-client") + c));
                     for (std::size_t i = c; i < lines.size();
                          i += n_clients) {
-                        serve::ServeResult r = service.handle(lines[i]);
+                        serve::ServeResult r = handleWithRetry(
+                            service, lines[i], max_retries,
+                            backoff_ms, rng, tally);
                         if (r.status == serve::ServeResult::Status::Ok)
-                            ++ok;
+                            ++tally.ok;
                     }
-                    return ok;
+                    return tally;
                 }));
         }
-        for (auto &f : futures)
-            point.ok += f.get();
+        for (auto &f : futures) {
+            ClientTally tally = f.get();
+            point.ok += tally.ok;
+            point.retries += tally.retries;
+            point.gave_up += tally.gave_up;
+        }
         point.wall_s = timer.seconds();
 
         obs::CounterSet after = service.counters();
@@ -206,6 +288,7 @@ realMain(int argc, char **argv)
                       before.value("serve.cache.hits");
         point.hit_pct_measured = 100.0 * hits / n_requests;
         point.req_per_s = n_requests / point.wall_s;
+        point.goodput_per_s = double(point.ok) / point.wall_s;
         point.errors = std::uint64_t(after.value("serve.errors"));
         double cold_n = after.value("serve.latency.cold.count");
         double hit_n = after.value("serve.latency.hit.count");
@@ -225,13 +308,15 @@ realMain(int argc, char **argv)
 
     if (!cli.quiet()) {
         printBanner(std::cout, "stack3d-serve sustained load");
-        TextTable t({"hit% target", "hit% seen", "req/s", "cold ms",
-                     "hit ms", "cold/hit"});
+        TextTable t({"hit% target", "hit% seen", "req/s", "good/s",
+                     "retries", "cold ms", "hit ms", "cold/hit"});
         for (const SweepPoint &p : points) {
             t.newRow()
                 .cell(double(p.hit_pct_target), 0)
                 .cell(p.hit_pct_measured, 1)
                 .cell(p.req_per_s, 1)
+                .cell(p.goodput_per_s, 1)
+                .cell(double(p.retries), 0)
                 .cell(p.cold_ms, 3)
                 .cell(p.hit_ms, 4)
                 .cell(p.cold_over_hit, 0);
@@ -275,6 +360,9 @@ realMain(int argc, char **argv)
             w.key("hit_p99_ms").value(p.hit_p99_ms);
             w.key("cold_over_hit").value(p.cold_over_hit);
             w.key("ok").value(std::uint64_t(p.ok));
+            w.key("goodput_per_s").value(p.goodput_per_s);
+            w.key("retries").value(std::uint64_t(p.retries));
+            w.key("gave_up").value(std::uint64_t(p.gave_up));
             w.endObject();
         }
         w.endArray();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cooperative cancellation with optional deadlines.
+ *
+ * A CancelToken is shared between a requester (who may cancel, or who
+ * set a deadline at creation) and the workers executing on its behalf
+ * (who poll shouldStop() at natural checkpoints: once per study cell,
+ * once per CG outer iteration). Cancellation is advisory — nothing is
+ * interrupted preemptively — which keeps the determinism story intact:
+ * a run either completes with its usual bit-exact result or stops at a
+ * checkpoint with CancelledError; there is no torn in-between state.
+ *
+ * Deadlines use steady_clock (monotonic; wall-clock rules in
+ * .lint3d.toml ban only calendar time). A token with no deadline
+ * never expires on its own and only stops when cancel() is called.
+ */
+
+#ifndef STACK3D_COMMON_CANCEL_HH
+#define STACK3D_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace stack3d {
+
+/** Thrown by workers when they observe cancellation at a checkpoint. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Shared stop-request flag, optionally armed with a deadline. */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+
+    /** Token that expires @p deadline_ms from now (0 = no deadline).
+     *  The atomic member makes tokens immovable; construct in place
+     *  (typically inside a std::shared_ptr) and share the pointer. */
+    explicit CancelToken(unsigned deadline_ms)
+    {
+        if (deadline_ms > 0) {
+            _deadline =
+                Clock::now() + std::chrono::milliseconds(deadline_ms);
+            _has_deadline = true;
+        }
+    }
+
+    /** Request a stop; idempotent, callable from any thread. */
+    void cancel() { _cancelled.store(true, std::memory_order_relaxed); }
+
+    /** True once cancel() was called (deadline expiry not included). */
+    bool cancelled() const
+    {
+        return _cancelled.load(std::memory_order_relaxed);
+    }
+
+    /** True when work should stop: cancelled or past the deadline. */
+    bool shouldStop() const
+    {
+        if (cancelled())
+            return true;
+        return _has_deadline && Clock::now() >= _deadline;
+    }
+
+    /** The checkpoint helper: throw CancelledError when stopping. */
+    void throwIfStopped(const char *where) const
+    {
+        if (shouldStop())
+            throw CancelledError(std::string("cancelled at ") + where);
+    }
+
+    bool hasDeadline() const { return _has_deadline; }
+    Clock::time_point deadline() const { return _deadline; }
+
+  private:
+    std::atomic<bool> _cancelled{false};
+    Clock::time_point _deadline{};
+    bool _has_deadline = false;
+};
+
+} // namespace stack3d
+
+#endif // STACK3D_COMMON_CANCEL_HH

@@ -1,0 +1,303 @@
+#include "fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/digest.hh"
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace stack3d {
+
+namespace fault_detail {
+
+std::atomic<bool> g_faults_enabled{false};
+
+namespace {
+
+/** Live state of one configured point. */
+struct Point
+{
+    FaultPointInfo info;
+    Random rng;
+};
+
+/**
+ * The registry singleton: a name-keyed map guarded by one mutex.
+ * Fault points sit on failure-handling paths, not inner loops, so a
+ * lock per *enabled* check is cheap; disabled checks never get here.
+ */
+struct State
+{
+    std::mutex mutex;
+    std::map<std::string, Point> points;
+    std::uint64_t seed = 1;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+Point *
+findPoint(State &s, const char *name)
+{
+    auto it = s.points.find(name);
+    return it == s.points.end() ? nullptr : &it->second;
+}
+
+/** One seeded draw; updates the point's counters. */
+bool
+draw(Point &point)
+{
+    ++point.info.checks;
+    if (!point.rng.chance(point.info.probability))
+        return false;
+    ++point.info.fires;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+shouldFire(const char *name)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    Point *point = findPoint(s, name);
+    return point && draw(*point);
+}
+
+unsigned
+delayMs(const char *name)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    Point *point = findPoint(s, name);
+    if (!point || !draw(*point))
+        return 0;
+    return point->info.delay_ms;
+}
+
+} // namespace fault_detail
+
+namespace {
+
+using fault_detail::state;
+
+/** Install @p infos as the active configuration. */
+void
+install(const std::vector<FaultPointInfo> &infos, std::uint64_t seed)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.points.clear();
+    s.seed = seed;
+    for (const FaultPointInfo &info : infos) {
+        fault_detail::Point point;
+        point.info = info;
+        // Independent stream per point: the decision sequence of one
+        // point is unaffected by how often any other point is hit.
+        point.rng.reseed(seed ^ fnv1a(info.name));
+        s.points.emplace(info.name, std::move(point));
+    }
+    fault_detail::g_faults_enabled.store(!infos.empty(),
+                                         std::memory_order_relaxed);
+}
+
+[[nodiscard]] bool
+parseProbability(const std::string &text, double &out,
+                 std::string &error)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || out < 0.0 ||
+        out > 1.0) {
+        error = "fault probability must be in [0, 1], got '" + text +
+                "'";
+        return false;
+    }
+    return true;
+}
+
+/** Parse the "@file.json" form. */
+[[nodiscard]] bool
+parseJsonConfig(const std::string &path,
+                std::vector<FaultPointInfo> &out, std::uint64_t &seed,
+                std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot read fault config '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    JsonValue root;
+    if (!parseJson(ss.str(), root, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    if (!root.isObject()) {
+        error = path + ": fault config must be a JSON object";
+        return false;
+    }
+    for (const auto &member : root.object) {
+        if (member.first == "seed") {
+            if (!member.second.isNumber()) {
+                error = path + ": seed must be a number";
+                return false;
+            }
+            seed = std::uint64_t(member.second.number);
+        } else if (member.first == "points") {
+            if (!member.second.isObject()) {
+                error = path + ": points must be an object";
+                return false;
+            }
+            for (const auto &entry : member.second.object) {
+                FaultPointInfo info;
+                info.name = entry.first;
+                const JsonValue &v = entry.second;
+                if (v.isNumber()) {
+                    info.probability = v.number;
+                } else if (v.isObject()) {
+                    const JsonValue *p = v.find("p");
+                    if (!p || !p->isNumber()) {
+                        error = path + ": point '" + entry.first +
+                                "' needs a numeric \"p\"";
+                        return false;
+                    }
+                    info.probability = p->number;
+                    if (const JsonValue *delay = v.find("delay_ms")) {
+                        if (!delay->isNumber()) {
+                            error = path + ": delay_ms must be a "
+                                           "number";
+                            return false;
+                        }
+                        info.delay_ms = unsigned(delay->number);
+                    }
+                } else {
+                    error = path + ": point '" + entry.first +
+                            "' must be a probability or an object";
+                    return false;
+                }
+                if (info.probability < 0.0 ||
+                    info.probability > 1.0) {
+                    error = path + ": point '" + entry.first +
+                            "' probability must be in [0, 1]";
+                    return false;
+                }
+                out.push_back(std::move(info));
+            }
+        } else {
+            error = path + ": unknown fault-config key '" +
+                    member.first + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Parse the inline "name:prob[:delay_ms],..." form. */
+[[nodiscard]] bool
+parseInlineConfig(const std::string &spec,
+                  std::vector<FaultPointInfo> &out, std::string &error)
+{
+    std::istringstream entries(spec);
+    std::string entry;
+    while (std::getline(entries, entry, ',')) {
+        if (entry.empty())
+            continue;
+        std::size_t colon = entry.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            error = "fault spec entry '" + entry +
+                    "' is not name:probability";
+            return false;
+        }
+        FaultPointInfo info;
+        info.name = entry.substr(0, colon);
+        std::string rest = entry.substr(colon + 1);
+        std::size_t colon2 = rest.find(':');
+        std::string prob = rest.substr(0, colon2);
+        if (!parseProbability(prob, info.probability, error))
+            return false;
+        if (colon2 != std::string::npos) {
+            std::string delay = rest.substr(colon2 + 1);
+            char *end = nullptr;
+            unsigned long ms = std::strtoul(delay.c_str(), &end, 10);
+            if (end == delay.c_str() || *end != '\0' ||
+                ms > 60000ul) {
+                error = "fault delay must be 0..60000 ms, got '" +
+                        delay + "'";
+                return false;
+            }
+            info.delay_ms = unsigned(ms);
+        }
+        out.push_back(std::move(info));
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+FaultRegistry::configure(const std::string &spec, std::uint64_t seed,
+                         std::string &error)
+{
+    std::vector<FaultPointInfo> infos;
+    if (!spec.empty() && spec[0] == '@') {
+        if (!parseJsonConfig(spec.substr(1), infos, seed, error))
+            return false;
+    } else if (!parseInlineConfig(spec, infos, error)) {
+        return false;
+    }
+    install(infos, seed);
+    return true;
+}
+
+void
+FaultRegistry::configureFromEnvironment()
+{
+    const char *spec = std::getenv("STACK3D_FAULTS");
+    if (!spec || !*spec)
+        return;
+    std::uint64_t seed = 1;
+    if (const char *seed_text = std::getenv("STACK3D_FAULT_SEED")) {
+        char *end = nullptr;
+        seed = std::strtoull(seed_text, &end, 10);
+        if (end == seed_text || *end != '\0')
+            stack3d_fatal("STACK3D_FAULT_SEED must be an integer, "
+                          "got '", seed_text, "'");
+    }
+    std::string error;
+    if (!configure(spec, seed, error))
+        stack3d_fatal("STACK3D_FAULTS: ", error);
+    inform("fault injection armed: ", spec, " (seed ", seed, ")");
+}
+
+void
+FaultRegistry::reset()
+{
+    install({}, 1);
+}
+
+std::vector<FaultPointInfo>
+FaultRegistry::snapshot()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<FaultPointInfo> infos;
+    infos.reserve(s.points.size());
+    for (const auto &entry : s.points)
+        infos.push_back(entry.second.info);
+    return infos;   // std::map iteration: already name-sorted
+}
+
+} // namespace stack3d

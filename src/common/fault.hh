@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos testing.
+ *
+ * A fault *point* is a named site in the code where a failure can be
+ * provoked on purpose: a disk write that pretends the disk is full, a
+ * pool task that dawdles, a study cell that throws halfway through.
+ * Points are declared at the call site:
+ *
+ *    if (S3D_FAULT_POINT("serve.disk.write"))
+ *        return;                        // behave as if write failed
+ *    sleepMs(S3D_FAULT_DELAY("serve.disk.latency"));
+ *
+ * and configured externally, either via the environment
+ *
+ *    STACK3D_FAULTS=serve.disk.write:0.1,exec.task.slow:0.05:20
+ *    STACK3D_FAULT_SEED=42
+ *
+ * (name:probability[:delay_ms] comma list; `@path` loads a JSON file
+ * {"seed": 42, "points": {"serve.disk.write": 0.1,
+ *  "exec.task.slow": {"p": 0.05, "delay_ms": 20}}}), or in process
+ * with FaultRegistry::configure().
+ *
+ * Determinism: each point owns its own xoshiro stream derived from
+ * (master seed, fnv1a(point name)), so the k-th decision of a point
+ * is a pure function of the seed — two runs with the same seed and
+ * the same (serialized) evaluation order fire identically, which is
+ * what makes chaos runs replayable and their counters comparable.
+ * Points evaluated concurrently from several threads still each see
+ * a deterministic stream, but the assignment of decisions to callers
+ * then depends on interleaving; chaos CI therefore drives the serial
+ * transports. Unconfigured builds pay one inline atomic load per
+ * S3D_FAULT_POINT — faults off is the zero-cost default.
+ *
+ * The registry keeps per-point evaluation/fire counters; servers
+ * export them (serve.fault.*) so a chaos run's fault schedule is
+ * visible in --stats-json and replays can be diffed.
+ */
+
+#ifndef STACK3D_COMMON_FAULT_HH
+#define STACK3D_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stack3d {
+
+/** Configuration and live counters of one named fault point. */
+struct FaultPointInfo
+{
+    std::string name;
+    double probability = 0.0;    ///< chance each check fires, [0, 1]
+    unsigned delay_ms = 10;      ///< injected latency when it fires
+    std::uint64_t checks = 0;    ///< times the point was evaluated
+    std::uint64_t fires = 0;     ///< times it fired
+};
+
+namespace fault_detail {
+
+/** One branch on this is the whole cost of a disabled fault point. */
+extern std::atomic<bool> g_faults_enabled;
+
+/** Slow path: registry lookup + seeded draw (fault.cc). */
+[[nodiscard]] bool shouldFire(const char *point);
+
+/** Slow path: delay draw; 0 when the point did not fire. */
+[[nodiscard]] unsigned delayMs(const char *point);
+
+} // namespace fault_detail
+
+/**
+ * Process-wide fault-point registry. All methods are thread-safe;
+ * points unknown to the configuration never fire.
+ */
+class FaultRegistry
+{
+  public:
+    /**
+     * Replace the configuration from a spec string
+     * ("name:prob[:delay_ms],..." or "@file.json"; empty disables
+     * all faults). @return false with @p error set on a malformed
+     * spec (the previous configuration is kept).
+     */
+    static bool configure(const std::string &spec, std::uint64_t seed,
+                          std::string &error);
+
+    /**
+     * Configure from $STACK3D_FAULTS / $STACK3D_FAULT_SEED. Called
+     * once by daemon/bench mains; a malformed value is fatal()
+     * (silently ignoring a chaos config would fake a green run).
+     * No-op when the variable is unset.
+     */
+    static void configureFromEnvironment();
+
+    /** Drop every point and disable injection. */
+    static void reset();
+
+    /** True when at least one point is configured. */
+    static bool enabled()
+    {
+        return fault_detail::g_faults_enabled.load(
+            std::memory_order_relaxed);
+    }
+
+    /**
+     * Snapshot of every configured point (name-sorted). Exporters
+     * (the serve daemon's serve.fault.* counters) fold this into
+     * their own counter sets; common stays obs-free.
+     */
+    static std::vector<FaultPointInfo> snapshot();
+};
+
+} // namespace stack3d
+
+/**
+ * Evaluate the named fault point: true when the caller should act
+ * out the failure. Near-zero when no faults are configured.
+ */
+#define S3D_FAULT_POINT(name)                                               \
+    (::stack3d::FaultRegistry::enabled() &&                                 \
+     ::stack3d::fault_detail::shouldFire(name))
+
+/**
+ * Latency variant: milliseconds of delay to inject (0 = none).
+ * The draw consumes one decision of the point's stream, exactly like
+ * S3D_FAULT_POINT.
+ */
+#define S3D_FAULT_DELAY(name)                                               \
+    (::stack3d::FaultRegistry::enabled()                                    \
+         ? ::stack3d::fault_detail::delayMs(name)                           \
+         : 0u)
+
+#endif // STACK3D_COMMON_FAULT_HH

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hh"
+#include "common/fault.hh"
 #include "common/timing.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -141,6 +143,16 @@ struct RunOptions
     /** Optional progress observer (not owned; may be null). */
     ProgressSink *progress = nullptr;
 
+    /**
+     * Optional cooperative stop request (not owned; may be null).
+     * Studies poll it per cell, thermal solves per CG outer
+     * iteration; observing a stop throws CancelledError, so a
+     * cancelled run produces no partial report. Excluded from the
+     * request digest like progress/threads — it cannot change
+     * results, only whether they arrive.
+     */
+    const CancelToken *cancel = nullptr;
+
     /** The thread count after resolving 0 -> hardware cores. */
     [[nodiscard]] unsigned resolvedThreads() const;
 };
@@ -253,6 +265,14 @@ class StudyTracker
     void
     runCell(std::size_t index, const std::string &label, F &&fn)
     {
+        // Checkpoints before the (expensive) cell body: cooperative
+        // cancellation, then the chaos-test mid-study failure.
+        if (_options.cancel && _options.cancel->shouldStop())
+            throw CancelledError(_study + " cancelled before cell " +
+                                 label);
+        if (S3D_FAULT_POINT("study.cell.fail"))
+            throw std::runtime_error("fault injected: " + _study +
+                                     " cell " + label + " failed");
         cellStarted(index, label);
         obs::Span span(_study + "/" + label, "study");
         WallTimer timer;

@@ -85,6 +85,7 @@ runStackThermalStudy(const RunOptions &options,
 
     thermal::SolverOptions sopt;
     sopt.precond = options.thermal_precond;
+    sopt.cancel = options.cancel;
 
     // Three tasks over four cells: the two DRAM options share the
     // same die outline, so dram64m warm-starts from dram32m's field.
@@ -193,6 +194,7 @@ runConductivitySensitivity(const RunOptions &options,
 
     thermal::SolverOptions sopt;
     sopt.precond = options.thermal_precond;
+    sopt.cancel = options.cancel;
 
     // Two cells per swept point: Cu-metal and bonding-layer. Each
     // swept layer forms one sequential chain so consecutive points

@@ -1,5 +1,9 @@
 #include "pool.hh"
 
+#include <chrono>
+#include <thread>
+
+#include "common/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -123,6 +127,11 @@ ThreadPool::workerLoop(unsigned self)
                 _n_stolen.fetch_add(1, std::memory_order_relaxed);
                 obs::instant("pool.steal", "exec");
             }
+            // Chaos hook: stall a task as a wedged worker would,
+            // without changing what the task computes.
+            if (unsigned stall_ms = S3D_FAULT_DELAY("exec.task.slow"))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(stall_ms));
             obs::Span span("pool.task", "exec");
             task();
             continue;

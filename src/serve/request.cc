@@ -94,6 +94,7 @@ parseRequest(const std::string &line, Request &out, std::string &error)
     }
 
     r.readString("id", out.id);
+    r.readUnsigned("deadline_ms", out.deadline_ms);
 
     if (const JsonValue *options = r.readMember("options")) {
         if (!core::parseRunOptions(*options, out.options, error))

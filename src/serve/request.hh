@@ -16,6 +16,9 @@
  *   options         optional RunOptions object (core/study_json.hh)
  *   spec            optional study-spec object; absent keys keep the
  *                   spec defaults
+ *   deadline_ms     optional response deadline; past it the service
+ *                   answers status "timeout" and cancels the
+ *                   execution (0 = none, the default)
  *
  * Parsing is strict throughout: unknown keys anywhere are an error.
  */
@@ -46,6 +49,14 @@ struct Request
     std::string id;
     StudyKind kind = StudyKind::StackThermal;
     core::RunOptions options;
+
+    /**
+     * Response deadline in milliseconds (0 = none). Like threads and
+     * verbosity, this is delivery QoS, not study identity — it is
+     * excluded from digest(), so a deadline request can still hit
+     * the cache of (or coalesce with) an undeadlined twin.
+     */
+    unsigned deadline_ms = 0;
 
     // Only the spec matching `kind` is meaningful; the others stay
     // default-constructed.

@@ -1,19 +1,70 @@
 #include "serve/result_cache.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <dirent.h>
 #include <fstream>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <thread>
+#include <vector>
 
 #include "common/digest.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace stack3d {
 namespace serve {
 
+namespace {
+
+// Disk-entry trailer: "\n#fnv1a:" + digestHex (= "0x" + 16 hex) +
+// "\n". Fixed-size, so the payload boundary needs no scanning.
+constexpr char kTrailerTag[] = "\n#fnv1a:";
+constexpr std::size_t kTrailerSize = sizeof(kTrailerTag) - 1 + 18 + 1;
+
+std::string
+trailerFor(const std::string &payload)
+{
+    return kTrailerTag + digestHex(fnv1a(payload)) + "\n";
+}
+
+/** Split a raw disk entry into payload + verified trailer. */
+[[nodiscard]] bool
+splitVerified(const std::string &raw, std::string &payload)
+{
+    if (raw.size() < kTrailerSize)
+        return false;
+    const std::size_t payload_size = raw.size() - kTrailerSize;
+    if (raw.compare(payload_size, std::string::npos,
+                    trailerFor(raw.substr(0, payload_size))) != 0)
+        return false;
+    payload = raw.substr(0, payload_size);
+    return true;
+}
+
+[[nodiscard]] bool
+endsWith(const std::string &text, const char *suffix)
+{
+    const std::size_t n = std::string(suffix).size();
+    return text.size() >= n &&
+           text.compare(text.size() - n, n, suffix) == 0;
+}
+
+void
+injectDiskLatency()
+{
+    if (unsigned ms = S3D_FAULT_DELAY("serve.disk.latency"))
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // anonymous namespace
+
 ResultCache::ResultCache(std::size_t capacity, std::string disk_dir)
     : _capacity(capacity), _dir(std::move(disk_dir))
 {
+    if (!_dir.empty())
+        scrubDiskTier();
 }
 
 std::string
@@ -21,6 +72,64 @@ ResultCache::diskPath(std::uint64_t digest) const
 {
     // digestHex gives "0x<16 hex>"; drop the prefix for the filename.
     return _dir + "/" + digestHex(digest).substr(2) + ".json";
+}
+
+void
+ResultCache::quarantine(const std::string &path)
+{
+    // Keep the bytes for postmortems; fall back to deletion when
+    // even the rename fails (read-only dir), so the entry cannot be
+    // re-served either way.
+    std::string bad = path + ".corrupt";
+    if (std::rename(path.c_str(), bad.c_str()) != 0)
+        std::remove(path.c_str());
+    ++_stats.corrupt;
+    warn("result cache: quarantined corrupt entry " + path);
+}
+
+bool
+ResultCache::readDiskEntry(const std::string &path,
+                           std::string &payload)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return false;
+    if (!splitVerified(raw, payload)) {
+        quarantine(path);
+        return false;
+    }
+    return true;
+}
+
+void
+ResultCache::scrubDiskTier()
+{
+    DIR *dir = ::opendir(_dir.c_str());
+    if (!dir)
+        return;   // tier not created yet: nothing to scrub
+    // Collect names first: quarantine renames entries while we walk.
+    std::vector<std::string> names;
+    while (const struct dirent *entry = ::readdir(dir))
+        names.push_back(entry->d_name);
+    ::closedir(dir);
+    for (const std::string &name : names) {
+        std::string path = _dir + "/" + name;
+        if (endsWith(name, ".json.tmp")) {
+            // A crash mid-put; the rename never happened, so the
+            // entry was never visible. Just clean up.
+            std::remove(path.c_str());
+            ++_stats.scrubbed;
+        } else if (endsWith(name, ".json")) {
+            std::string payload;
+            (void)readDiskEntry(path, payload);
+            ++_stats.scrubbed;
+        }
+    }
+    _dir_ready = true;
 }
 
 bool
@@ -37,18 +146,15 @@ ResultCache::tryGet(std::uint64_t digest, std::string &out)
         ++_stats.hits;
         return true;
     }
-    if (!_dir.empty()) {
-        std::ifstream in(diskPath(digest), std::ios::binary);
-        if (in) {
-            std::string json((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-            if (in.good() || in.eof()) {
-                insert(digest, json);
-                out = std::move(json);
-                ++_stats.hits;
-                ++_stats.disk_hits;
-                return true;
-            }
+    if (!_dir.empty() && !S3D_FAULT_POINT("serve.disk.read")) {
+        injectDiskLatency();
+        std::string payload;
+        if (readDiskEntry(diskPath(digest), payload)) {
+            insert(digest, payload);
+            out = std::move(payload);
+            ++_stats.hits;
+            ++_stats.disk_hits;
+            return true;
         }
     }
     ++_stats.misses;
@@ -86,6 +192,16 @@ ResultCache::put(std::uint64_t digest, const std::string &report_json)
         ::mkdir(_dir.c_str(), 0755);   // a pre-existing dir is fine
         _dir_ready = true;
     }
+    if (S3D_FAULT_POINT("serve.disk.write")) {
+        warn("result cache: fault-injected write failure");
+        return;
+    }
+    injectDiskLatency();
+    // The chaos corruption flips one payload byte *after* the
+    // trailer was computed, so the next read must quarantine it.
+    std::string body = report_json;
+    if (!body.empty() && S3D_FAULT_POINT("serve.disk.corrupt"))
+        body[body.size() / 2] ^= 0x20;
     // Write-then-rename so a concurrent reader never sees a torn
     // file (the service lock covers this process, not a second one).
     std::string path = diskPath(digest);
@@ -96,11 +212,16 @@ ResultCache::put(std::uint64_t digest, const std::string &report_json)
             warn("result cache: cannot write " + tmp);
             return;
         }
-        os << report_json;
+        os << body << trailerFor(report_json);
         if (!os.good()) {
             warn("result cache: short write to " + tmp);
             return;
         }
+    }
+    if (S3D_FAULT_POINT("serve.disk.rename")) {
+        std::remove(tmp.c_str());
+        warn("result cache: fault-injected rename failure");
+        return;
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         warn("result cache: cannot rename " + tmp);

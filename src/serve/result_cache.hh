@@ -13,6 +13,19 @@
  *    entry under `disk_dir`) that survives restarts. Memory misses
  *    fall through to disk and promote back into memory.
  *
+ * Disk durability: every entry is written as payload + an FNV-1a
+ * digest trailer ("\n#fnv1a:0x<16 hex>\n") via write-to-tmp then
+ * rename, and verified against the trailer on every read. An entry
+ * that fails verification — truncated by a crash, bit-flipped by the
+ * medium — is quarantined (renamed to "<file>.corrupt") and treated
+ * as a miss, so bad bytes are never spliced into a response. On
+ * construction the disk tier is scrubbed: leftover ".tmp" files are
+ * deleted and every entry is verified, evicting corruption before it
+ * can meet traffic.
+ *
+ * Fault points (common/fault.hh): serve.disk.write, serve.disk.read,
+ * serve.disk.rename, serve.disk.corrupt, serve.disk.latency.
+ *
  * Not internally synchronized: StudyService serializes access under
  * its own lock.
  */
@@ -36,6 +49,8 @@ struct CacheStats
     std::uint64_t evictions = 0;   ///< LRU evictions from memory
     std::uint64_t disk_hits = 0;   ///< hits that came from disk
     std::uint64_t disk_writes = 0;
+    std::uint64_t corrupt = 0;     ///< entries quarantined (any time)
+    std::uint64_t scrubbed = 0;    ///< files examined at startup
 };
 
 /** LRU + optional disk result store. See file comment. */
@@ -71,6 +86,11 @@ class ResultCache
 
     std::string diskPath(std::uint64_t digest) const;
     void insert(std::uint64_t digest, const std::string &report_json);
+    void scrubDiskTier();
+    void quarantine(const std::string &path);
+    /** Read + verify one disk entry; quarantines on corruption. */
+    [[nodiscard]] bool readDiskEntry(const std::string &path,
+                                     std::string &payload);
 
     std::size_t _capacity;
     std::string _dir;

@@ -11,7 +11,9 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "common/json.hh"
@@ -25,27 +27,80 @@ namespace serve {
 
 namespace {
 
-/** Non-request control line ({"op": ...}), if this line is one. */
-enum class ControlOp { None, Stop, Counters };
+std::atomic<bool> g_shutdown_requested{false};
 
-ControlOp
-classifyLine(const std::string &line)
+/**
+ * Self-pipe for the classic signal race: a handler that only sets a
+ * flag cannot wake a loop already blocked in accept()/poll(). The
+ * pipe is created at load time (before main() can install handlers),
+ * and requestShutdown() writes one byte — poll()ing the read end
+ * plus the listen socket makes shutdown delivery race-free.
+ */
+// Written once by the load-time initializer below, read-only after
+// (including from the signal handler), so unsynchronized access is
+// safe.
+int g_shutdown_pipe[2] = {-1, -1};   // lint3d: conc-global-mutable-ok
+
+struct ShutdownPipeInit
 {
-    // Cheap pre-filter: every control line mentions "op".
-    if (line.find("\"op\"") == std::string::npos)
-        return ControlOp::None;
+    ShutdownPipeInit()
+    {
+        if (::pipe(g_shutdown_pipe) != 0)
+            g_shutdown_pipe[0] = g_shutdown_pipe[1] = -1;
+    }
+};
+
+ShutdownPipeInit g_shutdown_pipe_init;   // lint3d: conc-global-mutable-ok
+
+} // anonymous namespace
+
+void
+requestShutdown()
+{
+    g_shutdown_requested.store(true, std::memory_order_relaxed);
+    if (g_shutdown_pipe[1] >= 0) {
+        char byte = 1;
+        // A full pipe just means a wakeup is already queued.
+        (void)!::write(g_shutdown_pipe[1], &byte, 1);
+    }
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/** Non-request control line ({"op": ...}), if this line is one. */
+enum class ControlOp { None, Stop, Counters, Unknown };
+
+/**
+ * Classify on the parsed top-level object only: a line is a control
+ * line iff it is a JSON object with a top-level "op" member. A
+ * request whose *spec* contains an "op" key is never misrouted, and
+ * an unrecognized op value gets its own error instead of being
+ * parsed as a (certain to fail) study request.
+ */
+ControlOp
+classifyLine(const std::string &line, std::string &op_name)
+{
     JsonValue root;
     std::string error;
     if (!parseJson(line, root, error) || !root.isObject())
-        return ControlOp::None;
+        return ControlOp::None;   // the service renders parse errors
     const JsonValue *op = root.find("op");
-    if (!op || !op->isString())
+    if (!op)
         return ControlOp::None;
-    if (op->string == "stop")
-        return ControlOp::Stop;
-    if (op->string == "counters")
-        return ControlOp::Counters;
-    return ControlOp::None;
+    if (op->isString()) {
+        op_name = op->string;
+        if (op->string == "stop")
+            return ControlOp::Stop;
+        if (op->string == "counters")
+            return ControlOp::Counters;
+    }
+    return ControlOp::Unknown;
 }
 
 std::string
@@ -70,6 +125,22 @@ stopLine()
            ",\"status\":\"ok\",\"stopping\":true}";
 }
 
+std::string
+errorLine(const std::string &message)
+{
+    return "{\"schema_version\":" +
+           std::to_string(obs::kSchemaVersion) +
+           ",\"status\":\"error\",\"error\":\"" +
+           JsonWriter::escape(message) + "\"}";
+}
+
+std::string
+oversizedLine(std::size_t cap)
+{
+    return errorLine("request line exceeds the " +
+                     std::to_string(cap) + " byte cap");
+}
+
 /**
  * Handle one protocol line; returns false when it was a stop op
  * (after emitting the acknowledgement via @p emit).
@@ -79,12 +150,16 @@ bool
 handleLine(StudyService &service, const std::string &line,
            EmitFn &&emit)
 {
-    switch (classifyLine(line)) {
+    std::string op_name;
+    switch (classifyLine(line, op_name)) {
       case ControlOp::Stop:
         emit(stopLine());
         return false;
       case ControlOp::Counters:
         emit(countersLine(service));
+        return true;
+      case ControlOp::Unknown:
+        emit(errorLine("unknown op '" + op_name + "'"));
         return true;
       case ControlOp::None:
         break;
@@ -99,15 +174,51 @@ isBlank(const std::string &line)
     return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
+/**
+ * getline with a byte cap. Reads through the next newline; bytes
+ * past @p max_bytes are consumed but discarded, with @p overflow set
+ * so the caller can respond with a clean error instead of buffering
+ * an arbitrarily long line. @return false at end of stream.
+ */
+bool
+readBoundedLine(std::istream &in, std::string &line,
+                std::size_t max_bytes, bool &overflow)
+{
+    line.clear();
+    overflow = false;
+    char ch;
+    while (in.get(ch)) {
+        if (ch == '\n')
+            return true;
+        if (line.size() >= max_bytes)
+            overflow = true;   // keep consuming to the newline
+        else
+            line.push_back(ch);
+    }
+    // EOF (or EINTR from a shutdown signal): deliver a final
+    // unterminated line if one was read.
+    return !line.empty() || overflow;
+}
+
 } // anonymous namespace
 
 std::uint64_t
 runPipeServer(StudyService &service, std::istream &in,
               std::ostream &out)
 {
+    const std::size_t cap = service.options().max_line_bytes;
     std::uint64_t handled = 0;
     std::string line;
-    while (std::getline(in, line)) {
+    bool overflow = false;
+    while (!shutdownRequested() &&
+           readBoundedLine(in, line, cap, overflow)) {
+        if (overflow) {
+            ++handled;
+            service.noteOversizedLine();
+            out << oversizedLine(cap) << "\n";
+            out.flush();
+            continue;
+        }
         if (isBlank(line))
             continue;
         ++handled;
@@ -119,6 +230,7 @@ runPipeServer(StudyService &service, std::istream &in,
         if (!keep_going)
             break;
     }
+    service.drain();
     return handled;
 }
 
@@ -148,21 +260,49 @@ struct ServerState
 void
 handleConnection(StudyService &service, ServerState &state, int fd)
 {
+    // A receive timeout turns blocked connections into periodic
+    // stopping-flag checks, so a stop from one client (or a signal)
+    // releases the others instead of leaving them wedged in recv().
+    timeval timeout{};
+    timeout.tv_usec = 200 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+
+    const std::size_t cap = service.options().max_line_bytes;
     std::string buffer;
     char chunk[4096];
     bool open = true;
+    bool discarding = false;   // inside an oversized line's remainder
     while (open) {
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0)
+        if (n == 0)
             break;
+        if (n < 0) {
+            bool retriable = errno == EAGAIN ||
+                             errno == EWOULDBLOCK || errno == EINTR;
+            if (retriable && !state.stopping.load() &&
+                !shutdownRequested())
+                continue;
+            break;
+        }
         buffer.append(chunk, std::size_t(n));
         std::size_t newline;
         while (open &&
                (newline = buffer.find('\n')) != std::string::npos) {
             std::string line = buffer.substr(0, newline);
             buffer.erase(0, newline + 1);
+            if (discarding) {
+                // Tail of a line already rejected as oversized.
+                discarding = false;
+                continue;
+            }
             if (isBlank(line))
                 continue;
+            if (line.size() > cap) {
+                service.noteOversizedLine();
+                sendAll(fd, oversizedLine(cap) + "\n");
+                continue;
+            }
             bool keep_going =
                 handleLine(service, line,
                            [fd](const std::string &response) {
@@ -174,6 +314,14 @@ handleConnection(StudyService &service, ServerState &state, int fd)
                 ::shutdown(state.listen_fd, SHUT_RDWR);
                 open = false;
             }
+        }
+        if (!discarding && buffer.size() > cap) {
+            // A line longer than the cap with no newline yet: answer
+            // now and drop everything up to the next newline.
+            service.noteOversizedLine();
+            sendAll(fd, oversizedLine(cap) + "\n");
+            buffer.clear();
+            discarding = true;
         }
     }
     ::close(fd);
@@ -226,12 +374,30 @@ runTcpServer(StudyService &service, unsigned port,
     state.listen_fd = listen_fd;
     {
         exec::ThreadPool connections(connection_threads);
-        while (!state.stopping.load()) {
+        while (!state.stopping.load() && !shutdownRequested()) {
+            // Wait on the listen socket and the shutdown self-pipe
+            // together, so a signal cannot slip in between the flag
+            // check and a blocking accept().
+            pollfd waits[2] = {{listen_fd, POLLIN, 0},
+                               {g_shutdown_pipe[0], POLLIN, 0}};
+            nfds_t n_waits = g_shutdown_pipe[0] >= 0 ? 2 : 1;
+            int ready = ::poll(waits, n_waits, -1);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;   // loop re-checks the flags
+                break;
+            }
+            if (n_waits == 2 && waits[1].revents != 0)
+                break;
+            if ((waits[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0)
+                continue;
             int fd = ::accept(listen_fd, nullptr, nullptr);
             if (fd < 0) {
-                if (state.stopping.load() || errno != EINTR)
-                    break;
-                continue;
+                // EINTR without a shutdown request: spurious signal.
+                if (errno == EINTR && !shutdownRequested() &&
+                    !state.stopping.load())
+                    continue;
+                break;
             }
             // The future is intentionally dropped; the pool drains
             // every connection before it is destroyed.
@@ -239,8 +405,12 @@ runTcpServer(StudyService &service, unsigned port,
                 handleConnection(service, state, fd);
             });
         }
+        // A signal-initiated shutdown must release connections still
+        // blocked in their recv() timeout loop.
+        state.stopping.store(true);
     }
     ::close(listen_fd);
+    service.drain();
     return 0;
 }
 

@@ -11,6 +11,14 @@
  *
  *   {"op": "counters"}  respond with the serve.* counter snapshot
  *   {"op": "stop"}      respond, then shut the server down
+ *
+ * Robustness: request lines are capped at
+ * ServiceOptions::max_line_bytes — an overlong line gets a clean
+ * error response and the remainder is discarded, instead of growing
+ * the buffer without bound. Both transports also poll the process
+ * shutdown flag (requestShutdown(), set by the daemon's SIGTERM/
+ * SIGINT handler) and exit their loops through the same drain path
+ * as a stop op.
  */
 
 #ifndef STACK3D_SERVE_SERVER_HH
@@ -43,6 +51,16 @@ std::uint64_t runPipeServer(StudyService &service, std::istream &in,
  */
 int runTcpServer(StudyService &service, unsigned port,
                  unsigned connection_threads);
+
+/**
+ * Ask every running transport loop to wind down as if a stop op had
+ * arrived. Async-signal-safe (one relaxed atomic store) — this is
+ * the function a SIGTERM/SIGINT handler calls.
+ */
+void requestShutdown();
+
+/** True once requestShutdown() was called. */
+bool shutdownRequested();
 
 } // namespace serve
 } // namespace stack3d

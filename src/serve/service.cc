@@ -1,10 +1,13 @@
 #include "serve/service.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <sstream>
+#include <thread>
 
 #include "common/digest.hh"
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "common/timing.hh"
 #include "core/study_json.hh"
@@ -39,7 +42,15 @@ renderLine(const ServeResult &result, const std::string &id)
         break;
       case ServeResult::Status::Rejected:
         line += ",\"status\":\"rejected\",\"error\":\"" +
+                JsonWriter::escape(result.error) +
+                "\",\"retry_after_ms\":" +
+                std::to_string(result.retry_after_ms);
+        break;
+      case ServeResult::Status::Timeout:
+        line += ",\"status\":\"timeout\",\"error\":\"" +
                 JsonWriter::escape(result.error) + "\"";
+        if (!result.digest_hex.empty())
+            line += ",\"digest\":\"" + result.digest_hex + "\"";
         break;
     }
     line += "}";
@@ -76,12 +87,33 @@ StudyService::StudyService(const ServiceOptions &options)
     : _options(options), _pool(options.workers),
       _cache(options.cache_entries, options.cache_dir)
 {
+    // The watchdog needs asynchronous executions to observe; in
+    // inline mode (workers == 0) handle() is the execution.
+    if (_options.workers > 0 && _options.watchdog_factor > 0 &&
+        _options.watchdog_interval_ms > 0) {
+        _watchdog_pool = std::make_unique<exec::ThreadPool>(1);
+        _watchdog_done =
+            _watchdog_pool->submit([this] { watchdogLoop(); });
+    }
 }
 
-StudyService::~StudyService() = default;
+StudyService::~StudyService()
+{
+    drain();
+    if (_watchdog_pool) {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _watchdog_stop = true;
+        }
+        _watchdog_cv.notify_all();
+        _watchdog_done.get();
+        _watchdog_pool.reset();
+    }
+}
 
 std::string
-StudyService::execute(const Request &request)
+StudyService::execute(const Request &request,
+                      const CancelToken *cancel)
 {
     core::RunOptions opts = request.options;
     if (_options.max_study_threads != 0 &&
@@ -93,6 +125,7 @@ StudyService::execute(const Request &request)
     // to the console mid-request.
     opts.verbosity = core::Verbosity::Silent;
     opts.progress = nullptr;
+    opts.cancel = cancel;
 
     std::ostringstream os;
     JsonWriter w(os, /*compact=*/true);
@@ -143,6 +176,32 @@ StudyService::execute(const Request &request)
     return os.str();
 }
 
+void
+StudyService::finalizeLocked(Execution &exec)
+{
+    if (exec.finalized)
+        return;
+    exec.finalized = true;
+    _pending.erase(exec.digest);
+    --_in_flight;
+}
+
+unsigned
+StudyService::retryHintLocked() const
+{
+    // Rough time for the backlog to clear: how many worker "waves"
+    // are queued ahead, times the cold p95. Before any cold sample
+    // exists, assume a nominal 100 ms study.
+    double p95_s = _cold_latency.percentile(0.95);
+    if (p95_s <= 0.0)
+        p95_s = 0.1;
+    unsigned workers = std::max(_options.workers, 1u);
+    double waves =
+        std::max(double(_in_flight) / double(workers), 1.0);
+    double ms = 1e3 * p95_s * waves;
+    return unsigned(std::min(std::max(ms, 1.0), 60000.0));
+}
+
 ServeResult
 StudyService::handle(const std::string &line)
 {
@@ -165,9 +224,14 @@ StudyService::handle(const std::string &line)
                    "serve");
     std::uint64_t digest = request.digest();
     result.digest_hex = digestHex(digest);
+    // Every waiter times out against its own arrival-anchored
+    // deadline, owner or coalesced alike.
+    const auto deadline_tp =
+        CancelToken::Clock::now() +
+        std::chrono::milliseconds(request.deadline_ms);
 
-    std::shared_future<std::string> shared;
-    std::shared_ptr<std::promise<std::string>> promise;
+    std::shared_ptr<Execution> exec;
+    bool owner = false;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         ++_n_requests;
@@ -188,17 +252,20 @@ StudyService::handle(const std::string &line)
 
         auto pending = _pending.find(digest);
         if (pending != _pending.end()) {
-            shared = pending->second;
+            exec = pending->second;
             result.coalesced = true;
             ++_n_coalesced;
         } else {
             unsigned limit = std::max(_options.workers, 1u) +
                              _options.queue_limit;
-            if (_in_flight >= limit) {
+            if (_draining || _in_flight >= limit) {
                 result.status = ServeResult::Status::Rejected;
-                result.error = "server overloaded (" +
-                               std::to_string(_in_flight) +
-                               " requests in flight)";
+                result.retry_after_ms = retryHintLocked();
+                result.error =
+                    _draining ? "server draining"
+                              : "server overloaded (" +
+                                    std::to_string(_in_flight) +
+                                    " requests in flight)";
                 ++_n_rejected;
                 result.line = renderLine(result, request.id);
                 return result;
@@ -206,56 +273,74 @@ StudyService::handle(const std::string &line)
             ++_in_flight;
             _in_flight_high_water =
                 std::max(_in_flight_high_water, _in_flight);
-            promise = std::make_shared<std::promise<std::string>>();
-            shared = promise->get_future().share();
-            _pending[digest] = shared;
+            exec = std::make_shared<Execution>();
+            exec->digest = digest;
+            exec->label = studyKindName(request.kind);
+            exec->cancel =
+                std::make_shared<CancelToken>(request.deadline_ms);
+            exec->promise =
+                std::make_shared<std::promise<std::string>>();
+            exec->future = exec->promise->get_future().share();
+            exec->started = CancelToken::Clock::now();
+            _pending[digest] = exec;
+            owner = true;
         }
     }
 
-    if (promise) {
-        // We own the execution: run it on the study pool and publish
-        // the outcome (value or exception) to every coalesced waiter.
-        std::string report;
-        std::string exec_error;
-        bool ok = false;
-        try {
-            report =
-                _pool.submit([this, request] { return execute(request); })
-                    .get();
-            ok = true;
-            promise->set_value(report);
-        } catch (const std::exception &e) {
-            exec_error = e.what();
-            promise->set_exception(std::current_exception());
-        } catch (...) {
-            exec_error = "study execution failed";
-            promise->set_exception(std::current_exception());
-        }
+    if (owner) {
+        // The task, not the owning handle() call, retires the
+        // execution: an owner abandoning at its deadline frees the
+        // admission slot immediately (finalize is once-only), and a
+        // finished-but-abandoned result still reaches the cache.
+        std::shared_ptr<Execution> task_exec = exec;
+        (void)_pool.submit([this, request, task_exec] {
+            try {
+                std::string report =
+                    execute(request, task_exec->cancel.get());
+                {
+                    std::lock_guard<std::mutex> lock(_mutex);
+                    _cache.put(task_exec->digest, report);
+                    finalizeLocked(*task_exec);
+                }
+                task_exec->promise->set_value(std::move(report));
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(_mutex);
+                    finalizeLocked(*task_exec);
+                }
+                task_exec->promise->set_exception(
+                    std::current_exception());
+            }
+        });
+    }
 
-        std::lock_guard<std::mutex> lock(_mutex);
-        _pending.erase(digest);
-        --_in_flight;
-        if (ok) {
-            _cache.put(digest, report);
-            result.status = ServeResult::Status::Ok;
-            result.report_json = std::move(report);
-            ++_n_ok;
-            ++_n_cold;
-            double elapsed = timer.seconds();
-            _cold_seconds += elapsed;
-            _cold_latency.add(elapsed);
-        } else {
-            result.status = ServeResult::Status::Error;
-            result.error = exec_error;
-            ++_n_errors;
+    std::future_status wait_status = std::future_status::ready;
+    if (request.deadline_ms > 0)
+        wait_status = exec->future.wait_until(deadline_tp);
+    else
+        exec->future.wait();
+
+    if (wait_status != std::future_status::ready) {
+        // Deadline expired with the execution still running: answer
+        // now; the execution stops at its next cancel checkpoint.
+        if (owner)
+            exec->cancel->cancel();
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (owner)
+                finalizeLocked(*exec);
+            ++_n_timeouts;
         }
+        result.status = ServeResult::Status::Timeout;
+        result.error = "deadline of " +
+                       std::to_string(request.deadline_ms) +
+                       " ms expired";
         result.line = renderLine(result, request.id);
         return result;
     }
 
-    // Coalesced: wait for the owning execution.
     try {
-        result.report_json = shared.get();
+        result.report_json = exec->future.get();
         result.status = ServeResult::Status::Ok;
         std::lock_guard<std::mutex> lock(_mutex);
         ++_n_ok;
@@ -263,6 +348,13 @@ StudyService::handle(const std::string &line)
         double elapsed = timer.seconds();
         _cold_seconds += elapsed;
         _cold_latency.add(elapsed);
+    } catch (const CancelledError &e) {
+        // The execution observed cancellation (its own deadline, or
+        // drain) before we hit ours: still a timeout to the client.
+        result.status = ServeResult::Status::Timeout;
+        result.error = e.what();
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_n_timeouts;
     } catch (const std::exception &e) {
         result.status = ServeResult::Status::Error;
         result.error = e.what();
@@ -271,6 +363,84 @@ StudyService::handle(const std::string &line)
     }
     result.line = renderLine(result, request.id);
     return result;
+}
+
+void
+StudyService::drain()
+{
+    using Clock = CancelToken::Clock;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _draining = true;
+    }
+    auto waitIdle = [this](Clock::time_point until) {
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lock(_mutex);
+                if (_in_flight == 0)
+                    return true;
+            }
+            if (Clock::now() >= until)
+                return false;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    };
+    auto budget =
+        std::chrono::milliseconds(_options.drain_timeout_ms);
+    if (waitIdle(Clock::now() + budget))
+        return;
+    // Out of patience: cancel the stragglers and wait them out (a
+    // cancelled study stops within one cell / CG iteration).
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (auto &entry : _pending)
+            entry.second->cancel->cancel();
+    }
+    (void)waitIdle(Clock::now() + budget);
+}
+
+void
+StudyService::noteOversizedLine()
+{
+    // Not counted as a request or an error: the line was bounced at
+    // the transport before it ever became one.
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_n_line_overflows;
+}
+
+void
+StudyService::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (!_watchdog_stop) {
+        _watchdog_cv.wait_for(
+            lock, std::chrono::milliseconds(
+                      _options.watchdog_interval_ms));
+        if (_watchdog_stop)
+            break;
+        double p99_s = _cold_latency.percentile(0.99);
+        if (p99_s <= 0.0)
+            continue;   // no cold baseline yet
+        double limit_s = p99_s * double(_options.watchdog_factor);
+        auto now = CancelToken::Clock::now();
+        for (auto &entry : _pending) {
+            Execution &exec = *entry.second;
+            double run_s =
+                std::chrono::duration<double>(now - exec.started)
+                    .count();
+            if (exec.flagged || run_s <= limit_s)
+                continue;
+            exec.flagged = true;
+            ++_n_watchdog_flagged;
+            // inform, not warn: warn() is captured into in-flight
+            // study reports, which must stay deterministic.
+            inform("serve watchdog: ", exec.label, " execution ",
+                   digestHex(exec.digest), " running for ", run_s,
+                   " s (over ", _options.watchdog_factor,
+                   "x cold p99 of ", p99_s, " s)");
+        }
+    }
 }
 
 obs::CounterSet
@@ -282,12 +452,18 @@ StudyService::counters() const
     c.set("serve.ok", double(_n_ok));
     c.set("serve.errors", double(_n_errors));
     c.set("serve.rejected", double(_n_rejected));
+    c.set("serve.timeouts", double(_n_timeouts));
+    c.set("serve.line_overflows", double(_n_line_overflows));
+    c.set("serve.draining", _draining ? 1.0 : 0.0);
+    c.set("serve.watchdog.flagged", double(_n_watchdog_flagged));
     c.set("serve.cache.hits", double(_cache.stats().hits));
     c.set("serve.cache.misses", double(_cache.stats().misses));
     c.set("serve.cache.evictions", double(_cache.stats().evictions));
     c.set("serve.cache.disk_hits", double(_cache.stats().disk_hits));
     c.set("serve.cache.disk_writes",
           double(_cache.stats().disk_writes));
+    c.set("serve.cache.corrupt", double(_cache.stats().corrupt));
+    c.set("serve.cache.scrubbed", double(_cache.stats().scrubbed));
     c.set("serve.cache.entries", double(_cache.size()));
     c.set("serve.coalesced", double(_n_coalesced));
     c.set("serve.queue.high_water", double(_in_flight_high_water));
@@ -308,6 +484,16 @@ StudyService::counters() const
     c.set("serve.latency.cold.p99_ms",
           1e3 * _cold_latency.percentile(0.99));
     _pool.appendCounters(c, "serve.pool.");
+    // Fault-injection accounting, so a chaos run's schedule is
+    // visible and two same-seed runs can be diffed.
+    std::vector<FaultPointInfo> faults = FaultRegistry::snapshot();
+    c.set("serve.fault.points", double(faults.size()));
+    for (const FaultPointInfo &point : faults) {
+        c.set("serve.fault." + point.name + ".checks",
+              double(point.checks));
+        c.set("serve.fault." + point.name + ".fires",
+              double(point.fires));
+    }
     return c;
 }
 

@@ -14,10 +14,28 @@
  *    may be in flight (computing or queued). handle() blocks its
  *    caller until the result is ready — the bound is what creates
  *    backpressure on the connection handlers — and requests beyond
- *    the bound are rejected immediately with status "rejected".
+ *    the bound are rejected immediately with status "rejected" and a
+ *    retry_after_ms backoff hint sized from the queue depth and the
+ *    cold-latency p95.
  *  - Duplicate in-flight requests coalesce: the second arrival of a
  *    digest waits on the first execution's future instead of
  *    computing (and does not consume an admission slot).
+ *
+ * Deadlines: a request may carry deadline_ms. Past it the caller
+ * gets status "timeout", the admission slot is reclaimed
+ * immediately, and the abandoned execution's CancelToken is
+ * cancelled so the study stops at its next checkpoint instead of
+ * burning a worker. Coalesced waiters time out against their own
+ * deadlines without disturbing the shared execution; if the owning
+ * execution itself observes cancellation, every waiter sees
+ * "timeout". A finished-but-abandoned execution still populates the
+ * cache — the work is never thrown away.
+ *
+ * Lifecycle: drain() stops admission ("draining" rejections), waits
+ * out in-flight work within drain_timeout_ms, then cancels
+ * stragglers. A watchdog (workers > 0) flags executions running
+ * longer than watchdog_factor × cold p99 to stderr and
+ * serve.watchdog.flagged.
  *
  * Caching model: the serialized report (study + meta + payload JSON,
  * compact) is the cached unit. A cache hit splices the stored bytes
@@ -30,6 +48,7 @@
 #ifndef STACK3D_SERVE_SERVICE_HH
 #define STACK3D_SERVE_SERVICE_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -38,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "exec/pool.hh"
 #include "obs/metrics.hh"
 #include "serve/request.hh"
@@ -63,19 +83,32 @@ struct ServiceOptions
 
     /** Cap on a request's options.threads (0 = leave uncapped). */
     unsigned max_study_threads = 8;
+
+    /** Request-line byte cap both transports enforce. */
+    std::size_t max_line_bytes = std::size_t(1) << 20;
+
+    /** drain(): budget to let in-flight work finish uncancelled. */
+    unsigned drain_timeout_ms = 5000;
+
+    /** Watchdog flags executions over factor × cold p99 (0 = off). */
+    unsigned watchdog_factor = 4;
+
+    /** Watchdog scan period. */
+    unsigned watchdog_interval_ms = 250;
 };
 
 /** Outcome of one handled request line. */
 struct ServeResult
 {
-    enum class Status { Ok, Error, Rejected };
+    enum class Status { Ok, Error, Rejected, Timeout };
 
     Status status = Status::Error;
     bool cached = false;      ///< served from the result cache
     bool coalesced = false;   ///< shared an in-flight execution
     std::string digest_hex;   ///< "0x..." (empty when unparsable)
     std::string report_json;  ///< the cached unit (ok only)
-    std::string error;        ///< message (error/rejected only)
+    std::string error;        ///< message (error/rejected/timeout)
+    unsigned retry_after_ms = 0;   ///< backoff hint (rejected only)
 
     /** The full NDJSON response line (no trailing newline). */
     std::string line;
@@ -93,16 +126,59 @@ class StudyService
 
     /**
      * Handle one request line end to end; blocks until the response
-     * is ready. Callable from any thread.
+     * is ready (or the request's deadline expires). Callable from
+     * any thread.
      */
     ServeResult handle(const std::string &line);
+
+    /**
+     * Stop admitting (new requests get a "draining" rejection), give
+     * in-flight executions drain_timeout_ms to finish, then cancel
+     * the rest and wait for them to stop. Idempotent; called by the
+     * transports on shutdown and by the destructor.
+     */
+    void drain();
+
+    /** Count one transport-rejected oversized request line. */
+    void noteOversizedLine();
+
+    const ServiceOptions &options() const { return _options; }
 
     /** Snapshot of the serve.* counters (including cache stats). */
     obs::CounterSet counters() const;
 
   private:
+    /**
+     * One admitted execution. Shared between the owning handle()
+     * call, the pool task computing it, coalesced waiters, the
+     * watchdog, and drain() — whichever of task or abandoning owner
+     * gets there first finalizes (releases the admission slot and
+     * the pending entry, exactly once).
+     */
+    struct Execution
+    {
+        std::uint64_t digest = 0;
+        std::string label;   ///< study name, for watchdog reports
+        std::shared_ptr<CancelToken> cancel;
+        std::shared_ptr<std::promise<std::string>> promise;
+        std::shared_future<std::string> future;
+        CancelToken::Clock::time_point started;
+        bool finalized = false;
+        bool flagged = false;   ///< watchdog warned already
+    };
+
     /** Run the study and serialize its report (the cached unit). */
-    std::string execute(const Request &request);
+    std::string execute(const Request &request,
+                        const CancelToken *cancel);
+
+    /** Release slot + pending entry exactly once (_mutex held). */
+    void finalizeLocked(Execution &exec);
+
+    /** Backoff hint for a rejection (_mutex held). */
+    unsigned retryHintLocked() const;
+
+    /** Periodic scan for overdue executions (watchdog task body). */
+    void watchdogLoop();
 
     ServiceOptions _options;
     exec::ThreadPool _pool;
@@ -111,9 +187,10 @@ class StudyService
     /** Admitted executions (computing or queued), bounded. */
     unsigned _in_flight = 0;
     unsigned _in_flight_high_water = 0;
-    /** digest -> future of the execution already running it. */
-    std::map<std::uint64_t, std::shared_future<std::string>> _pending;
+    /** digest -> the execution already running it. */
+    std::map<std::uint64_t, std::shared_ptr<Execution>> _pending;
     ResultCache _cache;
+    bool _draining = false;
 
     /**
      * Ring of the most recent latency samples (seconds), enough for
@@ -137,12 +214,23 @@ class StudyService
     std::uint64_t _n_errors = 0;
     std::uint64_t _n_rejected = 0;
     std::uint64_t _n_coalesced = 0;
+    std::uint64_t _n_timeouts = 0;
+    std::uint64_t _n_line_overflows = 0;
+    std::uint64_t _n_watchdog_flagged = 0;
     double _hit_seconds = 0.0;
     double _cold_seconds = 0.0;
     std::uint64_t _n_hit = 0;
     std::uint64_t _n_cold = 0;
     LatencyRing _hit_latency;
     LatencyRing _cold_latency;
+
+    // Watchdog (only armed when workers > 0 and factor > 0). Its
+    // pool must outlive the loop task; both torn down in ~StudyService
+    // before _pool.
+    std::condition_variable _watchdog_cv;
+    bool _watchdog_stop = false;
+    std::unique_ptr<exec::ThreadPool> _watchdog_pool;
+    std::future<void> _watchdog_done;
 };
 
 } // namespace serve

@@ -171,6 +171,10 @@ solveSteadyState(const Mesh &mesh, const SolverOptions &options,
                        "definiteness");
         p = z;
         for (unsigned iter = 0; iter < options.max_iters; ++iter) {
+            if (options.cancel && options.cancel->shouldStop())
+                throw CancelledError(
+                    "thermal solve cancelled at iteration " +
+                    std::to_string(iter));
             // Fused ap = A p and p.Ap.
             double p_ap =
                 exec::parallelSlabReduce(pool, nz, [&](std::size_t s) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "thermal/mesh.hh"
 #include "thermal/multigrid.hh"
 
@@ -107,6 +108,14 @@ struct SolverOptions
      * bit-identical with or without it, at any thread count.
      */
     exec::ThreadPool *pool = nullptr;
+
+    /**
+     * Optional cooperative stop request (not owned). Polled once per
+     * CG outer iteration; a stop throws CancelledError, bounding how
+     * long a deadline-expired solve can keep burning a worker to one
+     * iteration's worth of work.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Convergence report of a solve. */

@@ -19,6 +19,13 @@
  *       Used by the serve smoke test to assert counter values
  *       ("the duplicate request was a cache hit").
  *
+ *   json_check same <a.json> <b.json> <dotted.prefix>
+ *       Every scalar leaf under <dotted.prefix> must exist in both
+ *       files with equal values (and no leaf may exist in only one).
+ *       A prefix matching nothing fails — comparing empty sets would
+ *       fake a pass. Used by the chaos smoke test to assert that two
+ *       same-seed fault runs produced identical serve.fault.* totals.
+ *
  * Exits 0 on success, 1 with a diagnostic on the first violation.
  */
 
@@ -152,6 +159,77 @@ checkEq(const JsonValue &root, const char *path, const char *expected)
     return 0;
 }
 
+/** Flatten every scalar leaf into dotted-path → raw-token form. */
+void
+collectLeaves(const JsonValue &v, const std::string &path,
+              std::map<std::string, std::string> &out)
+{
+    if (v.isObject()) {
+        for (const auto &[key, child] : v.object) {
+            collectLeaves(child,
+                          path.empty() ? key : path + "." + key, out);
+        }
+    } else if (v.isArray()) {
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            collectLeaves(v.array[i],
+                          path + "[" + std::to_string(i) + "]", out);
+        }
+    } else if (v.isNumber() || v.isString()) {
+        out[path] = v.string;
+    } else if (v.isBool()) {
+        out[path] = v.boolean ? "true" : "false";
+    }
+}
+
+bool
+hasPrefix(const std::string &path, const std::string &prefix)
+{
+    // "serve.fault" matches "serve.fault.x" but not "serve.faulty".
+    return path.size() > prefix.size() &&
+           path.compare(0, prefix.size(), prefix) == 0 &&
+           (path[prefix.size()] == '.' ||
+            path[prefix.size()] == '[');
+}
+
+int
+checkSame(const JsonValue &a, const char *a_name, const JsonValue &b,
+          const char *b_name, const std::string &prefix)
+{
+    std::map<std::string, std::string> left, right;
+    collectLeaves(a, "", left);
+    collectLeaves(b, "", right);
+
+    std::size_t compared = 0;
+    for (const auto &[path, value] : left) {
+        if (!hasPrefix(path, prefix) && path != prefix)
+            continue;
+        auto it = right.find(path);
+        if (it == right.end()) {
+            return fail(path + " present in " + a_name +
+                        " but missing from " + b_name);
+        }
+        if (it->second != value) {
+            return fail(path + " differs: " + value + " in " +
+                        a_name + " vs " + it->second + " in " +
+                        b_name);
+        }
+        ++compared;
+    }
+    for (const auto &[path, value] : right) {
+        if ((hasPrefix(path, prefix) || path == prefix) &&
+            left.find(path) == left.end()) {
+            return fail(path + " present in " + b_name +
+                        " but missing from " + a_name);
+        }
+    }
+    if (compared == 0)
+        return fail("no leaves under prefix " + prefix +
+                    " — nothing was compared");
+    std::printf("json_check: %zu leaf value(s) under %s identical\n",
+                compared, prefix.c_str());
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -162,7 +240,9 @@ main(int argc, char **argv)
                      "usage:\n"
                      "  json_check chrome <trace.json>\n"
                      "  json_check fields <result.json> <path>...\n"
-                     "  json_check eq <result.json> <path> <value>\n");
+                     "  json_check eq <result.json> <path> <value>\n"
+                     "  json_check same <a.json> <b.json> "
+                     "<prefix>\n");
         return 2;
     }
 
@@ -174,6 +254,17 @@ main(int argc, char **argv)
     if (!parseJson(text, root, error))
         return fail(std::string(argv[2]) + ": " + error);
 
+    if (std::strcmp(argv[1], "same") == 0) {
+        if (argc != 5)
+            return fail("same needs <a.json> <b.json> <prefix>");
+        std::string other_text;
+        if (!readFile(argv[3], other_text))
+            return fail(std::string("cannot read ") + argv[3]);
+        JsonValue other;
+        if (!parseJson(other_text, other, error))
+            return fail(std::string(argv[3]) + ": " + error);
+        return checkSame(root, argv[2], other, argv[3], argv[4]);
+    }
     if (std::strcmp(argv[1], "chrome") == 0)
         return checkChrome(root);
     if (std::strcmp(argv[1], "fields") == 0)

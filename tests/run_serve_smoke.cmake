@@ -1,19 +1,32 @@
 # Drives stack3d_serve in stdin mode against the canned request
 # script (a duplicate stack-thermal pair — the second varies only
-# threads — plus a sensitivity study and control lines), leaving the
-# stats JSON behind for the json_check eq assertions that prove the
-# duplicate was a cache hit. Invoked with cmake -P because CTest
-# COMMAND lines cannot redirect stdin.
+# threads — plus a sensitivity study, an unmeetable 1 ms deadline, an
+# oversized line, and control lines), leaving the stats JSON behind
+# for the json_check eq assertions that prove the duplicate was a
+# cache hit, the deadline request timed out, and the oversized line
+# got a clean error. Invoked with cmake -P because CTest COMMAND
+# lines cannot redirect stdin.
 #
 # Required definitions: -DSERVE=<stack3d_serve binary>
 #   -DREQUESTS=<request .jsonl> -DSTATS=<stats out> -DOUT=<responses>
 
 execute_process(
-    COMMAND ${SERVE} --stdin --quiet --threads 2
+    COMMAND ${SERVE} --stdin --quiet --threads 2 --max-line 2048
             --stats-json ${STATS}
     INPUT_FILE ${REQUESTS}
     OUTPUT_FILE ${OUT}
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR "stack3d_serve exited with status ${rc}")
+endif()
+
+# Liveness invariant: every request line was answered — ok, timeout,
+# rejected, or error — never silently dropped.
+file(STRINGS ${REQUESTS} request_lines)
+file(STRINGS ${OUT} response_lines)
+list(LENGTH request_lines n_requests)
+list(LENGTH response_lines n_responses)
+if(NOT n_responses EQUAL n_requests)
+    message(FATAL_ERROR
+            "${n_requests} request(s) but ${n_responses} response(s)")
 endif()

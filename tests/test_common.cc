@@ -389,3 +389,173 @@ TEST(EventQueueDeathTest, PastSchedulingPanics)
     q.runAll();
     EXPECT_DEATH(q.schedule(5, [] {}), "past");
 }
+
+// ---------------------------------------------------------------------
+// fault injection registry
+// ---------------------------------------------------------------------
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "common/cancel.hh"
+#include "common/fault.hh"
+
+namespace {
+
+/** Drives one point @p n times; returns how often it fired. */
+std::uint64_t
+fireCount(const char *point, unsigned n)
+{
+    std::uint64_t fires = 0;
+    for (unsigned i = 0; i < n; ++i)
+        if (S3D_FAULT_POINT(point))
+            ++fires;
+    return fires;
+}
+
+} // anonymous namespace
+
+TEST(FaultRegistry, DisabledByDefaultAndAfterReset)
+{
+    FaultRegistry::reset();
+    EXPECT_FALSE(FaultRegistry::enabled());
+    EXPECT_EQ(fireCount("never.configured", 100), 0u);
+    EXPECT_TRUE(FaultRegistry::snapshot().empty());
+}
+
+TEST(FaultRegistry, InlineSpecConfiguresPoints)
+{
+    std::string error;
+    ASSERT_TRUE(FaultRegistry::configure(
+        "disk.write:0.5,task.slow:0.25:20", 7, error))
+        << error;
+    EXPECT_TRUE(FaultRegistry::enabled());
+
+    auto points = FaultRegistry::snapshot();
+    ASSERT_EQ(points.size(), 2u);
+    // Snapshot is name-sorted.
+    EXPECT_EQ(points[0].name, "disk.write");
+    EXPECT_DOUBLE_EQ(points[0].probability, 0.5);
+    EXPECT_EQ(points[1].name, "task.slow");
+    EXPECT_DOUBLE_EQ(points[1].probability, 0.25);
+    EXPECT_EQ(points[1].delay_ms, 20u);
+
+    // p=1 and p=0 are exact, not approximate.
+    ASSERT_TRUE(FaultRegistry::configure("always:1.0,never:0.0", 7,
+                                         error))
+        << error;
+    EXPECT_EQ(fireCount("always", 50), 50u);
+    EXPECT_EQ(fireCount("never", 50), 0u);
+    EXPECT_EQ(fireCount("unconfigured", 50), 0u);
+    FaultRegistry::reset();
+}
+
+TEST(FaultRegistry, SameSeedSameSchedule)
+{
+    std::string error;
+    ASSERT_TRUE(FaultRegistry::configure("coin:0.5", 1234, error));
+    std::vector<bool> first;
+    for (unsigned i = 0; i < 64; ++i)
+        first.push_back(S3D_FAULT_POINT("coin"));
+
+    // Reconfiguring with the same seed replays the same schedule.
+    ASSERT_TRUE(FaultRegistry::configure("coin:0.5", 1234, error));
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(bool(S3D_FAULT_POINT("coin")), bool(first[i]))
+            << "decision " << i;
+
+    auto points = FaultRegistry::snapshot();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].checks, 64u);
+
+    // A different seed gives a different schedule (with 2^-64 odds
+    // of a false failure over 64 fair coin flips).
+    ASSERT_TRUE(FaultRegistry::configure("coin:0.5", 999, error));
+    std::vector<bool> reseeded;
+    for (unsigned i = 0; i < 64; ++i)
+        reseeded.push_back(S3D_FAULT_POINT("coin"));
+    EXPECT_NE(first, reseeded);
+    FaultRegistry::reset();
+}
+
+TEST(FaultRegistry, DelayPointsDrawTheirConfiguredLatency)
+{
+    std::string error;
+    ASSERT_TRUE(FaultRegistry::configure("lag:1.0:35", 5, error));
+    EXPECT_EQ(S3D_FAULT_DELAY("lag"), 35u);
+    ASSERT_TRUE(FaultRegistry::configure("lag:0.0:35", 5, error));
+    EXPECT_EQ(S3D_FAULT_DELAY("lag"), 0u);
+    FaultRegistry::reset();
+}
+
+TEST(FaultRegistry, JsonFileSpecConfiguresPoints)
+{
+    std::string path = ::testing::TempDir() + "s3d_faults.json";
+    {
+        std::ofstream os(path);
+        os << "{\"seed\": 11, \"points\": {"
+              "\"disk.read\": 0.125, "
+              "\"task.slow\": {\"p\": 1.0, \"delay_ms\": 5}}}";
+    }
+    std::string error;
+    ASSERT_TRUE(FaultRegistry::configure("@" + path, 0, error))
+        << error;
+    auto points = FaultRegistry::snapshot();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].probability, 0.125);
+    EXPECT_EQ(points[1].delay_ms, 5u);
+    EXPECT_EQ(S3D_FAULT_DELAY("task.slow"), 5u);
+    FaultRegistry::reset();
+    std::remove(path.c_str());
+}
+
+TEST(FaultRegistry, MalformedSpecsRejectedConfigKept)
+{
+    std::string error;
+    ASSERT_TRUE(FaultRegistry::configure("keep.me:1.0", 1, error));
+
+    for (const char *bad :
+         {"noprob", "p:notanumber", "p:2.0", "p:-0.5", "p:0.5:junk",
+          ":0.5", "@/nonexistent-s3d/faults.json"}) {
+        error.clear();
+        EXPECT_FALSE(FaultRegistry::configure(bad, 1, error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+    // The previous good configuration survived every rejection.
+    EXPECT_TRUE(FaultRegistry::enabled());
+    EXPECT_EQ(fireCount("keep.me", 3), 3u);
+    FaultRegistry::reset();
+}
+
+// ---------------------------------------------------------------------
+// cooperative cancellation
+// ---------------------------------------------------------------------
+
+TEST(CancelToken, CancelFlagStopsWork)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_FALSE(token.shouldStop());
+    EXPECT_FALSE(token.hasDeadline());
+    token.throwIfStopped("loop");   // no-op while running
+
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(token.shouldStop());
+    EXPECT_THROW(token.throwIfStopped("loop"), CancelledError);
+}
+
+TEST(CancelToken, DeadlineExpiryStopsWork)
+{
+    CancelToken expired(1);
+    ASSERT_TRUE(expired.hasDeadline());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(expired.shouldStop());
+    EXPECT_FALSE(expired.cancelled());   // timed out, not cancelled
+    EXPECT_THROW(expired.throwIfStopped("solve"), CancelledError);
+
+    CancelToken generous(60000);
+    EXPECT_TRUE(generous.hasDeadline());
+    EXPECT_FALSE(generous.shouldStop());
+}

@@ -13,12 +13,16 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "common/digest.hh"
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "common/json_parse.hh"
 #include "core/study_json.hh"
 #include "serve/request.hh"
 #include "serve/result_cache.hh"
+#include "serve/server.hh"
 #include "serve/service.hh"
 
 using namespace stack3d;
@@ -429,4 +433,282 @@ TEST(StudyService, BadRequestsAreErrorsNotCrashes)
 
     serve::ServeResult ok = service.handle(kThermalRequest);
     EXPECT_EQ(ok.status, serve::ServeResult::Status::Ok) << ok.error;
+}
+
+// ---------------------------------------------------------------------
+// disk-tier failure modes: every corruption degrades to a cold
+// compute (a miss), never a crash or a wrong-bytes response
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+cacheEntryPath(const std::string &dir, std::uint64_t digest)
+{
+    return dir + "/" + digestHex(digest).substr(2) + ".json";
+}
+
+/** Fresh temp cache dir holding one valid entry for digest 42. */
+std::string
+seededCacheDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + name;
+    {
+        serve::ResultCache seeder(4, dir);
+        seeder.put(42, "{\"answer\":42}");
+    }
+    return dir;
+}
+
+void
+removeCacheDir(const std::string &dir)
+{
+    // Best effort; entries are the only files the tests create.
+    std::remove(cacheEntryPath(dir, 42).c_str());
+    std::remove((cacheEntryPath(dir, 42) + ".corrupt").c_str());
+    ::rmdir(dir.c_str());
+}
+
+} // anonymous namespace
+
+TEST(ResultCacheFailures, TruncatedEntryQuarantinedNotServed)
+{
+    std::string dir = seededCacheDir("s3d_cache_trunc");
+    serve::ResultCache cache(4, dir);   // scrub sees a valid entry
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+
+    // Crash mid-write aftermath: the entry loses its tail (payload
+    // and part of the digest trailer).
+    {
+        std::ofstream os(cacheEntryPath(dir, 42),
+                         std::ios::binary | std::ios::trunc);
+        os << "{\"answer\":4";
+    }
+    std::string out;
+    EXPECT_FALSE(cache.tryGet(42, out));
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    // The bad bytes were moved aside, not deleted silently.
+    std::ifstream quarantined(cacheEntryPath(dir, 42) + ".corrupt");
+    EXPECT_TRUE(quarantined.good());
+    // The next lookup is a plain miss: nothing re-serves the file.
+    EXPECT_FALSE(cache.tryGet(42, out));
+    removeCacheDir(dir);
+}
+
+TEST(ResultCacheFailures, FlippedByteQuarantinedNotServed)
+{
+    std::string dir = seededCacheDir("s3d_cache_flip");
+    serve::ResultCache cache(4, dir);
+
+    std::string path = cacheEntryPath(dir, 42);
+    std::string raw;
+    {
+        std::ifstream in(path, std::ios::binary);
+        raw.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(raw.empty());
+    raw[raw.size() / 3] ^= 0x01;   // single bit flip in the payload
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << raw;
+    }
+    std::string out;
+    EXPECT_FALSE(cache.tryGet(42, out));
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    removeCacheDir(dir);
+}
+
+TEST(ResultCacheFailures, StartupScrubQuarantinesBadEntries)
+{
+    std::string dir = seededCacheDir("s3d_cache_scrub");
+    {
+        std::ofstream os(cacheEntryPath(dir, 42),
+                         std::ios::binary | std::ios::trunc);
+        os << "garbage with no trailer";
+    }
+    // Leftover tmp file from a crash mid-put: must be swept too.
+    std::string tmp = cacheEntryPath(dir, 7) + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        os << "half-";
+    }
+    serve::ResultCache cache(4, dir);
+    EXPECT_EQ(cache.stats().scrubbed, 2u);
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    std::ifstream gone(tmp);
+    EXPECT_FALSE(gone.good());
+    std::string out;
+    EXPECT_FALSE(cache.tryGet(42, out));
+    removeCacheDir(dir);
+}
+
+TEST(ResultCacheFailures, UnwritableCacheDirDegradesToMemory)
+{
+    // The disk tier can never be created; puts must still succeed
+    // in memory and lookups must not crash.
+    serve::ResultCache cache(4, "/nonexistent-s3d/cache");
+    cache.put(1, "{\"v\":1}");
+    EXPECT_EQ(cache.stats().disk_writes, 0u);
+    std::string out;
+    EXPECT_TRUE(cache.tryGet(1, out));
+    EXPECT_EQ(out, "{\"v\":1}");
+    EXPECT_FALSE(cache.tryGet(2, out));
+}
+
+TEST(ResultCacheFailures, FaultInjectedWriteFailureDegradesToCold)
+{
+    std::string dir = ::testing::TempDir() + "s3d_cache_faultw";
+    std::string error;
+    ASSERT_TRUE(
+        FaultRegistry::configure("serve.disk.write:1.0", 1, error))
+        << error;
+    {
+        serve::ResultCache cache(4, dir);
+        cache.put(42, "{\"answer\":42}");
+        EXPECT_EQ(cache.stats().disk_writes, 0u);
+        // The memory tier still serves within this process life.
+        std::string out;
+        EXPECT_TRUE(cache.tryGet(42, out));
+    }
+    FaultRegistry::reset();
+    // After a restart nothing persisted: the lookup degrades to a
+    // miss (a cold compute at the service layer), not a crash.
+    serve::ResultCache fresh(4, dir);
+    std::string out;
+    EXPECT_FALSE(fresh.tryGet(42, out));
+    removeCacheDir(dir);
+}
+
+// ---------------------------------------------------------------------
+// deadlines, cancellation, fault-injected study failures
+// ---------------------------------------------------------------------
+
+TEST(Request, DeadlineParsesAndIsExcludedFromDigest)
+{
+    serve::Request plain, deadlined;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest(kThermalRequest, plain, error))
+        << error;
+    std::string with_deadline =
+        "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+        "\"id\": \"r1\", \"deadline_ms\": 250, "
+        "\"options\": {\"seed\": 3}, "
+        "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}";
+    ASSERT_TRUE(
+        serve::parseRequest(with_deadline, deadlined, error))
+        << error;
+    EXPECT_EQ(deadlined.deadline_ms, 250u);
+    // QoS, not identity: the deadline must not split the cache.
+    EXPECT_EQ(plain.digest(), deadlined.digest());
+}
+
+TEST(StudyService, DeadlineExpiryIsTimeoutAndFreesTheSlot)
+{
+    serve::StudyService service(tinyServiceOptions());
+    // 1 ms cannot cover a cold stack-thermal run: the execution
+    // observes its token at a checkpoint and stops.
+    serve::ServeResult late = service.handle(
+        "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+        "\"deadline_ms\": 1, \"options\": {\"seed\": 3}, "
+        "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}");
+    EXPECT_EQ(late.status, serve::ServeResult::Status::Timeout);
+    EXPECT_NE(late.line.find("\"status\":\"timeout\""),
+              std::string::npos);
+
+    obs::CounterSet counters = service.counters();
+    EXPECT_EQ(counters.value("serve.timeouts"), 1.0);
+
+    // The admission slot came back: the same service still serves.
+    serve::ServeResult ok = service.handle(kThermalRequest);
+    EXPECT_EQ(ok.status, serve::ServeResult::Status::Ok) << ok.error;
+}
+
+TEST(StudyService, GenerousDeadlineStillCompletes)
+{
+    serve::StudyService service(tinyServiceOptions());
+    serve::ServeResult ok = service.handle(
+        "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+        "\"deadline_ms\": 600000, \"options\": {\"seed\": 3}, "
+        "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}");
+    EXPECT_EQ(ok.status, serve::ServeResult::Status::Ok) << ok.error;
+}
+
+TEST(StudyService, FaultInjectedCellFailureIsErrorNotCrash)
+{
+    std::string error;
+    ASSERT_TRUE(
+        FaultRegistry::configure("study.cell.fail:1.0", 1, error))
+        << error;
+    serve::StudyService service(tinyServiceOptions());
+    serve::ServeResult fail = service.handle(kThermalRequest);
+    FaultRegistry::reset();
+    EXPECT_EQ(fail.status, serve::ServeResult::Status::Error);
+    EXPECT_NE(fail.error.find("fault injected"), std::string::npos);
+
+    // With the fault disarmed the service recovers on the spot.
+    serve::ServeResult ok = service.handle(kThermalRequest);
+    EXPECT_EQ(ok.status, serve::ServeResult::Status::Ok) << ok.error;
+}
+
+TEST(StudyService, RejectionCarriesRetryAfterHint)
+{
+    serve::ServiceOptions options = tinyServiceOptions();
+    serve::StudyService service(options);
+    // Inline mode never queues, so provoke the rejection through
+    // drain: a draining service sheds everything new.
+    service.drain();
+    serve::ServeResult shed = service.handle(kThermalRequest);
+    EXPECT_EQ(shed.status, serve::ServeResult::Status::Rejected);
+    EXPECT_GT(shed.retry_after_ms, 0u);
+    EXPECT_NE(shed.line.find("\"retry_after_ms\":"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// pipe transport: line caps and control-line classification
+// ---------------------------------------------------------------------
+
+TEST(PipeServer, OversizedLineGetsCleanErrorResponse)
+{
+    serve::ServiceOptions options = tinyServiceOptions();
+    options.max_line_bytes = 256;
+    serve::StudyService service(options);
+    std::string big(options.max_line_bytes * 4, 'x');
+    std::istringstream in(big + "\n" + std::string(kThermalRequest) +
+                          "\n");
+    std::ostringstream out;
+    std::uint64_t handled = serve::runPipeServer(service, in, out);
+    EXPECT_EQ(handled, 2u);
+    // First response: the cap error. Second: the study still ran.
+    std::string text = out.str();
+    EXPECT_NE(text.find("exceeds the 256 byte cap"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_EQ(service.counters().value("serve.line_overflows"), 1.0);
+}
+
+TEST(PipeServer, ControlLinesClassifiedOnTopLevelOpOnly)
+{
+    serve::StudyService service(tinyServiceOptions());
+    // The id merely *contains* "op" (with embedded quotes, the old
+    // substring pre-filter's worst case); it must route to the
+    // service as a request, not be swallowed as a control line.
+    std::istringstream in(
+        "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+        "\"id\": \"has \\\"op\\\" inside\", "
+        "\"options\": {\"seed\": 3}, "
+        "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}\n"
+        "{ \"op\" : \"counters\" }\n"
+        "{\"op\": \"flush\"}\n"
+        "{\"op\": \"stop\"}\n");
+    std::ostringstream out;
+    std::uint64_t handled = serve::runPipeServer(service, in, out);
+    EXPECT_EQ(handled, 4u);
+    std::string text = out.str();
+    EXPECT_NE(text.find("has \\\"op\\\" inside"), std::string::npos);
+    EXPECT_NE(text.find("serve.requests"), std::string::npos);
+    EXPECT_NE(text.find("unknown op 'flush'"), std::string::npos);
+    EXPECT_NE(text.find("\"stopping\":true"), std::string::npos);
+    EXPECT_EQ(service.counters().value("serve.ok"), 1.0);
 }

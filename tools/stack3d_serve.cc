@@ -9,6 +9,7 @@
  * Usage: stack3d_serve [--stdin | --port N] [--workers N]
  *                      [--queue N] [--cache-entries N]
  *                      [--cache-dir PATH] [--conn-threads N]
+ *                      [--max-line BYTES] [--drain-ms N]
  *                      [shared flags]
  *
  *   --stdin            serve requests from stdin, responses to stdout
@@ -21,6 +22,9 @@
  *                      caching (default 64)
  *   --cache-dir PATH   also persist results to PATH/<digest>.json
  *   --conn-threads N   TCP connection-handler threads (default 4)
+ *   --max-line BYTES   request-line length cap (default 1 MiB)
+ *   --drain-ms N       shutdown grace for in-flight work before it
+ *                      is cancelled (default 5000)
  *
  * The shared --threads flag caps the per-study thread count a request
  * may ask for. --stats-json captures the serve.* counters (requests,
@@ -28,13 +32,24 @@
  *
  * Protocol control lines: {"op": "counters"} returns the counter
  * snapshot; {"op": "stop"} shuts the server down.
+ *
+ * SIGTERM/SIGINT take the same path as a stop op: stop admitting,
+ * drain in-flight work (up to --drain-ms, then cancel), flush the
+ * counters, exit 0. Handlers are installed without SA_RESTART so a
+ * transport blocked in read()/accept() wakes via EINTR; the TCP
+ * acceptor additionally polls a self-pipe the handler writes to.
+ *
+ * $STACK3D_FAULTS / $STACK3D_FAULT_SEED arm deterministic fault
+ * injection (common/fault.hh) for chaos testing.
  */
 
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "core/cli.hh"
 #include "serve/server.hh"
@@ -50,8 +65,31 @@ usage(std::ostream &os)
     os << "usage: stack3d_serve [--stdin | --port N] [--workers N] "
           "[--queue N]\n"
           "                     [--cache-entries N] [--cache-dir "
-          "PATH] [--conn-threads N]\n";
+          "PATH] [--conn-threads N]\n"
+          "                     [--max-line BYTES] [--drain-ms N]\n";
     core::BenchCli::printUsage(os);
+}
+
+extern "C" void
+onShutdownSignal(int)
+{
+    // Only async-signal-safe work here: one atomic store plus a
+    // write() to the transports' self-pipe.
+    serve::requestShutdown();
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = onShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    // Deliberately no SA_RESTART: a transport blocked in read() or
+    // accept() must come back with EINTR and notice the shutdown.
+    action.sa_flags = 0;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
 }
 
 /** Like core::parseThreadArg but without its 4096 thread-count cap —
@@ -103,6 +141,14 @@ realMain(int argc, char **argv)
         else if (std::strcmp(argv[i], "--conn-threads") == 0 &&
                  i + 1 < argc)
             conn_threads = parseCountArg(argv[++i], "--conn-threads");
+        else if (std::strcmp(argv[i], "--max-line") == 0 &&
+                 i + 1 < argc)
+            service_options.max_line_bytes =
+                parseCountArg(argv[++i], "--max-line");
+        else if (std::strcmp(argv[i], "--drain-ms") == 0 &&
+                 i + 1 < argc)
+            service_options.drain_timeout_ms =
+                parseCountArg(argv[++i], "--drain-ms");
         else {
             usage(std::cerr);
             return 1;
@@ -116,6 +162,11 @@ realMain(int argc, char **argv)
         use_stdin = true;
     if (port > 65535)
         stack3d_fatal("--port must be <= 65535");
+    if (service_options.max_line_bytes < 256)
+        stack3d_fatal("--max-line must be at least 256 bytes");
+
+    FaultRegistry::configureFromEnvironment();
+    installSignalHandlers();
 
     cli.begin();
     service_options.max_study_threads = cli.options.resolvedThreads();
