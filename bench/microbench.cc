@@ -9,11 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "cpu/pipeline.hh"
 #include "exec/pool.hh"
 #include "mem/engine.hh"
+#include "obs/histogram.hh"
 #include "obs/trace.hh"
+#include "serve/service.hh"
 #include "thermal/solver.hh"
 #include "thermal/stacks.hh"
 #include "workloads/registry.hh"
@@ -202,6 +205,50 @@ BM_SpanRecording(benchmark::State &state)
 // Fixed iteration count: every recorded span stays buffered in the
 // collector, so an open-ended run would grow without bound.
 BENCHMARK(BM_SpanRecording)->Iterations(1 << 18);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    // The per-sample cost the serve request path pays: one bucket
+    // index computation plus a relaxed fetch_add and a CAS.
+    obs::Histogram h;
+    double value = 1e-4;
+    for (auto _ : state) {
+        h.record(value);
+        value = value < 1.0 ? value * 1.0001 : 1e-4;
+        benchmark::DoNotOptimize(&h);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_StatsSnapshot(benchmark::State &state)
+{
+    // The cost of one {"op":"stats"} / scrape pull with populated
+    // latency instruments. The old LatencyRing copy-sorted up to
+    // 4096 samples under the service mutex on every counters() call;
+    // the histogram walk must stay well under 50 µs.
+    serve::ServiceOptions options;
+    options.workers = 0;        // inline; no pool threads in a bench
+    options.watchdog_factor = 0;
+    options.cache_entries = 8;
+    serve::StudyService service(options);
+    // One tiny cold run, then thousands of hits: fills the hit
+    // histogram with real samples the way a live daemon would.
+    const std::string line =
+        "{\"schema_version\":2,\"study\":\"stack-thermal\","
+        "\"spec\":{\"die_nx\":6,\"die_ny\":6}}";
+    for (unsigned i = 0; i < 4096; ++i)
+        (void)service.handle(line);
+
+    for (auto _ : state) {
+        obs::CounterSet c = service.counters();
+        benchmark::DoNotOptimize(&c);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatsSnapshot);
 
 } // anonymous namespace
 

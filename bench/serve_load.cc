@@ -30,10 +30,17 @@
  * hint, and the sweep reports retries/give-ups alongside goodput —
  * the measure of what survives overload.
  *
+ * While each point's clients run, a sampler thread scrapes the
+ * service's stats snapshot every 25 ms — the same pull an external
+ * /metrics scraper would do — and the resulting time series
+ * (requests, hits, in-flight, cold p95) is emitted per point under
+ * "timeline" in the JSON output.
+ *
  * The committed BENCH_serve.json is this tool's --json output.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -103,6 +110,17 @@ requestLine(std::uint64_t seed, unsigned die_nx, unsigned die_ny)
     return os.str();
 }
 
+/** One mid-run stats scrape (the live-telemetry time series). */
+struct TimelineSample
+{
+    double t_s = 0;          ///< seconds since the point started
+    double requests = 0;
+    double ok = 0;
+    double hits = 0;
+    double in_flight = 0;
+    double cold_p95_ms = 0;
+};
+
 struct SweepPoint
 {
     unsigned hit_pct_target = 0;
@@ -119,6 +137,7 @@ struct SweepPoint
     std::uint64_t errors = 0;
     std::uint64_t retries = 0;
     std::uint64_t gave_up = 0;
+    std::vector<TimelineSample> timeline;
 };
 
 /** Per-client tally a worker returns to the sweep loop. */
@@ -251,11 +270,38 @@ realMain(int argc, char **argv)
 
         obs::CounterSet before = service.counters();
 
+        // Mid-run sampler: scrape the service's own stats snapshot
+        // on a cadence while the clients hammer it, exactly like an
+        // external Prometheus scraper would — the counters must be
+        // readable (and cheap) under full load, and the resulting
+        // time series goes into the committed JSON.
+        std::atomic<bool> sampling{true};
+        std::vector<TimelineSample> timeline;
+        exec::ThreadPool sampler_pool(1);
+        WallTimer timer;
+        std::future<void> sampler_done =
+            sampler_pool.submit([&sampling, &timeline, &timer,
+                                 &service] {
+                while (sampling.load(std::memory_order_relaxed)) {
+                    obs::CounterSet now = service.counters();
+                    TimelineSample s;
+                    s.t_s = timer.seconds();
+                    s.requests = now.value("serve.requests");
+                    s.ok = now.value("serve.ok");
+                    s.hits = now.value("serve.cache.hits");
+                    s.in_flight = now.value("serve.in_flight");
+                    s.cold_p95_ms =
+                        now.value("serve.latency.cold.p95_ms");
+                    timeline.push_back(s);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(25));
+                }
+            });
+
         exec::ThreadPool clients(n_clients);
         std::vector<std::future<ClientTally>> futures;
         futures.reserve(n_clients);
         std::uint64_t client_seed_base = cli.options.seed;
-        WallTimer timer;
         for (unsigned c = 0; c < n_clients; ++c) {
             futures.push_back(clients.submit(
                 [c, n_clients, max_retries, backoff_ms,
@@ -282,6 +328,9 @@ realMain(int argc, char **argv)
             point.gave_up += tally.gave_up;
         }
         point.wall_s = timer.seconds();
+        sampling.store(false, std::memory_order_relaxed);
+        sampler_done.get();
+        point.timeline = std::move(timeline);
 
         obs::CounterSet after = service.counters();
         double hits = after.value("serve.cache.hits") -
@@ -309,7 +358,8 @@ realMain(int argc, char **argv)
     if (!cli.quiet()) {
         printBanner(std::cout, "stack3d-serve sustained load");
         TextTable t({"hit% target", "hit% seen", "req/s", "good/s",
-                     "retries", "cold ms", "hit ms", "cold/hit"});
+                     "retries", "cold ms", "hit ms", "cold/hit",
+                     "samples"});
         for (const SweepPoint &p : points) {
             t.newRow()
                 .cell(double(p.hit_pct_target), 0)
@@ -319,7 +369,8 @@ realMain(int argc, char **argv)
                 .cell(double(p.retries), 0)
                 .cell(p.cold_ms, 3)
                 .cell(p.hit_ms, 4)
-                .cell(p.cold_over_hit, 0);
+                .cell(p.cold_over_hit, 0)
+                .cell(double(p.timeline.size()), 0);
         }
         t.print(std::cout);
         std::cout << "(" << n_clients << " clients, " << n_workers
@@ -363,6 +414,18 @@ realMain(int argc, char **argv)
             w.key("goodput_per_s").value(p.goodput_per_s);
             w.key("retries").value(std::uint64_t(p.retries));
             w.key("gave_up").value(std::uint64_t(p.gave_up));
+            w.key("timeline").beginArray();
+            for (const TimelineSample &s : p.timeline) {
+                w.beginObject();
+                w.key("t_s").value(s.t_s);
+                w.key("requests").value(s.requests);
+                w.key("ok").value(s.ok);
+                w.key("hits").value(s.hits);
+                w.key("in_flight").value(s.in_flight);
+                w.key("cold_p95_ms").value(s.cold_p95_ms);
+                w.endObject();
+            }
+            w.endArray();
             w.endObject();
         }
         w.endArray();

@@ -1,21 +1,118 @@
 #include "logging.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
-namespace stack3d {
-namespace detail {
+#include "common/json.hh"
 
+namespace stack3d {
+
+namespace detail {
 namespace {
 
 std::atomic<unsigned long> warn_counter{0};
 std::atomic<bool> quiet_mode{false};
+std::atomic<bool> json_mode{false};
 std::mutex warn_hook_mutex;
 WarnHook warn_hook;
+
+/** Serializes whole log lines so interleaved threads stay readable. */
+std::mutex log_write_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        break;
+    }
+    return "error";
+}
+
+/**
+ * UTC wall-clock timestamp with millisecond precision. The one
+ * legitimate wall-clock read outside timing/provenance: operators
+ * correlate daemon log lines with scrapes and other hosts' clocks,
+ * which steady_clock cannot do. Never feeds simulation state.
+ */
+std::string
+timestampUtc()
+{
+    using namespace std::chrono;
+    auto now = system_clock::now();   // lint3d: det-wallclock-ok
+    std::time_t seconds =
+        system_clock::to_time_t(now);   // lint3d: det-wallclock-ok
+    auto ms = duration_cast<milliseconds>(now.time_since_epoch())
+                  .count() %
+              1000;
+    std::tm tm_utc{};
+    ::gmtime_r(&seconds, &tm_utc);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1,
+                  tm_utc.tm_mday, tm_utc.tm_hour, tm_utc.tm_min,
+                  tm_utc.tm_sec, int(ms));
+    return std::string(buf);
+}
+
+/** True when a field value can go unquoted in text format. */
+bool
+isBareValue(const std::string &v)
+{
+    if (v.empty())
+        return false;
+    for (char c : v) {
+        if (c == ' ' || c == '"' || c == '=' || c == '\n' ||
+            c == '\t')
+            return false;
+    }
+    return true;
+}
+
+void
+writeLine(LogLevel level, const std::string &message,
+          const LogFields &fields)
+{
+    std::string line;
+    if (json_mode.load(std::memory_order_relaxed)) {
+        line = "{\"ts\":\"" + timestampUtc() + "\",\"level\":\"" +
+               levelName(level) + "\",\"msg\":\"" +
+               JsonWriter::escape(message) + "\"";
+        for (const auto &field : fields) {
+            line += ",\"" + JsonWriter::escape(field.first) +
+                    "\":\"" + JsonWriter::escape(field.second) +
+                    "\"";
+        }
+        line += "}";
+    } else {
+        line = timestampUtc() + " " + levelName(level) + ": " +
+               message;
+        for (const auto &field : fields) {
+            line += " " + field.first + "=";
+            if (isBareValue(field.second))
+                line += field.second;
+            else
+                line += "\"" + JsonWriter::escape(field.second) +
+                        "\"";
+        }
+    }
+    std::lock_guard<std::mutex> lock(log_write_mutex);
+    std::cerr << line << std::endl;
+}
 
 } // anonymous namespace
 
@@ -42,7 +139,7 @@ warnImpl(const std::string &message)
 {
     warn_counter.fetch_add(1, std::memory_order_relaxed);
     if (!quiet_mode.load(std::memory_order_relaxed))
-        std::cerr << "warn: " << message << std::endl;
+        writeLine(LogLevel::Warn, message, {});
     std::lock_guard<std::mutex> lock(warn_hook_mutex);
     if (warn_hook)
         warn_hook(message);
@@ -54,7 +151,7 @@ informImpl(const std::string &message)
     // stderr, like warn(): stdout stays clean for machine-readable
     // output (trace_tool stats --json pipes JSON through it).
     if (!quiet_mode.load(std::memory_order_relaxed))
-        std::cerr << "info: " << message << std::endl;
+        writeLine(LogLevel::Info, message, {});
 }
 
 unsigned long
@@ -79,4 +176,36 @@ setWarnHook(WarnHook hook)
 }
 
 } // namespace detail
+
+void
+logLine(LogLevel level, const std::string &message,
+        const LogFields &fields)
+{
+    if (level == LogLevel::Warn) {
+        // Keep the warn contract: counted, hook-observed, identical
+        // whether it arrived via warn() or the structured API.
+        detail::warn_counter.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool quiet = detail::quiet_mode.load(std::memory_order_relaxed);
+    if (!quiet || level == LogLevel::Error)
+        detail::writeLine(level, message, fields);
+    if (level == LogLevel::Warn) {
+        std::lock_guard<std::mutex> lock(detail::warn_hook_mutex);
+        if (detail::warn_hook)
+            detail::warn_hook(message);
+    }
+}
+
+void
+setLogJson(bool json)
+{
+    detail::json_mode.store(json, std::memory_order_relaxed);
+}
+
+bool
+logJson()
+{
+    return detail::json_mode.load(std::memory_order_relaxed);
+}
+
 } // namespace stack3d

@@ -19,8 +19,44 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace stack3d {
+
+/**
+ * Severity of one structured log line. warn()/inform() map onto
+ * Warn/Info; Error is used by services reporting non-fatal faults;
+ * Debug lines are suppressed unless enabled.
+ */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Key/value context attached to a structured log line. */
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Emit one structured log line to stderr. Every line carries a
+ * UTC timestamp and level; @p fields append machine-parsable
+ * context (trace IDs, digests, latencies). Output is plain text by
+ * default —
+ *
+ *   2026-08-07T12:00:00.123Z warn: message trace_id=t-1f digest=0x..
+ *
+ * — or one JSON object per line after setLogJson(true):
+ *
+ *   {"ts":"...","level":"warn","msg":"message","trace_id":"t-1f"}
+ *
+ * Honors setQuiet() like warn()/inform() (Error lines always print).
+ * Thread-safe; a line is written atomically.
+ */
+void logLine(LogLevel level, const std::string &message,
+             const LogFields &fields = {});
+
+/** Switch structured output to JSON-per-line (false = text). */
+void setLogJson(bool json);
+
+/** True when JSON log output is active. */
+bool logJson();
 
 namespace detail {
 
@@ -91,7 +127,10 @@ WarnHook setWarnHook(WarnHook hook);
     ::stack3d::detail::fatalImpl(                                           \
         __FILE__, __LINE__, ::stack3d::detail::formatMessage(__VA_ARGS__))
 
-/** Warn the user about questionable but survivable behaviour. */
+/**
+ * Warn the user about questionable but survivable behaviour.
+ * Emitted through the structured logger at LogLevel::Warn.
+ */
 template <typename... Args>
 void
 warn(const Args &...args)
@@ -99,7 +138,9 @@ warn(const Args &...args)
     detail::warnImpl(detail::formatMessage(args...));
 }
 
-/** Print a status message. */
+/**
+ * Print a status message (structured logger, LogLevel::Info).
+ */
 template <typename... Args>
 void
 inform(const Args &...args)

@@ -1,0 +1,89 @@
+#include "obs/expo.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/registry.hh"
+
+namespace stack3d {
+namespace obs {
+
+namespace {
+
+/** Shortest %g form that round-trips typical counter values. */
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string s(buf);
+    // Counters are almost always integers; drop a redundant %.17g
+    // mantissa for them so the page stays human-readable.
+    double as_ll = double(static_cast<long long>(v));
+    if (as_ll == v && v >= -1e15 && v <= 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        s = buf;
+    }
+    return s;
+}
+
+std::string
+formatBound(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+}
+
+} // anonymous namespace
+
+std::string
+prometheusName(const std::string &dotted)
+{
+    std::string out;
+    out.reserve(dotted.size());
+    for (char c : dotted) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+writePrometheusText(std::ostream &os, const Registry &registry)
+{
+    CounterSet counters = registry.counters();
+    for (const CounterSet::Scalar &s : counters.scalars()) {
+        std::string name = prometheusName(s.first);
+        const char *type =
+            registry.kindOf(s.first) == MetricKind::Gauge
+                ? "gauge"
+                : "counter";
+        os << "# TYPE " << name << " " << type << "\n";
+        os << name << " " << formatNumber(s.second) << "\n";
+    }
+    for (const auto &entry : registry.histogramSnapshots()) {
+        const std::string name = prometheusName(entry.first);
+        const Histogram::Snapshot &snap = entry.second;
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (unsigned i = 0; i < snap.buckets.size(); ++i) {
+            if (snap.buckets[i] == 0)
+                continue;
+            cumulative += snap.buckets[i];
+            os << name << "_bucket{le=\""
+               << formatBound(Histogram::bucketUpperBound(i))
+               << "\"} " << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+        os << name << "_sum " << formatNumber(snap.sum) << "\n";
+        os << name << "_count " << snap.count << "\n";
+    }
+}
+
+} // namespace obs
+} // namespace stack3d

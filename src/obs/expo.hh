@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) for a Registry snapshot,
+ * so any standard scraper can watch a stack3d daemon:
+ *
+ *   # TYPE serve_requests counter
+ *   serve_requests 42
+ *   # TYPE serve_draining gauge
+ *   serve_draining 0
+ *   # TYPE serve_latency_cold_seconds histogram
+ *   serve_latency_cold_seconds_bucket{le="0.001"} 3
+ *   ...
+ *   serve_latency_cold_seconds_bucket{le="+Inf"} 17
+ *   serve_latency_cold_seconds_sum 0.82
+ *   serve_latency_cold_seconds_count 17
+ *
+ * Dotted stack3d counter names map to Prometheus names by replacing
+ * every character outside [a-zA-Z0-9_] with '_' ("serve.cache.hits"
+ * -> "serve_cache_hits"). Counter vs gauge `# TYPE` lines come from
+ * the registry's kind tags; histogram buckets are emitted cumulative
+ * as the format requires. Series counters are skipped — a residual
+ * curve is not a scrapeable metric.
+ */
+
+#ifndef STACK3D_OBS_EXPO_HH
+#define STACK3D_OBS_EXPO_HH
+
+#include <ostream>
+#include <string>
+
+namespace stack3d {
+namespace obs {
+
+class Registry;
+
+/** Map a dotted counter name to a legal Prometheus metric name. */
+std::string prometheusName(const std::string &dotted);
+
+/** Write a full exposition page for @p registry's current state. */
+void writePrometheusText(std::ostream &os, const Registry &registry);
+
+} // namespace obs
+} // namespace stack3d
+
+#endif // STACK3D_OBS_EXPO_HH

@@ -1,0 +1,158 @@
+#include "obs/histogram.hh"
+
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "common/check.hh"
+#include "common/json.hh"
+
+namespace stack3d {
+namespace obs {
+
+Histogram::Histogram() : _shards(kShards)
+{
+}
+
+unsigned
+Histogram::bucketIndex(double value)
+{
+    if (!(value > kMinValue))   // NaN and sub-span values: bucket 0
+        return 0;
+    double octaves = std::log2(value / kMinValue);
+    double slot = octaves * double(kSubBucketsPerOctave);
+    if (slot >= double(kBuckets - 1))
+        return kBuckets - 1;   // saturate: the last bucket is +inf
+    return unsigned(slot);
+}
+
+double
+Histogram::bucketUpperBound(unsigned index)
+{
+    S3D_DCHECK(index < kBuckets) << "index=" << index;
+    return kMinValue *
+           std::exp2(double(index + 1) /
+                     double(kSubBucketsPerOctave));
+}
+
+Histogram::Shard &
+Histogram::shardForThisThread()
+{
+    // Thread identity -> shard. Hashing the id spreads consecutively
+    // created pool workers across shards; the map is stable for a
+    // thread's lifetime so a single-threaded writer always hits the
+    // same cache line.
+    std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return _shards[h % kShards];
+}
+
+void
+Histogram::record(double value)
+{
+    Shard &shard = shardForThisThread();
+    shard.buckets[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    // CAS loop instead of fetch_add: atomic<double>::fetch_add is
+    // C++20 but not universally lock-free; this compiles to the same
+    // LL/SC-style loop either way.
+    double sum = shard.sum.load(std::memory_order_relaxed);
+    while (!shard.sum.compare_exchange_weak(
+        sum, sum + value, std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.buckets.assign(kBuckets, 0);
+    for (const Shard &shard : _shards) {
+        for (unsigned i = 0; i < kBuckets; ++i)
+            snap.buckets[i] +=
+                shard.buckets[i].load(std::memory_order_relaxed);
+        snap.count += shard.count.load(std::memory_order_relaxed);
+        snap.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : _shards)
+        total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Histogram::Snapshot::merge(const Snapshot &other)
+{
+    if (buckets.empty())
+        buckets.assign(kBuckets, 0);
+    S3D_DCHECK(other.buckets.size() == buckets.size());
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+}
+
+double
+Histogram::Snapshot::quantile(double p) const
+{
+    if (count == 0 || buckets.empty())
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the wanted sample (1-based), nearest-rank style.
+    std::uint64_t rank = std::uint64_t(
+        std::ceil(p * double(count)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        cumulative += buckets[i];
+        if (cumulative >= rank) {
+            // Log-midpoint of the bucket: halves the worst-case
+            // relative error vs returning an edge.
+            double hi = bucketUpperBound(i);
+            double lo = i == 0
+                            ? kMinValue
+                            : bucketUpperBound(i - 1);
+            return std::sqrt(lo * hi);
+        }
+    }
+    return bucketUpperBound(unsigned(buckets.size()) - 1);
+}
+
+void
+Histogram::Snapshot::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("count").value(count);
+    w.key("sum").value(sum);
+    w.key("p50").value(quantile(0.50));
+    w.key("p95").value(quantile(0.95));
+    w.key("p99").value(quantile(0.99));
+    w.key("buckets");
+    w.beginArray();
+    for (unsigned i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        w.beginArray();
+        w.value(bucketUpperBound(i));
+        w.value(buckets[i]);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace obs
+} // namespace stack3d

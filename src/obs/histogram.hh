@@ -1,0 +1,137 @@
+/**
+ * @file
+ * obs::Histogram — a fixed log-bucket latency/size instrument built
+ * for service hot paths.
+ *
+ * Layout: buckets are log2-spaced with kSubBucketsPerOctave buckets
+ * per doubling, spanning [kMinValue, kMinValue * 2^kOctaves). With
+ * the defaults (1e-6, 4/octave, 32 octaves) that is 128 buckets from
+ * 1 µs to ~71 minutes when values are seconds — enough for a cache
+ * hit and a cancelled week-long study to land in the same instrument.
+ * Values below the span count into bucket 0; values above saturate
+ * into the last bucket. The layout is a compile-time constant, so two
+ * histograms are always mergeable and snapshots are comparable across
+ * processes and runs.
+ *
+ * Concurrency: record() is wait-free — one relaxed fetch_add into a
+ * shard selected by thread identity (plus a CAS loop for the running
+ * sum). There is no lock anywhere on the record path, so instruments
+ * can sit inside the service's request path without adding a
+ * contention point. snapshot() merges the shards; because merging is
+ * plain addition of per-bucket counts, the merged bucket counts for a
+ * given multiset of samples are identical no matter how the samples
+ * were spread across shards or threads (determinism preserved).
+ *
+ * Quantiles are estimated from the merged buckets by log-midpoint
+ * interpolation: the estimate is off by at most half a bucket in log
+ * space, i.e. a relative error bounded by 2^(1/(2*sub)) - 1 (~9% at
+ * 4 sub-buckets per octave) — pinned by tests/test_telemetry.cc
+ * against exact sorted quantiles.
+ */
+
+#ifndef STACK3D_OBS_HISTOGRAM_HH
+#define STACK3D_OBS_HISTOGRAM_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stack3d {
+
+class JsonWriter;
+
+namespace obs {
+
+/** Lock-free log-bucket histogram. See file comment. */
+class Histogram
+{
+  public:
+    /** Lower edge of bucket 0 (values are typically seconds). */
+    static constexpr double kMinValue = 1e-6;
+    /** Buckets per doubling of the value. */
+    static constexpr unsigned kSubBucketsPerOctave = 4;
+    /** Doublings covered before the last bucket saturates. */
+    static constexpr unsigned kOctaves = 32;
+    /** Total bucket count (the fixed, shared layout). */
+    static constexpr unsigned kBuckets =
+        kOctaves * kSubBucketsPerOctave;
+
+    /**
+     * Merged point-in-time view of one histogram (or of several, via
+     * merge()). Plain data: safe to copy, compare, serialize.
+     */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        std::vector<std::uint64_t> buckets;   ///< kBuckets entries
+
+        /**
+         * Estimated value at quantile @p p in [0, 1] (0 with no
+         * samples). Monotonic in p; log-midpoint interpolated.
+         */
+        double quantile(double p) const;
+
+        /** Mean of the recorded values (0 with no samples). */
+        double mean() const { return count ? sum / double(count) : 0.0; }
+
+        /** Add another snapshot's counts into this one. */
+        void merge(const Snapshot &other);
+
+        /**
+         * Emit as one JSON object value:
+         *   {"count": N, "sum": S, "p50": ..., "p95": ..., "p99":
+         *    ..., "buckets": [[upper_bound, count], ...]}
+         * Only non-empty buckets are listed, so idle instruments cost
+         * a few bytes, not kBuckets entries.
+         */
+        void writeJson(JsonWriter &w) const;
+    };
+
+    Histogram();
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one sample. Wait-free, callable from any thread. */
+    void record(double value);
+
+    /** Merge all shards into one snapshot. */
+    Snapshot snapshot() const;
+
+    /** Total samples recorded (cheaper than a full snapshot). */
+    std::uint64_t count() const;
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static unsigned bucketIndex(double value);
+
+    /** Inclusive upper bound of bucket @p index. */
+    static double bucketUpperBound(unsigned index);
+
+  private:
+    /**
+     * One shard: a cache-line-padded array of bucket counters plus
+     * the count/sum pair. Threads scatter across shards by thread
+     * identity so concurrent record() calls rarely share a line.
+     */
+    struct alignas(64) Shard
+    {
+        std::vector<std::atomic<std::uint64_t>> buckets;
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+
+        Shard() : buckets(kBuckets) {}
+    };
+
+    static constexpr unsigned kShards = 8;
+
+    Shard &shardForThisThread();
+
+    std::vector<Shard> _shards;
+};
+
+} // namespace obs
+} // namespace stack3d
+
+#endif // STACK3D_OBS_HISTOGRAM_HH

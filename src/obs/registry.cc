@@ -1,0 +1,73 @@
+#include "obs/registry.hh"
+
+namespace stack3d {
+namespace obs {
+
+void
+Registry::addProvider(Provider provider)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _providers.push_back(std::move(provider));
+}
+
+void
+Registry::registerHistogram(std::string name,
+                            const Histogram *histogram)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _histograms.emplace_back(std::move(name), histogram);
+}
+
+void
+Registry::tagGauge(std::string pattern)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _gauge_patterns.push_back(std::move(pattern));
+}
+
+bool
+Registry::gaugeLocked(const std::string &name) const
+{
+    for (const std::string &pattern : _gauge_patterns) {
+        if (!pattern.empty() && pattern.back() == '*') {
+            if (name.compare(0, pattern.size() - 1, pattern, 0,
+                             pattern.size() - 1) == 0)
+                return true;
+        } else if (name == pattern) {
+            return true;
+        }
+    }
+    return false;
+}
+
+MetricKind
+Registry::kindOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return gaugeLocked(name) ? MetricKind::Gauge
+                             : MetricKind::Counter;
+}
+
+CounterSet
+Registry::counters() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CounterSet set;
+    for (const Provider &provider : _providers)
+        provider(set);
+    return set;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+Registry::histogramSnapshots() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::pair<std::string, Histogram::Snapshot>> snaps;
+    snaps.reserve(_histograms.size());
+    for (const auto &entry : _histograms)
+        snaps.emplace_back(entry.first, entry.second->snapshot());
+    return snaps;
+}
+
+} // namespace obs
+} // namespace stack3d

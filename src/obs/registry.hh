@@ -1,0 +1,97 @@
+/**
+ * @file
+ * obs::Registry — the live-telemetry hub a long-running process
+ * exposes itself through.
+ *
+ * Subsystems (the study service, its result cache, the exec pool,
+ * the fault registry, ...) register *providers*: callbacks that
+ * append their current counters into a CounterSet when a snapshot is
+ * taken. Histogram instruments register by pointer. A snapshot —
+ * counters() + histogramSnapshots() — is therefore always coherent
+ * "now" data pulled from the owners, never a stale copy pushed on a
+ * schedule, and taking one costs microseconds (see BM_StatsSnapshot).
+ *
+ * Metric kinds: CounterSet values are doubles with no semantics
+ * attached, but exposition formats need to know whether a value is a
+ * monotonic counter or a point-in-time gauge (Prometheus emits
+ * different `# TYPE` lines, and scrape consumers apply rate() only
+ * to counters). Registrants tag gauge names — exactly or by
+ * "prefix*" pattern — and kindOf() answers for any metric name;
+ * untagged names default to Counter, which matches the bulk of the
+ * serve.* namespace.
+ *
+ * Thread safety: registration and snapshotting are serialized by an
+ * internal mutex. Providers are invoked under that mutex, so they
+ * must not call back into the registry; they may (and do) take their
+ * owners' locks — registry -> owner is the one permitted order.
+ */
+
+#ifndef STACK3D_OBS_REGISTRY_HH
+#define STACK3D_OBS_REGISTRY_HH
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hh"
+#include "obs/metrics.hh"
+
+namespace stack3d {
+namespace obs {
+
+/** Exposition semantics of one metric name. */
+enum class MetricKind { Counter, Gauge };
+
+/** Provider/instrument hub for one process. See file comment. */
+class Registry
+{
+  public:
+    /** Appends the owner's current counters into the snapshot. */
+    using Provider = std::function<void(CounterSet &)>;
+
+    /**
+     * Register a snapshot provider. Providers run in registration
+     * order, so snapshot key order is stable across calls.
+     */
+    void addProvider(Provider provider);
+
+    /**
+     * Register a histogram instrument under @p name. The registry
+     * does not own the histogram; the registrant must keep it alive
+     * for the registry's lifetime (instruments are members of the
+     * service, which owns the registry — the natural shape).
+     */
+    void registerHistogram(std::string name,
+                           const Histogram *histogram);
+
+    /**
+     * Tag metric names as gauges: @p pattern is an exact name, or a
+     * prefix match when it ends in '*' ("serve.latency.*").
+     */
+    void tagGauge(std::string pattern);
+
+    /** Kind of @p name (Counter unless tagged). */
+    MetricKind kindOf(const std::string &name) const;
+
+    /** Run every provider into one merged CounterSet. */
+    CounterSet counters() const;
+
+    /** Snapshot every registered histogram, in registration order. */
+    std::vector<std::pair<std::string, Histogram::Snapshot>>
+    histogramSnapshots() const;
+
+  private:
+    bool gaugeLocked(const std::string &name) const;
+
+    mutable std::mutex _mutex;
+    std::vector<Provider> _providers;
+    std::vector<std::pair<std::string, const Histogram *>> _histograms;
+    std::vector<std::string> _gauge_patterns;
+};
+
+} // namespace obs
+} // namespace stack3d
+
+#endif // STACK3D_OBS_REGISTRY_HH

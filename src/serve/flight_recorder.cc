@@ -1,0 +1,98 @@
+#include "serve/flight_recorder.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace stack3d {
+namespace serve {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : _capacity(std::max<std::size_t>(capacity, 1))
+{
+    _ring.reserve(_capacity);
+}
+
+void
+FlightRecorder::note(FlightEntry entry)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    entry.seq = ++_noted;
+    if (_ring.size() < _capacity) {
+        _ring.push_back(std::move(entry));
+    } else {
+        _ring[_next] = std::move(entry);
+        _next = (_next + 1) % _capacity;
+    }
+}
+
+std::vector<FlightEntry>
+FlightRecorder::entries() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<FlightEntry> out;
+    out.reserve(_ring.size());
+    // Once wrapped, _next is the oldest slot.
+    for (std::size_t i = 0; i < _ring.size(); ++i)
+        out.push_back(_ring[(_next + i) % _ring.size()]);
+    return out;
+}
+
+std::uint64_t
+FlightRecorder::noted() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _noted;
+}
+
+void
+FlightRecorder::writeJson(JsonWriter &w) const
+{
+    w.beginArray();
+    for (const FlightEntry &e : entries()) {
+        w.beginObject();
+        w.key("seq").value(e.seq);
+        w.key("trace_id").value(e.trace_id);
+        if (!e.digest_hex.empty())
+            w.key("digest").value(e.digest_hex);
+        if (!e.study.empty())
+            w.key("study").value(e.study);
+        w.key("status").value(e.status);
+        w.key("cached").value(e.cached);
+        w.key("coalesced").value(e.coalesced);
+        w.key("latency_ms").value(e.latency_ms);
+        w.key("queue_depth").value(std::uint64_t(e.queue_depth));
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+FlightRecorder::dumpToLog(const std::string &reason) const
+{
+    std::vector<FlightEntry> snapshot = entries();
+    logLine(LogLevel::Info, "flight recorder dump",
+            {{"reason", reason},
+             {"entries", std::to_string(snapshot.size())},
+             {"noted", std::to_string(noted())}});
+    for (const FlightEntry &e : snapshot) {
+        char latency[32];
+        std::snprintf(latency, sizeof(latency), "%.3f",
+                      e.latency_ms);
+        logLine(LogLevel::Info, "flight",
+                {{"seq", std::to_string(e.seq)},
+                 {"trace_id", e.trace_id},
+                 {"digest", e.digest_hex},
+                 {"study", e.study},
+                 {"status", e.status},
+                 {"cached", e.cached ? "true" : "false"},
+                 {"coalesced", e.coalesced ? "true" : "false"},
+                 {"latency_ms", latency},
+                 {"queue_depth", std::to_string(e.queue_depth)}});
+    }
+}
+
+} // namespace serve
+} // namespace stack3d

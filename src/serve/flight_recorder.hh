@@ -1,0 +1,88 @@
+/**
+ * @file
+ * FlightRecorder — the last N request summaries of a running
+ * stack3d-serve daemon, kept in a fixed ring for crash-adjacent
+ * forensics. When a watchdog flags a wedged execution, when SIGUSR1
+ * arrives, or when an operator sends {"op":"flight"}, the recent
+ * request history — trace IDs, digests, statuses, queue depths,
+ * latencies — is what turns "it got slow" into a diagnosis.
+ *
+ * Entries are appended at request completion (every terminal status,
+ * including rejections — shed load is exactly what a post-mortem
+ * needs to see). The ring is mutex-guarded: appends happen once per
+ * request on paths that already take the service lock, and dumps are
+ * rare, so a lock is the right cost here (unlike the per-sample
+ * histogram path).
+ */
+
+#ifndef STACK3D_SERVE_FLIGHT_RECORDER_HH
+#define STACK3D_SERVE_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stack3d {
+
+class JsonWriter;
+
+namespace serve {
+
+/** One completed request's summary. */
+struct FlightEntry
+{
+    std::uint64_t seq = 0;        ///< service-wide request ordinal
+    std::string trace_id;
+    std::string digest_hex;       ///< "0x..." ("" if unparsable)
+    std::string study;            ///< study kind ("" for op lines)
+    std::string status;           ///< ok/error/rejected/timeout
+    bool cached = false;
+    bool coalesced = false;
+    double latency_ms = 0.0;
+    unsigned queue_depth = 0;     ///< in-flight count at completion
+};
+
+/** Fixed ring of recent FlightEntry records. Thread-safe. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t capacity);
+
+    /** Append one summary (overwrites the oldest once full). */
+    void note(FlightEntry entry);
+
+    /** Entries oldest-first (at most `capacity`). */
+    std::vector<FlightEntry> entries() const;
+
+    /** Total requests ever noted (ring wraps; this does not). */
+    std::uint64_t noted() const;
+
+    std::size_t capacity() const { return _capacity; }
+
+    /**
+     * Emit as one JSON array value of entry objects, oldest first —
+     * the payload of the {"op":"flight"} response.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /**
+     * Dump every entry through the structured logger (one line per
+     * entry plus a header) — the SIGUSR1 / watchdog-flag path, which
+     * must work when no client is attached to ask for JSON.
+     */
+    void dumpToLog(const std::string &reason) const;
+
+  private:
+    const std::size_t _capacity;
+    mutable std::mutex _mutex;
+    std::vector<FlightEntry> _ring;
+    std::size_t _next = 0;        ///< slot the next note() fills
+    std::uint64_t _noted = 0;
+};
+
+} // namespace serve
+} // namespace stack3d
+
+#endif // STACK3D_SERVE_FLIGHT_RECORDER_HH

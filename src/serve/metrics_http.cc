@@ -1,0 +1,232 @@
+#include "serve/metrics_http.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "exec/pool.hh"
+
+namespace stack3d {
+namespace serve {
+
+namespace {
+
+void
+sendAllHttp(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent,
+                           data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        sent += std::size_t(n);
+    }
+}
+
+std::string
+statusLine(int code)
+{
+    switch (code) {
+      case 200:
+        return "HTTP/1.1 200 OK\r\n";
+      case 404:
+        return "HTTP/1.1 404 Not Found\r\n";
+      case 405:
+        return "HTTP/1.1 405 Method Not Allowed\r\n";
+      default:
+        return "HTTP/1.1 400 Bad Request\r\n";
+    }
+}
+
+std::string
+httpResponse(int code, const std::string &content_type,
+             const std::string &body)
+{
+    std::string out = statusLine(code);
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // anonymous namespace
+
+MetricsHttpServer::MetricsHttpServer() = default;
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+void
+MetricsHttpServer::addRoute(std::string path, std::string content_type,
+                            Renderer renderer)
+{
+    _routes.push_back(Route{std::move(path), std::move(content_type),
+                            std::move(renderer)});
+}
+
+bool
+MetricsHttpServer::start(unsigned port)
+{
+    _listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listen_fd < 0) {
+        warn("metrics endpoint: socket() failed: ",
+             std::strerror(errno));
+        return false;
+    }
+    int reuse = 1;
+    ::setsockopt(_listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof(reuse));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(std::uint16_t(port));
+    if (::bind(_listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(_listen_fd, 8) != 0) {
+        warn("metrics endpoint: cannot bind 127.0.0.1:", port, ": ",
+             std::strerror(errno));
+        ::close(_listen_fd);
+        _listen_fd = -1;
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(_listen_fd,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        _bound_port = ntohs(bound.sin_port);
+
+    if (::pipe(_wake_pipe) != 0) {
+        warn("metrics endpoint: pipe() failed: ",
+             std::strerror(errno));
+        ::close(_listen_fd);
+        _listen_fd = -1;
+        return false;
+    }
+
+    logLine(LogLevel::Info, "metrics endpoint listening",
+            {{"port", std::to_string(_bound_port)}});
+
+    _pool = std::make_unique<exec::ThreadPool>(1);
+    (void)_pool->submit([this] { serveLoop(); });
+    return true;
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (_wake_pipe[1] >= 0) {
+        char byte = 1;
+        (void)!::write(_wake_pipe[1], &byte, 1);
+    }
+    // The pool destructor joins after the loop drains.
+    _pool.reset();
+    for (int *fd : {&_listen_fd, &_wake_pipe[0], &_wake_pipe[1]}) {
+        if (*fd >= 0) {
+            ::close(*fd);
+            *fd = -1;
+        }
+    }
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    for (;;) {
+        pollfd waits[2] = {{_listen_fd, POLLIN, 0},
+                           {_wake_pipe[0], POLLIN, 0}};
+        int ready = ::poll(waits, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (waits[1].revents != 0)
+            return;   // stop() woke us
+        if ((waits[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0)
+            continue;
+        int fd = ::accept(_listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        answer(fd);
+    }
+}
+
+void
+MetricsHttpServer::answer(int fd)
+{
+    // A scraper sends its whole request promptly or not at all; a
+    // short receive timeout keeps a stuck client from wedging the
+    // single-threaded loop.
+    timeval timeout{};
+    timeout.tv_usec = 500 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+
+    std::string request;
+    char chunk[2048];
+    while (request.find("\r\n") == std::string::npos &&
+           request.size() < 8192) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        request.append(chunk, std::size_t(n));
+    }
+
+    // "GET /path HTTP/1.1" — only the request line matters.
+    std::size_t line_end = request.find("\r\n");
+    std::string line = line_end == std::string::npos
+                           ? request
+                           : request.substr(0, line_end);
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        sendAllHttp(fd, httpResponse(400, "text/plain",
+                                     "bad request\n"));
+        ::close(fd);
+        return;
+    }
+    std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::size_t query = path.find('?');
+    if (query != std::string::npos)
+        path.erase(query);
+
+    if (method != "GET") {
+        sendAllHttp(fd, httpResponse(405, "text/plain",
+                                     "GET only\n"));
+        ::close(fd);
+        return;
+    }
+    for (const Route &route : _routes) {
+        if (route.path == path) {
+            sendAllHttp(fd, httpResponse(200, route.content_type,
+                                         route.renderer()));
+            ::close(fd);
+            return;
+        }
+    }
+    sendAllHttp(fd, httpResponse(404, "text/plain", "not found\n"));
+    ::close(fd);
+}
+
+} // namespace serve
+} // namespace stack3d

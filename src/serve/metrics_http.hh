@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A minimal HTTP/1.1 GET endpoint for metric scrapes.
+ *
+ * stack3d-serve's wire protocol is NDJSON over a pipe or TCP — fine
+ * for clients that speak it, useless for a Prometheus scraper or a
+ * shell one-liner. MetricsHttpServer binds a second loopback port and
+ * answers GET requests from a route table the daemon fills in
+ * (/metrics → Prometheus text exposition, /healthz → health JSON).
+ *
+ * Deliberately not a web server: GET only, one connection serviced at
+ * a time, Connection: close on every response. A scrape every few
+ * seconds is the design load; anything heavier belongs on the wire
+ * protocol. The accept loop runs on a single-thread exec::ThreadPool
+ * and is woken for shutdown through a private self-pipe, mirroring
+ * the main TCP transport's signal-race-free pattern.
+ */
+
+#ifndef STACK3D_SERVE_METRICS_HTTP_HH
+#define STACK3D_SERVE_METRICS_HTTP_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stack3d {
+
+namespace exec {
+class ThreadPool;
+} // namespace exec
+
+namespace serve {
+
+/** Loopback HTTP GET server backed by a route table. Thread-safe. */
+class MetricsHttpServer
+{
+  public:
+    /** Produces one response body at request time. */
+    using Renderer = std::function<std::string()>;
+
+    MetricsHttpServer();
+    ~MetricsHttpServer();   ///< calls stop()
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Register @p path (exact match, e.g. "/metrics") to be answered
+     * with @p renderer's output as @p content_type. Must be called
+     * before start().
+     */
+    void addRoute(std::string path, std::string content_type,
+                  Renderer renderer);
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = kernel-assigned) and start the
+     * accept loop. @return false (with a warn) when the bind fails.
+     */
+    bool start(unsigned port);
+
+    /** Port actually bound (0 before start() succeeds). */
+    unsigned boundPort() const { return _bound_port; }
+
+    /** Stop the loop, close the socket, join the worker. Idempotent. */
+    void stop();
+
+  private:
+    struct Route
+    {
+        std::string path;
+        std::string content_type;
+        Renderer renderer;
+    };
+
+    void serveLoop();
+    void answer(int fd);
+
+    std::vector<Route> _routes;
+    int _listen_fd = -1;
+    int _wake_pipe[2] = {-1, -1};
+    unsigned _bound_port = 0;
+    std::unique_ptr<exec::ThreadPool> _pool;
+};
+
+} // namespace serve
+} // namespace stack3d
+
+#endif // STACK3D_SERVE_METRICS_HTTP_HH

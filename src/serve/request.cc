@@ -95,6 +95,7 @@ parseRequest(const std::string &line, Request &out, std::string &error)
 
     r.readString("id", out.id);
     r.readUnsigned("deadline_ms", out.deadline_ms);
+    r.readString("trace_id", out.trace_id);
 
     if (const JsonValue *options = r.readMember("options")) {
         if (!core::parseRunOptions(*options, out.options, error))

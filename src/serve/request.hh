@@ -19,6 +19,9 @@
  *   deadline_ms     optional response deadline; past it the service
  *                   answers status "timeout" and cancels the
  *                   execution (0 = none, the default)
+ *   trace_id        optional client-supplied trace identifier, echoed
+ *                   in the response and every log line about the
+ *                   request; generated server-side when absent
  *
  * Parsing is strict throughout: unknown keys anywhere are an error.
  */
@@ -57,6 +60,14 @@ struct Request
      * the cache of (or coalesce with) an undeadlined twin.
      */
     unsigned deadline_ms = 0;
+
+    /**
+     * Trace identifier threaded through spans, log lines, the flight
+     * recorder, and the response. Pure observability: excluded from
+     * digest() by construction (specDigest never sees it), so two
+     * requests differing only in trace_id share a cache entry.
+     */
+    std::string trace_id;
 
     // Only the spec matching `kind` is meaningful; the others stay
     // default-constructed.

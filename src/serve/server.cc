@@ -74,7 +74,26 @@ shutdownRequested()
 namespace {
 
 /** Non-request control line ({"op": ...}), if this line is one. */
-enum class ControlOp { None, Stop, Counters, Unknown };
+enum class ControlOp
+{
+    None,
+    Stop,
+    Counters,
+    Stats,
+    Health,
+    Flight,
+    Trace,
+    Unknown
+};
+
+/** A classified control line plus its op-specific arguments. */
+struct ControlLine
+{
+    ControlOp op = ControlOp::None;
+    std::string op_name;
+    std::string trace_action;   ///< "start" / "stop" (trace op)
+    std::string trace_path;     ///< output file (trace stop)
+};
 
 /**
  * Classify on the parsed top-level object only: a line is a control
@@ -83,24 +102,41 @@ enum class ControlOp { None, Stop, Counters, Unknown };
  * an unrecognized op value gets its own error instead of being
  * parsed as a (certain to fail) study request.
  */
-ControlOp
-classifyLine(const std::string &line, std::string &op_name)
+ControlLine
+classifyLine(const std::string &line)
 {
+    ControlLine out;
     JsonValue root;
     std::string error;
     if (!parseJson(line, root, error) || !root.isObject())
-        return ControlOp::None;   // the service renders parse errors
+        return out;   // the service renders parse errors
     const JsonValue *op = root.find("op");
     if (!op)
-        return ControlOp::None;
-    if (op->isString()) {
-        op_name = op->string;
-        if (op->string == "stop")
-            return ControlOp::Stop;
-        if (op->string == "counters")
-            return ControlOp::Counters;
+        return out;
+    out.op = ControlOp::Unknown;
+    if (!op->isString())
+        return out;
+    out.op_name = op->string;
+    if (op->string == "stop")
+        out.op = ControlOp::Stop;
+    else if (op->string == "counters")
+        out.op = ControlOp::Counters;
+    else if (op->string == "stats")
+        out.op = ControlOp::Stats;
+    else if (op->string == "health")
+        out.op = ControlOp::Health;
+    else if (op->string == "flight")
+        out.op = ControlOp::Flight;
+    else if (op->string == "trace") {
+        out.op = ControlOp::Trace;
+        if (const JsonValue *action = root.find("action");
+            action && action->isString())
+            out.trace_action = action->string;
+        if (const JsonValue *path = root.find("path");
+            path && path->isString())
+            out.trace_path = path->string;
     }
-    return ControlOp::Unknown;
+    return out;
 }
 
 std::string
@@ -141,6 +177,33 @@ oversizedLine(std::size_t cap)
                      std::to_string(cap) + " byte cap");
 }
 
+std::string
+traceLine(StudyService &service, const ControlLine &control)
+{
+    if (control.trace_action == "start") {
+        std::string error;
+        if (!service.traceStart(error))
+            return errorLine(error);
+        return "{\"schema_version\":" +
+               std::to_string(obs::kSchemaVersion) +
+               ",\"status\":\"ok\",\"tracing\":true}";
+    }
+    if (control.trace_action == "stop") {
+        std::string path = control.trace_path.empty()
+                               ? "serve_trace.json"
+                               : control.trace_path;
+        std::string message;
+        if (!service.traceStop(path, message))
+            return errorLine(message);
+        return "{\"schema_version\":" +
+               std::to_string(obs::kSchemaVersion) +
+               ",\"status\":\"ok\",\"tracing\":false,\"trace\":\"" +
+               JsonWriter::escape(message) + "\"}";
+    }
+    return errorLine("trace op needs \"action\": \"start\" or "
+                     "\"stop\"");
+}
+
 /**
  * Handle one protocol line; returns false when it was a stop op
  * (after emitting the acknowledgement via @p emit).
@@ -150,16 +213,28 @@ bool
 handleLine(StudyService &service, const std::string &line,
            EmitFn &&emit)
 {
-    std::string op_name;
-    switch (classifyLine(line, op_name)) {
+    ControlLine control = classifyLine(line);
+    switch (control.op) {
       case ControlOp::Stop:
         emit(stopLine());
         return false;
       case ControlOp::Counters:
         emit(countersLine(service));
         return true;
+      case ControlOp::Stats:
+        emit(service.statsJson());
+        return true;
+      case ControlOp::Health:
+        emit(service.healthJson());
+        return true;
+      case ControlOp::Flight:
+        emit(service.flightJson());
+        return true;
+      case ControlOp::Trace:
+        emit(traceLine(service, control));
+        return true;
       case ControlOp::Unknown:
-        emit(errorLine("unknown op '" + op_name + "'"));
+        emit(errorLine("unknown op '" + control.op_name + "'"));
         return true;
       case ControlOp::None:
         break;
@@ -331,7 +406,8 @@ handleConnection(StudyService &service, ServerState &state, int fd)
 
 int
 runTcpServer(StudyService &service, unsigned port,
-             unsigned connection_threads)
+             unsigned connection_threads,
+             std::atomic<unsigned> *bound_port)
 {
     int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd < 0) {
@@ -368,6 +444,8 @@ runTcpServer(StudyService &service, unsigned port,
                       &bound_len) == 0) {
         inform("stack3d-serve: listening on 127.0.0.1:",
                ntohs(bound.sin_port));
+        if (bound_port)
+            bound_port->store(ntohs(bound.sin_port));
     }
 
     ServerState state;

@@ -6,10 +6,16 @@
  * 127.0.0.1.
  *
  * Both speak the same protocol: one JSON request per line in, one
- * JSON response per line out. Two control lines are handled by the
+ * JSON response per line out. Control lines are handled by the
  * transport, not the service:
  *
  *   {"op": "counters"}  respond with the serve.* counter snapshot
+ *   {"op": "stats"}     counters plus latency histogram snapshots
+ *   {"op": "health"}    cheap liveness/readiness summary
+ *   {"op": "flight"}    the flight recorder's last-N request ring
+ *   {"op": "trace", "action": "start"}
+ *   {"op": "trace", "action": "stop", "path": "trace.json"}
+ *                       toggle a runtime tracing session
  *   {"op": "stop"}      respond, then shut the server down
  *
  * Robustness: request lines are capped at
@@ -24,6 +30,7 @@
 #ifndef STACK3D_SERVE_SERVER_HH
 #define STACK3D_SERVE_SERVER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 
@@ -47,10 +54,14 @@ std::uint64_t runPipeServer(StudyService &service, std::istream &in,
  * connection is handled by a task on a exec::ThreadPool of
  * @p connection_threads workers, so that many clients can have
  * requests in flight — this is what drives the service's batching.
+ * When @p bound_port is non-null it receives the port actually bound
+ * (after a port-0 bind resolves) — tests use it to discover where to
+ * connect.
  * @return 0 on clean shutdown, 1 on a socket setup error.
  */
 int runTcpServer(StudyService &service, unsigned port,
-                 unsigned connection_threads);
+                 unsigned connection_threads,
+                 std::atomic<unsigned> *bound_port = nullptr);
 
 /**
  * Ask every running transport loop to wind down as if a stop op had

@@ -2,22 +2,44 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "common/digest.hh"
 #include "common/fault.hh"
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "common/timing.hh"
 #include "core/study_json.hh"
 #include "obs/provenance.hh"
-#include "obs/trace.hh"
 
 namespace stack3d {
 namespace serve {
 
 namespace {
+
+/** Set by requestFlightDump() (async-signal-safe), consumed by
+ *  pollFlightDump() at the next watchdog tick or request arrival. */
+std::atomic<bool> g_flight_dump_requested{false};
+
+const char *
+statusName(ServeResult::Status status)
+{
+    switch (status) {
+      case ServeResult::Status::Ok:
+        return "ok";
+      case ServeResult::Status::Rejected:
+        return "rejected";
+      case ServeResult::Status::Timeout:
+        return "timeout";
+      case ServeResult::Status::Error:
+        break;
+    }
+    return "error";
+}
 
 /** Assemble the NDJSON response line around the raw report bytes. */
 std::string
@@ -27,6 +49,9 @@ renderLine(const ServeResult &result, const std::string &id)
                        std::to_string(obs::kSchemaVersion);
     if (!id.empty())
         line += ",\"id\":\"" + JsonWriter::escape(id) + "\"";
+    if (!result.trace_id.empty())
+        line += ",\"trace_id\":\"" +
+                JsonWriter::escape(result.trace_id) + "\"";
     switch (result.status) {
       case ServeResult::Status::Ok:
         line += ",\"status\":\"ok\",\"cached\":";
@@ -59,34 +84,37 @@ renderLine(const ServeResult &result, const std::string &id)
 
 } // anonymous namespace
 
-void
-StudyService::LatencyRing::add(double seconds)
-{
-    if (samples.size() < kCapacity) {
-        samples.push_back(seconds);
-    } else {
-        samples[next] = seconds;
-        next = (next + 1) % kCapacity;
-    }
-}
-
-double
-StudyService::LatencyRing::percentile(double p) const
-{
-    if (samples.empty())
-        return 0.0;
-    std::vector<double> sorted(samples);
-    std::size_t rank = std::size_t(p * double(sorted.size() - 1));
-    std::nth_element(sorted.begin(),
-                     sorted.begin() + std::ptrdiff_t(rank),
-                     sorted.end());
-    return sorted[rank];
-}
-
 StudyService::StudyService(const ServiceOptions &options)
     : _options(options), _pool(options.workers),
-      _cache(options.cache_entries, options.cache_dir)
+      _cache(options.cache_entries, options.cache_dir),
+      _flight(options.flight_entries)
 {
+    // Telemetry wiring: every read surface (the {"op":"stats"} line,
+    // the /metrics exposition, the exit-stats JSON) pulls through the
+    // registry, so they can never disagree about keys or semantics.
+    _registry.addProvider(
+        [this](obs::CounterSet &c) { appendServeCounters(c); });
+    _registry.registerHistogram("serve.latency.hit_s", &_hit_latency);
+    _registry.registerHistogram("serve.latency.cold_s",
+                                &_cold_latency);
+    // Point-in-time values; everything untagged is a monotonic
+    // counter (Prometheus # TYPE and rate() depend on the split).
+    _registry.tagGauge("serve.draining");
+    _registry.tagGauge("serve.in_flight");
+    _registry.tagGauge("serve.cache.entries");
+    _registry.tagGauge("serve.queue.high_water");
+    // Quantiles are point-in-time estimates; the latency .count and
+    // .total_s keys stay counters (rate() over them is meaningful).
+    _registry.tagGauge("serve.latency.hit.p50_ms");
+    _registry.tagGauge("serve.latency.hit.p95_ms");
+    _registry.tagGauge("serve.latency.hit.p99_ms");
+    _registry.tagGauge("serve.latency.cold.p50_ms");
+    _registry.tagGauge("serve.latency.cold.p95_ms");
+    _registry.tagGauge("serve.latency.cold.p99_ms");
+    _registry.tagGauge("serve.pool.threads");
+    _registry.tagGauge("serve.pool.queue_high_water");
+    _registry.tagGauge("serve.fault.points");
+
     // The watchdog needs asynchronous executions to observe; in
     // inline mode (workers == 0) handle() is the execution.
     if (_options.workers > 0 && _options.watchdog_factor > 0 &&
@@ -109,6 +137,9 @@ StudyService::~StudyService()
         _watchdog_done.get();
         _watchdog_pool.reset();
     }
+    std::lock_guard<std::mutex> lock(_trace_mutex);
+    if (_trace)
+        _trace->uninstall();
 }
 
 std::string
@@ -192,7 +223,7 @@ StudyService::retryHintLocked() const
     // Rough time for the backlog to clear: how many worker "waves"
     // are queued ahead, times the cold p95. Before any cold sample
     // exists, assume a nominal 100 ms study.
-    double p95_s = _cold_latency.percentile(0.95);
+    double p95_s = _cold_latency.snapshot().quantile(0.95);
     if (p95_s <= 0.0)
         p95_s = 0.1;
     unsigned workers = std::max(_options.workers, 1u);
@@ -202,25 +233,84 @@ StudyService::retryHintLocked() const
     return unsigned(std::min(std::max(ms, 1.0), 60000.0));
 }
 
+std::string
+StudyService::makeTraceId()
+{
+    // An atomic sequence, not a clock or RNG: unique within the
+    // process, cheap, and deterministic-replay friendly.
+    std::uint64_t n =
+        _trace_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "t-%llx",
+                  static_cast<unsigned long long>(n));
+    return std::string(buf);
+}
+
+void
+StudyService::recordOutcome(const std::string &study,
+                            const ServeResult &result,
+                            double latency_ms)
+{
+    FlightEntry entry;
+    entry.trace_id = result.trace_id;
+    entry.digest_hex = result.digest_hex;
+    entry.study = study;
+    entry.status = statusName(result.status);
+    entry.cached = result.cached;
+    entry.coalesced = result.coalesced;
+    entry.latency_ms = latency_ms;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        entry.queue_depth = _in_flight;
+    }
+    _flight.note(std::move(entry));
+}
+
+void
+StudyService::requestFlightDump()
+{
+    g_flight_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+StudyService::pollFlightDump()
+{
+    if (g_flight_dump_requested.exchange(false,
+                                         std::memory_order_relaxed))
+        _flight.dumpToLog("sigusr1");
+}
+
 ServeResult
 StudyService::handle(const std::string &line)
 {
     WallTimer timer;
     ServeResult result;
+    pollFlightDump();
 
     Request request;
     std::string error;
     if (!parseRequest(line, request, error)) {
         result.status = ServeResult::Status::Error;
         result.error = error;
-        std::lock_guard<std::mutex> lock(_mutex);
-        ++_n_requests;
-        ++_n_errors;
+        result.trace_id = request.trace_id.empty()
+                              ? makeTraceId()
+                              : request.trace_id;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            ++_n_requests;
+            ++_n_errors;
+        }
         result.line = renderLine(result, request.id);
+        recordOutcome("", result, 1e3 * timer.seconds());
         return result;
     }
 
-    obs::Span span(std::string("serve/") + studyKindName(request.kind),
+    if (request.trace_id.empty())
+        request.trace_id = makeTraceId();
+    result.trace_id = request.trace_id;
+    const std::string study = studyKindName(request.kind);
+
+    obs::Span span("serve/" + study + " " + request.trace_id,
                    "serve");
     std::uint64_t digest = request.digest();
     result.digest_hex = digestHex(digest);
@@ -245,46 +335,54 @@ StudyService::handle(const std::string &line)
             ++_n_hit;
             double elapsed = timer.seconds();
             _hit_seconds += elapsed;
-            _hit_latency.add(elapsed);
-            result.line = renderLine(result, request.id);
-            return result;
+            _hit_latency.record(elapsed);
         }
-
-        auto pending = _pending.find(digest);
-        if (pending != _pending.end()) {
-            exec = pending->second;
-            result.coalesced = true;
-            ++_n_coalesced;
+        if (result.cached) {
+            // renderLine/recordOutcome outside the lock.
         } else {
-            unsigned limit = std::max(_options.workers, 1u) +
-                             _options.queue_limit;
-            if (_draining || _in_flight >= limit) {
-                result.status = ServeResult::Status::Rejected;
-                result.retry_after_ms = retryHintLocked();
-                result.error =
-                    _draining ? "server draining"
-                              : "server overloaded (" +
-                                    std::to_string(_in_flight) +
-                                    " requests in flight)";
-                ++_n_rejected;
-                result.line = renderLine(result, request.id);
-                return result;
+            auto pending = _pending.find(digest);
+            if (pending != _pending.end()) {
+                exec = pending->second;
+                result.coalesced = true;
+                ++_n_coalesced;
+            } else {
+                unsigned limit = std::max(_options.workers, 1u) +
+                                 _options.queue_limit;
+                if (_draining || _in_flight >= limit) {
+                    result.status = ServeResult::Status::Rejected;
+                    result.retry_after_ms = retryHintLocked();
+                    result.error =
+                        _draining ? "server draining"
+                                  : "server overloaded (" +
+                                        std::to_string(_in_flight) +
+                                        " requests in flight)";
+                    ++_n_rejected;
+                } else {
+                    ++_in_flight;
+                    _in_flight_high_water =
+                        std::max(_in_flight_high_water, _in_flight);
+                    exec = std::make_shared<Execution>();
+                    exec->digest = digest;
+                    exec->label = study;
+                    exec->trace_id = request.trace_id;
+                    exec->cancel = std::make_shared<CancelToken>(
+                        request.deadline_ms);
+                    exec->promise =
+                        std::make_shared<std::promise<std::string>>();
+                    exec->future =
+                        exec->promise->get_future().share();
+                    exec->started = CancelToken::Clock::now();
+                    _pending[digest] = exec;
+                    owner = true;
+                }
             }
-            ++_in_flight;
-            _in_flight_high_water =
-                std::max(_in_flight_high_water, _in_flight);
-            exec = std::make_shared<Execution>();
-            exec->digest = digest;
-            exec->label = studyKindName(request.kind);
-            exec->cancel =
-                std::make_shared<CancelToken>(request.deadline_ms);
-            exec->promise =
-                std::make_shared<std::promise<std::string>>();
-            exec->future = exec->promise->get_future().share();
-            exec->started = CancelToken::Clock::now();
-            _pending[digest] = exec;
-            owner = true;
         }
+    }
+    if (result.cached ||
+        result.status == ServeResult::Status::Rejected) {
+        result.line = renderLine(result, request.id);
+        recordOutcome(study, result, 1e3 * timer.seconds());
+        return result;
     }
 
     if (owner) {
@@ -336,6 +434,7 @@ StudyService::handle(const std::string &line)
                        std::to_string(request.deadline_ms) +
                        " ms expired";
         result.line = renderLine(result, request.id);
+        recordOutcome(study, result, 1e3 * timer.seconds());
         return result;
     }
 
@@ -347,7 +446,7 @@ StudyService::handle(const std::string &line)
         ++_n_cold;
         double elapsed = timer.seconds();
         _cold_seconds += elapsed;
-        _cold_latency.add(elapsed);
+        _cold_latency.record(elapsed);
     } catch (const CancelledError &e) {
         // The execution observed cancellation (its own deadline, or
         // drain) before we hit ours: still a timeout to the client.
@@ -362,6 +461,7 @@ StudyService::handle(const std::string &line)
         ++_n_errors;
     }
     result.line = renderLine(result, request.id);
+    recordOutcome(study, result, 1e3 * timer.seconds());
     return result;
 }
 
@@ -369,10 +469,19 @@ void
 StudyService::drain()
 {
     using Clock = CancelToken::Clock;
+    bool first = false;
+    unsigned backlog = 0;
     {
         std::lock_guard<std::mutex> lock(_mutex);
+        first = !_draining;
         _draining = true;
+        backlog = _in_flight;
     }
+    // Idle teardowns (every test/bench service destruction) stay
+    // silent; a drain with work to wind down is worth a log line.
+    if (first && backlog > 0)
+        logLine(LogLevel::Info, "drain started",
+                {{"in_flight", std::to_string(backlog)}});
     auto waitIdle = [this](Clock::time_point until) {
         for (;;) {
             {
@@ -388,16 +497,29 @@ StudyService::drain()
     };
     auto budget =
         std::chrono::milliseconds(_options.drain_timeout_ms);
-    if (waitIdle(Clock::now() + budget))
+    if (waitIdle(Clock::now() + budget)) {
+        if (first && backlog > 0)
+            logLine(LogLevel::Info, "drain finished",
+                    {{"cancelled", "0"}});
         return;
+    }
     // Out of patience: cancel the stragglers and wait them out (a
     // cancelled study stops within one cell / CG iteration).
+    unsigned cancelled = 0;
     {
         std::lock_guard<std::mutex> lock(_mutex);
-        for (auto &entry : _pending)
+        for (auto &entry : _pending) {
             entry.second->cancel->cancel();
+            ++cancelled;
+            logLine(LogLevel::Info, "drain cancelling execution",
+                    {{"trace_id", entry.second->trace_id},
+                     {"digest", digestHex(entry.second->digest)},
+                     {"study", entry.second->label}});
+        }
     }
     (void)waitIdle(Clock::now() + budget);
+    logLine(LogLevel::Info, "drain finished",
+            {{"cancelled", std::to_string(cancelled)}});
 }
 
 void
@@ -419,11 +541,15 @@ StudyService::watchdogLoop()
                       _options.watchdog_interval_ms));
         if (_watchdog_stop)
             break;
-        double p99_s = _cold_latency.percentile(0.99);
+        lock.unlock();
+        pollFlightDump();
+        lock.lock();
+        double p99_s = _cold_latency.snapshot().quantile(0.99);
         if (p99_s <= 0.0)
             continue;   // no cold baseline yet
         double limit_s = p99_s * double(_options.watchdog_factor);
         auto now = CancelToken::Clock::now();
+        bool flagged_now = false;
         for (auto &entry : _pending) {
             Execution &exec = *entry.second;
             double run_s =
@@ -432,22 +558,39 @@ StudyService::watchdogLoop()
             if (exec.flagged || run_s <= limit_s)
                 continue;
             exec.flagged = true;
+            flagged_now = true;
             ++_n_watchdog_flagged;
-            // inform, not warn: warn() is captured into in-flight
+            char run_buf[32], limit_buf[32];
+            std::snprintf(run_buf, sizeof(run_buf), "%.3f", run_s);
+            std::snprintf(limit_buf, sizeof(limit_buf), "%.3f",
+                          limit_s);
+            // Info, not warn: warn() is captured into in-flight
             // study reports, which must stay deterministic.
-            inform("serve watchdog: ", exec.label, " execution ",
-                   digestHex(exec.digest), " running for ", run_s,
-                   " s (over ", _options.watchdog_factor,
-                   "x cold p99 of ", p99_s, " s)");
+            logLine(LogLevel::Info,
+                    "serve watchdog: execution over limit",
+                    {{"trace_id", exec.trace_id},
+                     {"digest", digestHex(exec.digest)},
+                     {"study", exec.label},
+                     {"run_s", run_buf},
+                     {"limit_s", limit_buf},
+                     {"factor",
+                      std::to_string(_options.watchdog_factor)}});
+        }
+        if (flagged_now) {
+            // Context for the flag: what the daemon just did.
+            lock.unlock();
+            _flight.dumpToLog("watchdog");
+            lock.lock();
         }
     }
 }
 
-obs::CounterSet
-StudyService::counters() const
+void
+StudyService::appendServeCounters(obs::CounterSet &c) const
 {
+    obs::Histogram::Snapshot hit = _hit_latency.snapshot();
+    obs::Histogram::Snapshot cold = _cold_latency.snapshot();
     std::lock_guard<std::mutex> lock(_mutex);
-    obs::CounterSet c;
     c.set("serve.requests", double(_n_requests));
     c.set("serve.ok", double(_n_ok));
     c.set("serve.errors", double(_n_errors));
@@ -455,7 +598,9 @@ StudyService::counters() const
     c.set("serve.timeouts", double(_n_timeouts));
     c.set("serve.line_overflows", double(_n_line_overflows));
     c.set("serve.draining", _draining ? 1.0 : 0.0);
+    c.set("serve.in_flight", double(_in_flight));
     c.set("serve.watchdog.flagged", double(_n_watchdog_flagged));
+    c.set("serve.flight.noted", double(_flight.noted()));
     c.set("serve.cache.hits", double(_cache.stats().hits));
     c.set("serve.cache.misses", double(_cache.stats().misses));
     c.set("serve.cache.evictions", double(_cache.stats().evictions));
@@ -469,20 +614,14 @@ StudyService::counters() const
     c.set("serve.queue.high_water", double(_in_flight_high_water));
     c.set("serve.latency.hit.count", double(_n_hit));
     c.set("serve.latency.hit.total_s", _hit_seconds);
-    c.set("serve.latency.hit.p50_ms",
-          1e3 * _hit_latency.percentile(0.50));
-    c.set("serve.latency.hit.p95_ms",
-          1e3 * _hit_latency.percentile(0.95));
-    c.set("serve.latency.hit.p99_ms",
-          1e3 * _hit_latency.percentile(0.99));
+    c.set("serve.latency.hit.p50_ms", 1e3 * hit.quantile(0.50));
+    c.set("serve.latency.hit.p95_ms", 1e3 * hit.quantile(0.95));
+    c.set("serve.latency.hit.p99_ms", 1e3 * hit.quantile(0.99));
     c.set("serve.latency.cold.count", double(_n_cold));
     c.set("serve.latency.cold.total_s", _cold_seconds);
-    c.set("serve.latency.cold.p50_ms",
-          1e3 * _cold_latency.percentile(0.50));
-    c.set("serve.latency.cold.p95_ms",
-          1e3 * _cold_latency.percentile(0.95));
-    c.set("serve.latency.cold.p99_ms",
-          1e3 * _cold_latency.percentile(0.99));
+    c.set("serve.latency.cold.p50_ms", 1e3 * cold.quantile(0.50));
+    c.set("serve.latency.cold.p95_ms", 1e3 * cold.quantile(0.95));
+    c.set("serve.latency.cold.p99_ms", 1e3 * cold.quantile(0.99));
     _pool.appendCounters(c, "serve.pool.");
     // Fault-injection accounting, so a chaos run's schedule is
     // visible and two same-seed runs can be diffed.
@@ -494,7 +633,120 @@ StudyService::counters() const
         c.set("serve.fault." + point.name + ".fires",
               double(point.fires));
     }
-    return c;
+}
+
+obs::CounterSet
+StudyService::counters() const
+{
+    return _registry.counters();
+}
+
+std::string
+StudyService::statsJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*compact=*/true);
+    w.beginObject();
+    w.key("schema_version").value(unsigned(obs::kSchemaVersion));
+    w.key("status").value("ok");
+    w.key("counters");
+    obs::writeCountersJson(w, _registry.counters());
+    w.key("histograms").beginObject();
+    for (const auto &entry : _registry.histogramSnapshots()) {
+        w.key(entry.first);
+        entry.second.writeJson(w);
+    }
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+StudyService::healthJson() const
+{
+    bool draining;
+    unsigned in_flight;
+    std::uint64_t requests, flagged;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        draining = _draining;
+        in_flight = _in_flight;
+        requests = _n_requests;
+        flagged = _n_watchdog_flagged;
+    }
+    std::ostringstream os;
+    JsonWriter w(os, /*compact=*/true);
+    w.beginObject();
+    w.key("schema_version").value(unsigned(obs::kSchemaVersion));
+    w.key("status").value("ok");
+    w.key("health").beginObject();
+    w.key("ok").value(!draining);
+    w.key("draining").value(draining);
+    w.key("in_flight").value(in_flight);
+    w.key("workers").value(_options.workers);
+    w.key("queue_limit").value(_options.queue_limit);
+    w.key("requests").value(std::uint64_t(requests));
+    w.key("watchdog_flagged").value(std::uint64_t(flagged));
+    w.key("tracing").value(obs::tracingActive());
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+StudyService::flightJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*compact=*/true);
+    w.beginObject();
+    w.key("schema_version").value(unsigned(obs::kSchemaVersion));
+    w.key("status").value("ok");
+    w.key("flight").beginObject();
+    w.key("capacity").value(std::uint64_t(_flight.capacity()));
+    w.key("noted").value(_flight.noted());
+    w.key("entries");
+    _flight.writeJson(w);
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+bool
+StudyService::traceStart(std::string &error)
+{
+    std::lock_guard<std::mutex> lock(_trace_mutex);
+    if (_trace && _trace->installed()) {
+        error = "tracing already active";
+        return false;
+    }
+    _trace = std::make_unique<obs::TraceCollector>();
+    _trace->install();
+    logLine(LogLevel::Info, "tracing started");
+    return true;
+}
+
+bool
+StudyService::traceStop(const std::string &path, std::string &message)
+{
+    std::lock_guard<std::mutex> lock(_trace_mutex);
+    if (!_trace || !_trace->installed()) {
+        message = "tracing not active";
+        return false;
+    }
+    _trace->uninstall();
+    std::ofstream out(path);
+    if (!out) {
+        message = "cannot write trace file '" + path + "'";
+        return false;
+    }
+    _trace->writeChromeJson(out);
+    std::size_t events = _trace->eventCount();
+    message = "wrote " + std::to_string(events) + " events to " +
+              path;
+    logLine(LogLevel::Info, "tracing stopped",
+            {{"path", path},
+             {"events", std::to_string(events)}});
+    return true;
 }
 
 } // namespace serve

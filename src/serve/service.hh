@@ -48,6 +48,7 @@
 #ifndef STACK3D_SERVE_SERVICE_HH
 #define STACK3D_SERVE_SERVICE_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -59,7 +60,11 @@
 
 #include "common/cancel.hh"
 #include "exec/pool.hh"
+#include "obs/histogram.hh"
 #include "obs/metrics.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "serve/flight_recorder.hh"
 #include "serve/request.hh"
 #include "serve/result_cache.hh"
 
@@ -95,6 +100,9 @@ struct ServiceOptions
 
     /** Watchdog scan period. */
     unsigned watchdog_interval_ms = 250;
+
+    /** Flight-recorder ring capacity (last N request summaries). */
+    std::size_t flight_entries = 128;
 };
 
 /** Outcome of one handled request line. */
@@ -105,6 +113,7 @@ struct ServeResult
     Status status = Status::Error;
     bool cached = false;      ///< served from the result cache
     bool coalesced = false;   ///< shared an in-flight execution
+    std::string trace_id;     ///< client-supplied or generated
     std::string digest_hex;   ///< "0x..." (empty when unparsable)
     std::string report_json;  ///< the cached unit (ok only)
     std::string error;        ///< message (error/rejected/timeout)
@@ -144,8 +153,48 @@ class StudyService
 
     const ServiceOptions &options() const { return _options; }
 
-    /** Snapshot of the serve.* counters (including cache stats). */
+    /**
+     * Snapshot of the serve.* counters (including cache stats).
+     * Pulled through the registry, so the wire {"op":"stats"}, the
+     * /metrics exposition, and the exit-stats JSON all see one
+     * coherent set of keys.
+     */
     obs::CounterSet counters() const;
+
+    /** The telemetry hub (providers, instruments, metric kinds). */
+    const obs::Registry &registry() const { return _registry; }
+
+    /**
+     * {"op":"stats"} payload: the full counter snapshot plus the
+     * latency histogram snapshots, as one NDJSON response line.
+     */
+    std::string statsJson() const;
+
+    /** {"op":"health"}: a cheap liveness/readiness summary line. */
+    std::string healthJson() const;
+
+    /** {"op":"flight"}: the flight-recorder ring as a response line. */
+    std::string flightJson() const;
+
+    /**
+     * Start a tracing session ({"op":"trace","action":"start"}).
+     * @return false with @p error set when one is already active.
+     */
+    bool traceStart(std::string &error);
+
+    /**
+     * Stop the active session and write Chrome trace JSON to @p path.
+     * @return false with @p message set when none is active or the
+     * file cannot be written; true with a summary message otherwise.
+     */
+    bool traceStop(const std::string &path, std::string &message);
+
+    /**
+     * Ask the service to dump its flight recorder to the log at the
+     * next safe point (watchdog tick or request arrival). Async-
+     * signal-safe — this is the SIGUSR1 handler's body.
+     */
+    static void requestFlightDump();
 
   private:
     /**
@@ -158,7 +207,8 @@ class StudyService
     struct Execution
     {
         std::uint64_t digest = 0;
-        std::string label;   ///< study name, for watchdog reports
+        std::string label;      ///< study name, for watchdog reports
+        std::string trace_id;   ///< owner's trace id, for watchdog logs
         std::shared_ptr<CancelToken> cancel;
         std::shared_ptr<std::promise<std::string>> promise;
         std::shared_future<std::string> future;
@@ -180,6 +230,19 @@ class StudyService
     /** Periodic scan for overdue executions (watchdog task body). */
     void watchdogLoop();
 
+    /** "t-<hex>" from an atomic sequence (no wallclock, no rand). */
+    std::string makeTraceId();
+
+    /** Append the serve.* scalar counters (the registry provider). */
+    void appendServeCounters(obs::CounterSet &out) const;
+
+    /** Note one terminal request outcome in the flight recorder. */
+    void recordOutcome(const std::string &study,
+                       const ServeResult &result, double latency_ms);
+
+    /** Honor a pending requestFlightDump() (log dump), if any. */
+    void pollFlightDump();
+
     ServiceOptions _options;
     exec::ThreadPool _pool;
 
@@ -191,22 +254,6 @@ class StudyService
     std::map<std::uint64_t, std::shared_ptr<Execution>> _pending;
     ResultCache _cache;
     bool _draining = false;
-
-    /**
-     * Ring of the most recent latency samples (seconds), enough for
-     * stable p50/p95/p99 without unbounded growth on a long-lived
-     * daemon. Guarded by _mutex like the counters.
-     */
-    struct LatencyRing
-    {
-        static constexpr std::size_t kCapacity = 4096;
-        std::vector<double> samples;
-        std::size_t next = 0;
-
-        void add(double seconds);
-        /** p in [0,1]; 0 when no samples yet. */
-        double percentile(double p) const;
-    };
 
     // serve.* counters (guarded by _mutex).
     std::uint64_t _n_requests = 0;
@@ -221,8 +268,34 @@ class StudyService
     double _cold_seconds = 0.0;
     std::uint64_t _n_hit = 0;
     std::uint64_t _n_cold = 0;
-    LatencyRing _hit_latency;
-    LatencyRing _cold_latency;
+
+    /**
+     * Latency instruments (seconds). Lock-free: record() happens on
+     * the request path without touching _mutex, and a quantile query
+     * is a bucket walk over a snapshot — the O(n log n) copy-and-sort
+     * the old sample ring paid under _mutex is gone (BM_StatsSnapshot
+     * pins the cost).
+     */
+    obs::Histogram _hit_latency;
+    obs::Histogram _cold_latency;
+
+    /** Telemetry hub; providers wired in the constructor. */
+    obs::Registry _registry;
+
+    /** Last-N request summaries ({"op":"flight"}, SIGUSR1 dumps). */
+    FlightRecorder _flight;
+
+    /** Source of generated trace ids ("t-1", "t-2", ...). */
+    std::atomic<std::uint64_t> _trace_seq{0};
+
+    /**
+     * Runtime tracing session ({"op":"trace"}). The collector is kept
+     * alive (uninstalled) after a stop rather than destroyed: a
+     * recording thread may still be inside a record() call when the
+     * stop arrives, and uninstall-then-keep makes that race benign.
+     */
+    mutable std::mutex _trace_mutex;
+    std::unique_ptr<obs::TraceCollector> _trace;
 
     // Watchdog (only armed when workers > 0 and factor > 0). Its
     // pool must outlive the loop task; both torn down in ~StudyService

@@ -9,10 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/digest.hh"
@@ -686,6 +693,170 @@ TEST(PipeServer, OversizedLineGetsCleanErrorResponse)
               std::string::npos);
     EXPECT_NE(text.find("\"status\":\"ok\""), std::string::npos);
     EXPECT_EQ(service.counters().value("serve.line_overflows"), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// telemetry: trace IDs, stats/health/flight ops, both transports
+// ---------------------------------------------------------------------
+
+TEST(StudyService, TraceIdIsEchoedAndExcludedFromDigest)
+{
+    serve::StudyService service(tinyServiceOptions());
+    serve::ServeResult cold = service.handle(kThermalRequest);
+    ASSERT_EQ(cold.status, serve::ServeResult::Status::Ok)
+        << cold.error;
+    EXPECT_FALSE(cold.trace_id.empty());   // generated when absent
+
+    // Same spec plus a client trace_id: pure observability, so the
+    // digest is unchanged and the result cache must hit.
+    serve::ServeResult hit = service.handle(
+        "{\"schema_version\": 2, \"study\": \"stack-thermal\", "
+        "\"id\": \"r1\", \"trace_id\": \"t-client-7\", "
+        "\"options\": {\"seed\": 3}, "
+        "\"spec\": {\"die_nx\": 14, \"die_ny\": 12}}");
+    EXPECT_EQ(hit.status, serve::ServeResult::Status::Ok) << hit.error;
+    EXPECT_TRUE(hit.cached);
+    EXPECT_EQ(hit.trace_id, "t-client-7");
+    EXPECT_NE(hit.line.find("\"trace_id\":\"t-client-7\""),
+              std::string::npos);
+    EXPECT_EQ(service.counters().value("serve.cache.hits"), 1.0);
+}
+
+TEST(StudyService, StatsHealthFlightJsonShapes)
+{
+    serve::StudyService service(tinyServiceOptions());
+    (void)service.handle(kThermalRequest);
+    (void)service.handle(kThermalRequest);   // cache hit
+
+    JsonValue stats = parsed(service.statsJson());
+    EXPECT_EQ(stats.find("schema_version")->number, 2.0);
+    EXPECT_EQ(stats.findPath("counters.serve.requests")->number, 2.0);
+    EXPECT_EQ(stats.findPath("counters.serve.cache.hits")->number,
+              1.0);
+    // One cold sample and one hit sample landed in the instruments.
+    const JsonValue *hist = stats.find("histograms");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(
+        hist->findPath("serve.latency.cold_s.count")->number, 1.0);
+    EXPECT_EQ(
+        hist->findPath("serve.latency.hit_s.count")->number, 1.0);
+
+    JsonValue health = parsed(service.healthJson());
+    EXPECT_TRUE(health.findPath("health.ok")->boolean);
+    EXPECT_FALSE(health.findPath("health.draining")->boolean);
+    EXPECT_EQ(health.findPath("health.requests")->number, 2.0);
+
+    JsonValue flight = parsed(service.flightJson());
+    EXPECT_EQ(flight.findPath("flight.noted")->number, 2.0);
+    const JsonValue *entries = flight.findPath("flight.entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->array.size(), 2u);
+    EXPECT_FALSE(entries->array[0].find("cached")->boolean);
+    EXPECT_TRUE(entries->array[1].find("cached")->boolean);
+}
+
+TEST(PipeServer, StatsHealthFlightOpsRoundTrip)
+{
+    serve::StudyService service(tinyServiceOptions());
+    std::istringstream in(std::string(kThermalRequest) + "\n" +
+                          "{\"op\": \"stats\"}\n"
+                          "{\"op\": \"health\"}\n"
+                          "{\"op\": \"flight\"}\n"
+                          "{\"op\": \"stop\"}\n");
+    std::ostringstream out;
+    std::uint64_t handled = serve::runPipeServer(service, in, out);
+    EXPECT_EQ(handled, 5u);
+
+    // One response per line, each a complete JSON document.
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<JsonValue> responses;
+    while (std::getline(lines, line))
+        responses.push_back(parsed(line));
+    ASSERT_EQ(responses.size(), 5u);
+    EXPECT_EQ(responses[1].findPath("counters.serve.ok")->number, 1.0);
+    EXPECT_NE(responses[1].find("histograms"), nullptr);
+    EXPECT_TRUE(responses[2].findPath("health.ok")->boolean);
+    EXPECT_EQ(responses[3].findPath("flight.noted")->number, 1.0);
+    EXPECT_TRUE(responses[4].find("stopping")->boolean);
+    // Op lines are control traffic, not requests.
+    EXPECT_EQ(service.counters().value("serve.requests"), 1.0);
+}
+
+TEST(TcpServer, StatsAndHealthOverASocket)
+{
+    serve::StudyService service(tinyServiceOptions());
+    std::atomic<unsigned> bound_port{0};
+    std::thread server([&] {
+        serve::runTcpServer(service, 0, 1, &bound_port);
+    });
+    while (bound_port.load() == 0)
+        std::this_thread::yield();
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(bound_port.load()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    const std::string script = std::string(kThermalRequest) + "\n" +
+                               "{\"op\": \"stats\"}\n"
+                               "{\"op\": \"health\"}\n"
+                               "{\"op\": \"stop\"}\n";
+    ASSERT_EQ(::write(fd, script.data(), script.size()),
+              ssize_t(script.size()));
+
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+        reply.append(buf, std::size_t(n));
+    ::close(fd);
+    server.join();
+
+    std::istringstream lines(reply);
+    std::string line;
+    std::vector<JsonValue> responses;
+    while (std::getline(lines, line))
+        responses.push_back(parsed(line));
+    ASSERT_EQ(responses.size(), 4u);
+    EXPECT_EQ(responses[0].find("status")->string, "ok");
+    EXPECT_EQ(responses[1].findPath("counters.serve.requests")->number,
+              1.0);
+    EXPECT_TRUE(responses[2].findPath("health.ok")->boolean);
+    EXPECT_TRUE(responses[3].find("stopping")->boolean);
+}
+
+TEST(PipeServer, TraceOpCapturesSpansToAFile)
+{
+    serve::StudyService service(tinyServiceOptions());
+    const std::string path = "serve_trace_op_test.json";
+    std::istringstream in("{\"op\": \"trace\", \"action\": \"start\"}\n" +
+                          std::string(kThermalRequest) + "\n" +
+                          "{\"op\": \"trace\", \"action\": \"stop\", "
+                          "\"path\": \"" +
+                          path + "\"}\n");
+    std::ostringstream out;
+    std::uint64_t handled = serve::runPipeServer(service, in, out);
+    EXPECT_EQ(handled, 3u);
+    EXPECT_NE(out.str().find("\"tracing\":true"), std::string::npos);
+    EXPECT_NE(out.str().find("\"tracing\":false"), std::string::npos);
+
+    std::ifstream trace(path);
+    ASSERT_TRUE(trace.good());
+    std::stringstream content;
+    content << trace.rdbuf();
+    // A Chrome trace with at least the request's serve span in it,
+    // labeled with the request's trace id.
+    JsonValue v = parsed(content.str());
+    ASSERT_NE(v.find("traceEvents"), nullptr);
+    EXPECT_NE(content.str().find("serve/stack-thermal"),
+              std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(PipeServer, ControlLinesClassifiedOnTopLevelOpOnly)

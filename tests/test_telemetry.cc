@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Tests for the live-telemetry layer: the log-bucket histogram
+ * (bucket layout, quantile error bounds against exact sorted
+ * quantiles, thread-order-independent bucket counts, snapshot
+ * merging), the registry (providers, gauge tagging), the Prometheus
+ * text exposition, and the flight recorder ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/json_parse.hh"
+#include "common/random.hh"
+#include "obs/expo.hh"
+#include "obs/histogram.hh"
+#include "obs/registry.hh"
+#include "serve/flight_recorder.hh"
+
+using namespace stack3d;
+
+namespace {
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, v, error)) << error;
+    return v;
+}
+
+/** Exact quantile of a sorted sample vector (nearest-rank). */
+double
+exactQuantile(std::vector<double> sorted, double p)
+{
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t rank = std::size_t(p * double(sorted.size() - 1));
+    return sorted[rank];
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// histogram: bucket layout
+// ---------------------------------------------------------------------
+
+TEST(Histogram, BucketIndexIsMonotonicAndSaturates)
+{
+    // Below the span -> bucket 0; above -> last bucket. In between,
+    // the index never decreases as the value grows.
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(obs::Histogram::kMinValue / 8),
+              0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1e30),
+              obs::Histogram::kBuckets - 1);
+
+    unsigned last = 0;
+    for (double v = obs::Histogram::kMinValue; v < 1e3; v *= 1.07) {
+        unsigned idx = obs::Histogram::bucketIndex(v);
+        EXPECT_GE(idx, last) << "at value " << v;
+        last = idx;
+    }
+}
+
+TEST(Histogram, BucketUpperBoundsBracketTheirValues)
+{
+    // Every value lands in a bucket whose upper bound is >= the value
+    // and whose predecessor's upper bound is < the value.
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformDouble(obs::Histogram::kMinValue, 100.0);
+        unsigned idx = obs::Histogram::bucketIndex(v);
+        EXPECT_LE(v, obs::Histogram::bucketUpperBound(idx));
+        if (idx > 0)
+            EXPECT_GT(v, obs::Histogram::bucketUpperBound(idx - 1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// histogram: quantile estimation error
+// ---------------------------------------------------------------------
+
+TEST(Histogram, QuantileErrorBoundedVsExactSort)
+{
+    // The log-midpoint estimate is off by at most half a bucket in
+    // log space: rel error <= 2^(1/(2*sub)) - 1 (~9.05% at 4
+    // sub-buckets per octave). Check against exact sorted quantiles
+    // on a skewed sample mix resembling a latency distribution.
+    const double bound =
+        std::pow(2.0, 1.0 /
+                          (2.0 * obs::Histogram::kSubBucketsPerOctave)) -
+        1.0;
+
+    obs::Histogram h;
+    std::vector<double> samples;
+    Random rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        // Log-uniform spread over ~4 decades, like hit vs cold paths.
+        double v = std::pow(10.0, rng.uniformDouble(-4.0, 0.5));
+        samples.push_back(v);
+        h.record(v);
+    }
+
+    obs::Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.count, samples.size());
+    for (double p : {0.5, 0.9, 0.95, 0.99}) {
+        double exact = exactQuantile(samples, p);
+        double est = snap.quantile(p);
+        EXPECT_NEAR(est, exact, exact * bound)
+            << "p=" << p << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST(Histogram, QuantileMonotonicAndEmptyIsZero)
+{
+    obs::Histogram empty;
+    EXPECT_EQ(empty.snapshot().quantile(0.5), 0.0);
+
+    obs::Histogram h;
+    Random rng(3);
+    for (int i = 0; i < 512; ++i)
+        h.record(rng.uniformDouble(1e-5, 1e-1));
+    obs::Histogram::Snapshot snap = h.snapshot();
+    double last = 0.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        double q = snap.quantile(p);
+        EXPECT_GE(q, last);
+        last = q;
+    }
+}
+
+// ---------------------------------------------------------------------
+// histogram: determinism across thread interleavings
+// ---------------------------------------------------------------------
+
+TEST(Histogram, BucketCountsIndependentOfThreadSpread)
+{
+    // The same multiset of samples must produce identical snapshot
+    // buckets whether recorded serially or scattered across threads
+    // (merging is plain addition) — this is what makes same-seed
+    // replays byte-identical in the stats output.
+    std::vector<double> samples;
+    Random rng(11);
+    for (int i = 0; i < 8192; ++i)
+        samples.push_back(std::pow(10.0, rng.uniformDouble(-5.0, 0.0)));
+
+    obs::Histogram serial;
+    for (double v : samples)
+        serial.record(v);
+
+    obs::Histogram threaded;
+    const unsigned kThreads = 4;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (std::size_t i = t; i < samples.size(); i += kThreads)
+                threaded.record(samples[i]);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    obs::Histogram::Snapshot a = serial.snapshot();
+    obs::Histogram::Snapshot b = threaded.snapshot();
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.buckets, b.buckets);
+    EXPECT_NEAR(a.sum, b.sum, 1e-9 * a.sum);
+}
+
+TEST(Histogram, SnapshotMergeAddsCounts)
+{
+    obs::Histogram a, b;
+    a.record(1e-3);
+    a.record(2e-3);
+    b.record(1e-3);
+    b.record(0.5);
+
+    obs::Histogram::Snapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.count, 4u);
+    EXPECT_NEAR(merged.sum, 1e-3 + 2e-3 + 1e-3 + 0.5, 1e-12);
+    EXPECT_EQ(merged.buckets[obs::Histogram::bucketIndex(1e-3)], 2u);
+    EXPECT_EQ(merged.buckets[obs::Histogram::bucketIndex(0.5)], 1u);
+}
+
+TEST(Histogram, SnapshotJsonListsOnlyNonEmptyBuckets)
+{
+    obs::Histogram h;
+    h.record(1e-3);
+    h.record(1e-3);
+    h.record(4e-2);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    h.snapshot().writeJson(w);
+    JsonValue v = parsed(os.str());
+    EXPECT_EQ(v.find("count")->number, 3.0);
+    EXPECT_NEAR(v.find("sum")->number, 2e-3 + 4e-2, 1e-12);
+    // Two distinct buckets hit -> exactly two [bound, count] pairs.
+    const JsonValue *buckets = v.find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->array.size(), 2u);
+    EXPECT_EQ(buckets->array[0].array[1].number, 2.0);
+    EXPECT_EQ(buckets->array[1].array[1].number, 1.0);
+    EXPECT_GT(v.find("p99")->number, v.find("p50")->number);
+}
+
+// ---------------------------------------------------------------------
+// registry: providers and metric kinds
+// ---------------------------------------------------------------------
+
+TEST(Registry, ProvidersRunInRegistrationOrder)
+{
+    obs::Registry registry;
+    registry.addProvider([](obs::CounterSet &c) {
+        c.set("alpha.first", 1.0);
+    });
+    registry.addProvider([](obs::CounterSet &c) {
+        c.set("beta.second", 2.0);
+    });
+
+    obs::CounterSet counters = registry.counters();
+    ASSERT_EQ(counters.scalars().size(), 2u);
+    EXPECT_EQ(counters.scalars()[0].first, "alpha.first");
+    EXPECT_EQ(counters.scalars()[1].first, "beta.second");
+    EXPECT_EQ(counters.value("beta.second"), 2.0);
+}
+
+TEST(Registry, GaugeTagsExactAndPrefix)
+{
+    obs::Registry registry;
+    registry.tagGauge("serve.draining");
+    registry.tagGauge("pool.depth.*");
+
+    using obs::MetricKind;
+    EXPECT_EQ(registry.kindOf("serve.draining"), MetricKind::Gauge);
+    EXPECT_EQ(registry.kindOf("serve.requests"), MetricKind::Counter);
+    EXPECT_EQ(registry.kindOf("pool.depth.high"), MetricKind::Gauge);
+    EXPECT_EQ(registry.kindOf("pool.depths"), MetricKind::Counter);
+    // Untagged names default to counter.
+    EXPECT_EQ(registry.kindOf("never.seen"), MetricKind::Counter);
+}
+
+TEST(Registry, HistogramSnapshotsKeepRegistrationOrder)
+{
+    obs::Registry registry;
+    obs::Histogram hit, cold;
+    hit.record(1e-4);
+    cold.record(2.0);
+    registry.registerHistogram("lat.hit_s", &hit);
+    registry.registerHistogram("lat.cold_s", &cold);
+
+    auto snaps = registry.histogramSnapshots();
+    ASSERT_EQ(snaps.size(), 2u);
+    EXPECT_EQ(snaps[0].first, "lat.hit_s");
+    EXPECT_EQ(snaps[0].second.count, 1u);
+    EXPECT_EQ(snaps[1].first, "lat.cold_s");
+    EXPECT_NEAR(snaps[1].second.sum, 2.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// prometheus exposition
+// ---------------------------------------------------------------------
+
+TEST(Expo, PrometheusNameSanitizes)
+{
+    EXPECT_EQ(obs::prometheusName("serve.cache.hits"),
+              "serve_cache_hits");
+    EXPECT_EQ(obs::prometheusName("a-b c.d"), "a_b_c_d");
+    EXPECT_EQ(obs::prometheusName("already_fine"), "already_fine");
+}
+
+TEST(Expo, TypeLinesFollowKindTagsAndHistogramsAreCumulative)
+{
+    obs::Registry registry;
+    registry.addProvider([](obs::CounterSet &c) {
+        c.set("serve.requests", 7.0);
+        c.set("serve.in_flight", 2.0);
+    });
+    registry.tagGauge("serve.in_flight");
+    obs::Histogram lat;
+    lat.record(1e-3);
+    lat.record(1e-3);
+    lat.record(0.25);
+    registry.registerHistogram("serve.latency.cold_s", &lat);
+
+    std::ostringstream os;
+    obs::writePrometheusText(os, registry);
+    std::string text = os.str();
+
+    EXPECT_NE(text.find("# TYPE serve_requests counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_requests 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_in_flight gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_latency_cold_s histogram"),
+              std::string::npos);
+    // Cumulative buckets: the +Inf bucket equals the total count and
+    // the _count/_sum lines close the family.
+    EXPECT_NE(text.find("serve_latency_cold_s_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_latency_cold_s_count 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_latency_cold_s_sum"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// flight recorder
+// ---------------------------------------------------------------------
+
+namespace {
+
+serve::FlightEntry
+entryWithSeqLabel(unsigned i)
+{
+    serve::FlightEntry e;
+    e.trace_id = "t-" + std::to_string(i);
+    e.study = "stack-thermal";
+    e.status = "ok";
+    e.latency_ms = double(i);
+    e.queue_depth = i % 3;
+    return e;
+}
+
+} // anonymous namespace
+
+TEST(FlightRecorder, KeepsInsertionOrderBeforeWrap)
+{
+    serve::FlightRecorder recorder(8);
+    for (unsigned i = 0; i < 5; ++i)
+        recorder.note(entryWithSeqLabel(i));
+
+    auto entries = recorder.entries();
+    ASSERT_EQ(entries.size(), 5u);
+    EXPECT_EQ(recorder.noted(), 5u);
+    for (unsigned i = 0; i < 5; ++i) {
+        EXPECT_EQ(entries[i].trace_id, "t-" + std::to_string(i));
+        EXPECT_EQ(entries[i].seq, i + 1);   // 1-based ordinals
+    }
+}
+
+TEST(FlightRecorder, WrapKeepsNewestOldestFirst)
+{
+    serve::FlightRecorder recorder(4);
+    for (unsigned i = 0; i < 11; ++i)
+        recorder.note(entryWithSeqLabel(i));
+
+    // 11 noted, capacity 4: entries 7..10 survive, oldest first.
+    EXPECT_EQ(recorder.noted(), 11u);
+    auto entries = recorder.entries();
+    ASSERT_EQ(entries.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(entries[i].trace_id, "t-" + std::to_string(7 + i));
+        EXPECT_EQ(entries[i].seq, 8u + i);
+    }
+}
+
+TEST(FlightRecorder, JsonCarriesTheRing)
+{
+    serve::FlightRecorder recorder(3);
+    serve::FlightEntry e = entryWithSeqLabel(0);
+    e.digest_hex = "0x00000000deadbeef";
+    e.cached = true;
+    recorder.note(e);
+    recorder.note(entryWithSeqLabel(1));
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    recorder.writeJson(w);
+    JsonValue v = parsed(os.str());
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.array.size(), 2u);
+    EXPECT_EQ(v.array[0].find("trace_id")->string, "t-0");
+    EXPECT_EQ(v.array[0].find("digest")->string, "0x00000000deadbeef");
+    EXPECT_TRUE(v.array[0].find("cached")->boolean);
+    EXPECT_EQ(v.array[1].find("trace_id")->string, "t-1");
+    EXPECT_EQ(v.array[1].find("seq")->number, 2.0);
+}

@@ -10,6 +10,7 @@
  *                      [--queue N] [--cache-entries N]
  *                      [--cache-dir PATH] [--conn-threads N]
  *                      [--max-line BYTES] [--drain-ms N]
+ *                      [--metrics-port N] [--flight N] [--log-json]
  *                      [shared flags]
  *
  *   --stdin            serve requests from stdin, responses to stdout
@@ -25,19 +26,31 @@
  *   --max-line BYTES   request-line length cap (default 1 MiB)
  *   --drain-ms N       shutdown grace for in-flight work before it
  *                      is cancelled (default 5000)
+ *   --metrics-port N   serve Prometheus text on 127.0.0.1:N
+ *                      (GET /metrics; GET /healthz for health JSON;
+ *                      0 = kernel-assigned, printed at startup)
+ *   --flight N         flight-recorder entries (default 128)
+ *   --log-json         structured stderr logs as JSON-per-line
  *
  * The shared --threads flag caps the per-study thread count a request
  * may ask for. --stats-json captures the serve.* counters (requests,
  * cache hits/misses, latency sums) at shutdown.
  *
  * Protocol control lines: {"op": "counters"} returns the counter
- * snapshot; {"op": "stop"} shuts the server down.
+ * snapshot; {"op": "stats"} adds latency histogram snapshots;
+ * {"op": "health"} is a cheap readiness probe; {"op": "flight"}
+ * dumps the last-N request ring; {"op": "trace", "action":
+ * "start"|"stop"} toggles runtime tracing; {"op": "stop"} shuts the
+ * server down.
  *
  * SIGTERM/SIGINT take the same path as a stop op: stop admitting,
  * drain in-flight work (up to --drain-ms, then cancel), flush the
  * counters, exit 0. Handlers are installed without SA_RESTART so a
  * transport blocked in read()/accept() wakes via EINTR; the TCP
  * acceptor additionally polls a self-pipe the handler writes to.
+ * SIGUSR1 (installed WITH SA_RESTART, so blocked reads survive it)
+ * asks the service to dump its flight recorder to the log at the
+ * next watchdog tick or request arrival.
  *
  * $STACK3D_FAULTS / $STACK3D_FAULT_SEED arm deterministic fault
  * injection (common/fault.hh) for chaos testing.
@@ -47,11 +60,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "core/cli.hh"
+#include "obs/expo.hh"
+#include "serve/metrics_http.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
 
@@ -66,7 +82,9 @@ usage(std::ostream &os)
           "[--queue N]\n"
           "                     [--cache-entries N] [--cache-dir "
           "PATH] [--conn-threads N]\n"
-          "                     [--max-line BYTES] [--drain-ms N]\n";
+          "                     [--max-line BYTES] [--drain-ms N]\n"
+          "                     [--metrics-port N] [--flight N] "
+          "[--log-json]\n";
     core::BenchCli::printUsage(os);
 }
 
@@ -76,6 +94,14 @@ onShutdownSignal(int)
     // Only async-signal-safe work here: one atomic store plus a
     // write() to the transports' self-pipe.
     serve::requestShutdown();
+}
+
+extern "C" void
+onFlightDumpSignal(int)
+{
+    // One relaxed atomic store; the dump itself happens on the
+    // watchdog thread or the next request.
+    serve::StudyService::requestFlightDump();
 }
 
 void
@@ -90,6 +116,16 @@ installSignalHandlers()
     action.sa_flags = 0;
     ::sigaction(SIGTERM, &action, nullptr);
     ::sigaction(SIGINT, &action, nullptr);
+
+    // SIGUSR1 is informational, not a shutdown: WITH SA_RESTART so a
+    // pipe transport blocked in a stdin read() survives the signal
+    // instead of seeing a spurious EOF via EINTR.
+    struct sigaction dump;
+    std::memset(&dump, 0, sizeof(dump));
+    dump.sa_handler = onFlightDumpSignal;
+    sigemptyset(&dump.sa_mask);
+    dump.sa_flags = SA_RESTART;
+    ::sigaction(SIGUSR1, &dump, nullptr);
 }
 
 /** Like core::parseThreadArg but without its 4096 thread-count cap —
@@ -114,7 +150,10 @@ realMain(int argc, char **argv)
     serve::ServiceOptions service_options;
     bool use_stdin = false;
     bool have_port = false;
+    bool have_metrics_port = false;
+    bool log_json = false;
     unsigned port = 0;
+    unsigned metrics_port = 0;
     unsigned conn_threads = 4;
     for (int i = 1; i < argc; ++i) {
         if (cli.consume(argc, argv, i))
@@ -149,6 +188,16 @@ realMain(int argc, char **argv)
                  i + 1 < argc)
             service_options.drain_timeout_ms =
                 parseCountArg(argv[++i], "--drain-ms");
+        else if (std::strcmp(argv[i], "--metrics-port") == 0 &&
+                 i + 1 < argc) {
+            metrics_port = parseCountArg(argv[++i], "--metrics-port");
+            have_metrics_port = true;
+        } else if (std::strcmp(argv[i], "--flight") == 0 &&
+                   i + 1 < argc)
+            service_options.flight_entries =
+                parseCountArg(argv[++i], "--flight");
+        else if (std::strcmp(argv[i], "--log-json") == 0)
+            log_json = true;
         else {
             usage(std::cerr);
             return 1;
@@ -162,9 +211,12 @@ realMain(int argc, char **argv)
         use_stdin = true;
     if (port > 65535)
         stack3d_fatal("--port must be <= 65535");
+    if (metrics_port > 65535)
+        stack3d_fatal("--metrics-port must be <= 65535");
     if (service_options.max_line_bytes < 256)
         stack3d_fatal("--max-line must be at least 256 bytes");
 
+    setLogJson(log_json);
     FaultRegistry::configureFromEnvironment();
     installSignalHandlers();
 
@@ -177,6 +229,29 @@ realMain(int argc, char **argv)
                   double(service_options.cache_entries));
 
     serve::StudyService service(service_options);
+
+    // The scrape endpoint outlives neither transport: started before
+    // requests flow, stopped (joined) before the exit stats are
+    // written, so a scrape can never observe a dying service.
+    serve::MetricsHttpServer metrics;
+    if (have_metrics_port) {
+        metrics.addRoute("/metrics",
+                         "text/plain; version=0.0.4",
+                         [&service] {
+                             std::ostringstream os;
+                             obs::writePrometheusText(
+                                 os, service.registry());
+                             return os.str();
+                         });
+        metrics.addRoute("/healthz", "application/json",
+                         [&service] {
+                             return service.healthJson() + "\n";
+                         });
+        if (!metrics.start(metrics_port))
+            stack3d_fatal("--metrics-port ", metrics_port,
+                          ": cannot start the metrics endpoint");
+    }
+
     int status = 0;
     if (use_stdin) {
         std::uint64_t handled =
@@ -186,6 +261,7 @@ realMain(int argc, char **argv)
     } else {
         status = serve::runTcpServer(service, port, conn_threads);
     }
+    metrics.stop();
 
     cli.counters().accumulate(service.counters());
     int finish_status = cli.finish();
