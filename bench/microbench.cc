@@ -14,6 +14,8 @@
 #include "cpu/pipeline.hh"
 #include "exec/pool.hh"
 #include "mem/engine.hh"
+#include "mem/tagsearch.hh"
+#include "trace/columns.hh"
 #include "obs/histogram.hh"
 #include "obs/trace.hh"
 #include "serve/service.hh"
@@ -43,6 +45,60 @@ BM_CacheAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheAccess);
+
+// Scalar-vs-SWAR tag-search comparison on the raw probe primitive:
+// a full 16-way set of valid tags probed for each way in turn, the
+// shape the L2 lookup takes on the Fig 5 sweep.
+template <int (*Find)(const mem::TagSig *, const std::uint64_t *,
+                      std::uint32_t, unsigned, std::uint64_t)>
+void
+tagSearchBench(benchmark::State &state)
+{
+    constexpr unsigned kAssoc = 16;
+    std::uint64_t tags[kAssoc];
+    mem::TagSig sigs[mem::sigStride(kAssoc)] = {};
+    Random rng(7);
+    for (unsigned w = 0; w < kAssoc; ++w) {
+        tags[w] = rng.uniformInt(1u << 30) + 1;
+        sigs[w] = mem::sigOf(tags[w]);
+    }
+    const std::uint32_t valid = (1u << kAssoc) - 1;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            Find(sigs, tags, valid, kAssoc, tags[i++ & (kAssoc - 1)]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+int
+findWayScalarAdapter(const mem::TagSig *sigs, const std::uint64_t *t,
+                     std::uint32_t v, unsigned a, std::uint64_t tag)
+{
+    (void)sigs;
+    return mem::findWayScalar(t, v, a, tag);
+}
+
+void
+BM_TagSearchScalar(benchmark::State &state)
+{
+    tagSearchBench<findWayScalarAdapter>(state);
+}
+BENCHMARK(BM_TagSearchScalar);
+
+void
+BM_TagSearchSwar(benchmark::State &state)
+{
+    tagSearchBench<mem::findWaySwar>(state);
+}
+BENCHMARK(BM_TagSearchSwar);
+
+void
+BM_TagSearchSimd(benchmark::State &state)
+{
+    tagSearchBench<mem::findWaySimd>(state);
+}
+BENCHMARK(BM_TagSearchSimd);
 
 void
 BM_DramBankAccess(benchmark::State &state)
@@ -82,6 +138,43 @@ BM_TraceEngine(benchmark::State &state)
                             std::int64_t(buf.size()));
 }
 BENCHMARK(BM_TraceEngine)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceEngineReference(benchmark::State &state)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.records_per_thread = 100000;
+    auto kernel = workloads::makeRmsKernel("sMVM");
+    trace::TraceBuffer buf = kernel->generate(cfg);
+
+    for (auto _ : state) {
+        mem::MemoryHierarchy hier(
+            mem::makeHierarchyParams(mem::StackOption::Baseline4MB));
+        mem::TraceEngine engine;
+        benchmark::DoNotOptimize(engine.runReference(buf, hier));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            std::int64_t(buf.size()));
+}
+BENCHMARK(BM_TraceEngineReference)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.records_per_thread = 100000;
+    auto kernel = workloads::makeRmsKernel("sMVM");
+    trace::TraceBuffer buf = kernel->generate(cfg);
+
+    trace::TraceColumns cols;
+    for (auto _ : state) {
+        cols.assign(buf);
+        benchmark::DoNotOptimize(cols.addr());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            std::int64_t(buf.size()));
+}
+BENCHMARK(BM_TraceDecode);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -73,7 +73,8 @@ usage(std::ostream &os)
           "[--workers N]\n"
           "                  [--die-nx N] [--die-ny N] [--queue N] "
           "[--retry N]\n"
-          "                  [--backoff-ms N] [--json PATH]\n";
+          "                  [--backoff-ms N] [--json PATH]\n"
+          "                  [--study stack-thermal|memory]\n";
     core::BenchCli::printUsage(os);
 }
 
@@ -90,21 +91,33 @@ parseCountArg(const char *text, const char *flag)
     return unsigned(value);
 }
 
-/** A stack-thermal request line; the seed makes digests distinct. */
+/** A request line; the seed makes digests distinct. The memory
+ *  variant exercises the trace-replay cold path (one small kernel at
+ *  low depth, so a cold request is a bounded replay, not the full
+ *  Figure 5 sweep). */
 std::string
-requestLine(std::uint64_t seed, unsigned die_nx, unsigned die_ny)
+requestLine(const std::string &study, std::uint64_t seed,
+            unsigned die_nx, unsigned die_ny)
 {
     std::ostringstream os;
     JsonWriter w(os, /*compact=*/true);
     w.beginObject();
     w.key("schema_version").value(unsigned(obs::kSchemaVersion));
-    w.key("study").value("stack-thermal");
+    w.key("study").value(study);
     w.key("options").beginObject();
     w.key("seed").value(seed);
+    if (study == "memory")
+        w.key("depth").value(0.05);
     w.endObject();
     w.key("spec").beginObject();
-    w.key("die_nx").value(die_nx);
-    w.key("die_ny").value(die_ny);
+    if (study == "memory") {
+        w.key("benchmarks").beginArray();
+        w.value("sMVM");
+        w.endArray();
+    } else {
+        w.key("die_nx").value(die_nx);
+        w.key("die_ny").value(die_ny);
+    }
     w.endObject();
     w.endObject();
     return os.str();
@@ -194,6 +207,7 @@ realMain(int argc, char **argv)
     unsigned max_retries = 4;
     unsigned backoff_ms = 5;
     std::string json_path;
+    std::string study = "stack-thermal";
     for (int i = 1; i < argc; ++i) {
         if (cli.consume(argc, argv, i))
             continue;
@@ -220,11 +234,15 @@ realMain(int argc, char **argv)
             backoff_ms = parseCountArg(argv[++i], "--backoff-ms");
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--study") == 0 && i + 1 < argc)
+            study = argv[++i];
         else {
             usage(std::cerr);
             return 1;
         }
     }
+    if (study != "stack-thermal" && study != "memory")
+        stack3d_fatal("--study must be stack-thermal or memory");
     if (n_clients == 0 || n_requests == 0 || n_hot == 0)
         stack3d_fatal("--clients/--requests/--hot must be positive");
 
@@ -263,10 +281,11 @@ realMain(int argc, char **argv)
             std::uint64_t seed =
                 hot ? 1 + (i % n_hot)
                     : 1000000ull * (sweep + 1) + i;
-            lines.push_back(requestLine(seed, die_nx, die_ny));
+            lines.push_back(requestLine(study, seed, die_nx, die_ny));
         }
         for (unsigned h = 0; h < n_hot; ++h)
-            (void)service.handle(requestLine(1 + h, die_nx, die_ny));
+            (void)service.handle(
+                requestLine(study, 1 + h, die_nx, die_ny));
 
         obs::CounterSet before = service.counters();
 

@@ -42,10 +42,19 @@ class Bus
     Cycles
     transfer(std::uint64_t bytes, Cycles start, bool speculative = false)
     {
-        auto occupancy =
-            Cycles(double(bytes) / _bytes_per_cycle + 0.5);
-        if (occupancy == 0)
-            occupancy = 1;
+        // Memoize the fp division: transfers come in a handful of
+        // fixed sizes (line, sector, page), so the last size almost
+        // always repeats.
+        Cycles occupancy;
+        if (bytes == _last_bytes) {
+            occupancy = _last_occupancy;
+        } else {
+            occupancy = Cycles(double(bytes) / _bytes_per_cycle + 0.5);
+            if (occupancy == 0)
+                occupancy = 1;
+            _last_bytes = bytes;
+            _last_occupancy = occupancy;
+        }
         Cycles begin = std::max(start, _next_free);
         _next_free = begin + occupancy;
         _total_bytes += bytes;
@@ -88,6 +97,8 @@ class Bus
   private:
     BusParams _params;
     double _bytes_per_cycle;
+    std::uint64_t _last_bytes = ~std::uint64_t(0);
+    Cycles _last_occupancy = 1;
     Cycles _next_free = 0;
     std::uint64_t _total_bytes = 0;
     std::uint64_t _speculative_bytes = 0;

@@ -6,6 +6,14 @@
  * per-cpu presence bitmap so a shared L2 instance can double as the
  * coherence directory for the private L1s above it.
  *
+ * Line metadata is stored structure-of-arrays: contiguous per-set
+ * tag and 16-bit signature arrays plus per-set valid/dirty bitmasks,
+ * so a lookup is a vector signature probe (mem/tagsearch.hh) instead
+ * of a pointer-striding scan over fat line structs. Replacement,
+ * counter and coherence semantics are bit-identical to the previous
+ * AoS implementation (first invalid way, else first strict-minimum
+ * LRU).
+ *
  * The model is purely functional: timing is composed by
  * MemoryHierarchy from the latencies in the params structs.
  */
@@ -19,6 +27,7 @@
 
 #include "common/units.hh"
 #include "mem/params.hh"
+#include "mem/tagsearch.hh"
 
 namespace stack3d {
 namespace mem {
@@ -45,6 +54,10 @@ struct CacheCounters
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
     std::uint64_t invalidations = 0;
+    /** Demand lookups issued by access(). */
+    std::uint64_t tag_probes = 0;
+    /** Demand lookups that hit via the SWAR/SIMD signature path. */
+    std::uint64_t swar_hits = 0;
 
     double
     missRate() const
@@ -95,25 +108,37 @@ class Cache
     std::uint64_t numSets() const { return _num_sets; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint8_t presence = 0;
-        std::uint64_t lru = 0;
-    };
-
     std::uint64_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
-    Line *findLine(Addr addr);
-    const Line *findLine(Addr addr) const;
+
+    /** Way holding @p tag in @p set, or -1. */
+    int findWayIn(std::uint64_t set, Addr tag) const;
+
+    /** Flat way index of @p addr's line, or -1 if absent. */
+    std::int64_t findLine(Addr addr) const;
 
     CacheParams _params;
     std::string _name;
     std::uint64_t _num_sets;
     unsigned _line_shift;
-    std::vector<Line> _lines;   // num_sets * assoc, set-major
+    unsigned _sig_stride;
+    /** Probe implementation, resolved once at construction (the
+     *  env-var lookup and dispatch switch stay off the hit path). */
+    TagSearchMode _mode;
+    /** 1 when _mode is a vector mode: makes the swar_hits counter
+     *  update branch-free in access(). */
+    std::uint64_t _vector_hit_inc;
+
+    // SoA line metadata, set-major. _valid/_dirty are per-set way
+    // bitmasks (assoc <= 32); _sigs is padded to _sig_stride lanes
+    // per set for the vector probes.
+    std::vector<Addr> _tags;             // num_sets * assoc
+    std::vector<TagSig> _sigs;           // num_sets * _sig_stride
+    std::vector<std::uint32_t> _valid;   // num_sets
+    std::vector<std::uint32_t> _dirty;   // num_sets
+    std::vector<std::uint8_t> _presence; // num_sets * assoc
+    std::vector<std::uint64_t> _lru;     // num_sets * assoc
+
     std::uint64_t _tick = 0;    // LRU clock
     CacheCounters _ctr;
 };

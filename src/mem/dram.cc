@@ -19,6 +19,8 @@ DramBankEngine::DramBankEngine(unsigned num_banks,
     if (!units::isPowerOfTwo(page_bytes))
         stack3d_fatal("DRAM '", _name, "' page size not a power of two");
     _page_shift = units::floorLog2(page_bytes);
+    if (units::isPowerOfTwo(num_banks))
+        _bank_mask = Addr(num_banks) - 1;
 }
 
 unsigned
@@ -34,6 +36,8 @@ DramBankEngine::bankIndex(Addr addr) const
         // controllers' bank-address hashing does.
         page = page ^ (page >> 4) ^ (page >> 8) ^ (page >> 12);
     }
+    if (_bank_mask != 0 || _banks.size() == 1)
+        return unsigned(page & _bank_mask);
     return unsigned(page % _banks.size());
 }
 
@@ -125,9 +129,17 @@ DramCacheArray::DramCacheArray(const DramCacheParams &params,
         stack3d_fatal("DRAM cache '", _name, "': ", _num_sets,
                       " sets (must be a non-zero power of two)");
     }
+    if (params.assoc > 32)
+        stack3d_fatal("DRAM cache '", _name, "' assoc ", params.assoc,
+                      " exceeds the 32-way metadata bitmasks");
     _page_shift = units::floorLog2(params.page_bytes);
     _sector_shift = units::floorLog2(params.sector_bytes);
+    _sig_stride = sigStride(params.assoc);
+    _mode = tagSearchMode();
     _pages.resize(_num_sets * params.assoc);
+    _tags.resize(_num_sets * params.assoc);
+    _sigs.resize(_num_sets * _sig_stride);
+    _valid.resize(_num_sets);
 }
 
 std::uint64_t
@@ -149,6 +161,23 @@ DramCacheArray::sectorIndex(Addr addr) const
                     (_sectors_per_page - 1));
 }
 
+int
+DramCacheArray::findPageWay(std::uint64_t set, Addr tag) const
+{
+    const std::uint64_t *tags = &_tags[set * _params.assoc];
+    switch (_mode) {
+      case TagSearchMode::Scalar:
+        return findWayScalar(tags, _valid[set], _params.assoc, tag);
+      case TagSearchMode::Swar:
+        return findWaySwar(&_sigs[set * _sig_stride], tags,
+                           _valid[set], _params.assoc, tag);
+      case TagSearchMode::Simd:
+        break;
+    }
+    return findWaySimd(&_sigs[set * _sig_stride], tags, _valid[set],
+                       _params.assoc, tag);
+}
+
 DramCacheResult
 DramCacheArray::access(Addr addr, bool is_store)
 {
@@ -161,15 +190,9 @@ DramCacheArray::access(Addr addr, bool is_store)
     std::uint64_t sector_bit = std::uint64_t(1) << sector;
 
     PageEntry *base = &_pages[set * _params.assoc];
-    PageEntry *entry = nullptr;
-    for (unsigned w = 0; w < _params.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            entry = &base[w];
-            break;
-        }
-    }
-
-    if (entry) {
+    int way = findPageWay(set, tag);
+    if (way >= 0) {
+        PageEntry *entry = &base[unsigned(way)];
         res.page_hit = true;
         entry->lru = _tick;
         if (entry->sector_valid & sector_bit) {
@@ -184,29 +207,40 @@ DramCacheArray::access(Addr addr, bool is_store)
         return res;
     }
 
-    // Page miss: allocate, evicting the LRU page if necessary.
+    // Page miss: allocate, evicting the LRU page if necessary
+    // (first invalid way, else first strict-minimum LRU — same
+    // order as the old struct scan).
     ++_ctr.page_misses;
-    PageEntry *victim = &base[0];
-    for (unsigned w = 0; w < _params.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
+    const std::uint32_t all_ways =
+        _params.assoc == 32 ? ~std::uint32_t(0)
+                            : (std::uint32_t(1u) << _params.assoc) - 1u;
+    std::uint32_t invalid = ~_valid[set] & all_ways;
+    unsigned victim_way;
+    if (invalid) {
+        victim_way = unsigned(std::countr_zero(invalid));
+    } else {
+        victim_way = 0;
+        for (unsigned w = 1; w < _params.assoc; ++w) {
+            if (base[w].lru < base[victim_way].lru)
+                victim_way = w;
         }
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
     }
 
-    if (victim->valid) {
+    PageEntry *victim = &base[victim_way];
+    std::uint64_t flat = set * _params.assoc + victim_way;
+    std::uint32_t way_bit = std::uint32_t(1u) << victim_way;
+    if (_valid[set] & way_bit) {
         ++_ctr.evictions;
         res.evicted = true;
-        res.victim_page = victim->tag << _page_shift;
+        res.victim_page = _tags[flat] << _page_shift;
         res.victim_dirty_sectors =
             unsigned(std::popcount(victim->sector_dirty));
         _ctr.writeback_sectors += res.victim_dirty_sectors;
     }
 
-    victim->tag = tag;
-    victim->valid = true;
+    _tags[flat] = tag;
+    _sigs[set * _sig_stride + victim_way] = sigOf(tag);
+    _valid[set] |= way_bit;
     victim->sector_valid = sector_bit;
     victim->sector_dirty = is_store ? sector_bit : 0;
     victim->lru = _tick;
@@ -220,12 +254,10 @@ DramCacheArray::markSectorDirty(Addr addr)
     Addr tag = pageTag(addr);
     std::uint64_t sector_bit = std::uint64_t(1) << sectorIndex(addr);
     PageEntry *base = &_pages[set * _params.assoc];
-    for (unsigned w = 0; w < _params.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag &&
-            (base[w].sector_valid & sector_bit)) {
-            base[w].sector_dirty |= sector_bit;
-            return true;
-        }
+    int way = findPageWay(set, tag);
+    if (way >= 0 && (base[unsigned(way)].sector_valid & sector_bit)) {
+        base[unsigned(way)].sector_dirty |= sector_bit;
+        return true;
     }
     return false;
 }
@@ -237,10 +269,9 @@ DramCacheArray::probe(Addr addr) const
     Addr tag = pageTag(addr);
     std::uint64_t sector_bit = std::uint64_t(1) << sectorIndex(addr);
     const PageEntry *base = &_pages[set * _params.assoc];
-    for (unsigned w = 0; w < _params.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return (base[w].sector_valid & sector_bit) != 0;
-    }
+    int way = findPageWay(set, tag);
+    if (way >= 0)
+        return (base[unsigned(way)].sector_valid & sector_bit) != 0;
     return false;
 }
 

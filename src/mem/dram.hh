@@ -18,6 +18,7 @@
 
 #include "common/units.hh"
 #include "mem/params.hh"
+#include "mem/tagsearch.hh"
 
 namespace stack3d {
 namespace mem {
@@ -91,6 +92,10 @@ class DramBankEngine
     DramTiming _timing;
     std::string _name;
     bool _xor_hash;
+    /** num_banks - 1 when the bank count is a power of two (the
+     *  common configs), letting bankIndex mask instead of divide;
+     *  0 means fall back to the modulo. */
+    Addr _bank_mask = 0;
     std::vector<Bank> _banks;
     DramBankCounters _ctr;
 };
@@ -158,10 +163,10 @@ class DramCacheArray
     unsigned sectorsPerPage() const { return _sectors_per_page; }
 
   private:
+    /** Per-page sector state; tags/valid live in contiguous arrays
+     *  alongside so lookups use the vector signature probe. */
     struct PageEntry
     {
-        Addr tag = 0;
-        bool valid = false;
         std::uint64_t sector_valid = 0;
         std::uint64_t sector_dirty = 0;
         std::uint64_t lru = 0;
@@ -170,6 +175,7 @@ class DramCacheArray
     std::uint64_t setIndex(Addr addr) const;
     Addr pageTag(Addr addr) const;
     unsigned sectorIndex(Addr addr) const;
+    int findPageWay(std::uint64_t set, Addr tag) const;
 
     DramCacheParams _params;
     std::string _name;
@@ -177,7 +183,14 @@ class DramCacheArray
     unsigned _page_shift;
     unsigned _sector_shift;
     unsigned _sectors_per_page;
-    std::vector<PageEntry> _pages;
+    unsigned _sig_stride;
+    /** Probe implementation, captured at construction (see
+     *  tagSearchMode()). */
+    TagSearchMode _mode;
+    std::vector<PageEntry> _pages;       // num_sets * assoc
+    std::vector<Addr> _tags;             // num_sets * assoc
+    std::vector<TagSig> _sigs;           // num_sets * _sig_stride
+    std::vector<std::uint32_t> _valid;   // num_sets (way bitmasks)
     std::uint64_t _tick = 0;
     DramCacheCounters _ctr;
 };

@@ -21,9 +21,22 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
             params.l1i, "l1i" + std::to_string(c)));
     }
 
+    if (params.prefetcher.num_streams > 32)
+        stack3d_fatal("prefetcher num_streams ",
+                      params.prefetcher.num_streams,
+                      " exceeds the 32-stream validity bitmask");
+    _tag_mode = tagSearchMode();
     _streams.resize(params.num_cpus);
     for (auto &table : _streams)
         table.resize(params.prefetcher.num_streams);
+    _stream_next.resize(params.num_cpus);
+    _stream_sigs.resize(params.num_cpus);
+    _stream_valid.assign(params.num_cpus, 0);
+    for (unsigned c = 0; c < params.num_cpus; ++c) {
+        _stream_next[c].assign(params.prefetcher.num_streams, 0);
+        _stream_sigs[c].assign(sigStride(params.prefetcher.num_streams),
+                               0);
+    }
 
     if (_params.usesDramCache()) {
         _dram_cache = std::make_unique<DramCacheArray>(
@@ -91,18 +104,40 @@ MemoryHierarchy::trainPrefetcher(unsigned cpu, Addr line, Cycles when,
 {
     const PrefetcherParams &pp = _params.prefetcher;
     auto &table = _streams[cpu];
+    Addr *next_lines = _stream_next[cpu].data();
+    TagSig *sigs = _stream_sigs[cpu].data();
     ++_stream_clock;
     auto line_bytes = std::int64_t(_params.l1d.line_bytes);
 
     // Streams advance on any demand access that reaches their
     // expected next line (hits on previously prefetched lines keep
-    // the stream alive and pull the window forward).
-    for (StreamEntry &entry : table) {
-        if (!entry.valid || entry.next_line != line)
-            continue;
+    // the stream alive and pull the window forward). The match — the
+    // first valid stream expecting exactly this line — is the same
+    // first-match search the cache tag arrays do, over the mirrored
+    // next_line column, so it vectorizes with the same primitives;
+    // the common no-match case rejects on signatures alone.
+    int w;
+    switch (_tag_mode) {
+      case TagSearchMode::Scalar:
+        w = findWayScalar(next_lines, _stream_valid[cpu],
+                          pp.num_streams, line);
+        break;
+      case TagSearchMode::Swar:
+        w = findWaySwar(sigs, next_lines, _stream_valid[cpu],
+                        pp.num_streams, line);
+        break;
+      default:
+        w = findWaySimd(sigs, next_lines, _stream_valid[cpu],
+                        pp.num_streams, line);
+        break;
+    }
+    if (w >= 0) {
+        StreamEntry &entry = table[unsigned(w)];
         entry.last_use = _stream_clock;
         entry.next_line =
             Addr(std::int64_t(line) + entry.stride * line_bytes);
+        next_lines[w] = entry.next_line;
+        sigs[w] = sigOf(entry.next_line);
         if (entry.confidence < pp.train_threshold) {
             ++entry.confidence;
             return;
@@ -130,20 +165,24 @@ MemoryHierarchy::trainPrefetcher(unsigned cpu, Addr line, Cycles when,
     if (was_hit)
         return;
 
-    StreamEntry *lru = &table[0];
-    for (StreamEntry &entry : table) {
-        if (!entry.valid) {
-            lru = &entry;
+    unsigned victim = 0;
+    for (unsigned s = 0; s < pp.num_streams; ++s) {
+        if (!table[s].valid) {
+            victim = s;
             break;
         }
-        if (entry.last_use < lru->last_use)
-            lru = &entry;
+        if (table[s].last_use < table[victim].last_use)
+            victim = s;
     }
-    lru->valid = true;
-    lru->stride = 1;
-    lru->confidence = 0;
-    lru->last_use = _stream_clock;
-    lru->next_line = line + Addr(line_bytes);
+    StreamEntry &lru = table[victim];
+    lru.valid = true;
+    lru.stride = 1;
+    lru.confidence = 0;
+    lru.last_use = _stream_clock;
+    lru.next_line = line + Addr(line_bytes);
+    next_lines[victim] = lru.next_line;
+    sigs[victim] = sigOf(lru.next_line);
+    _stream_valid[cpu] |= std::uint32_t(1u) << victim;
 }
 
 void
@@ -179,6 +218,8 @@ MemoryHierarchy::prefetchLine(unsigned cpu, Addr line, Cycles when)
 void
 MemoryHierarchy::coherenceOnStore(unsigned cpu, Addr line)
 {
+    if (_params.num_cpus < 2)
+        return;
     for (unsigned other = 0; other < _params.num_cpus; ++other) {
         if (other == cpu)
             continue;
@@ -452,6 +493,8 @@ MemoryHierarchy::appendCounters(obs::CounterSet &out,
         acc.evictions += c.evictions;
         acc.writebacks += c.writebacks;
         acc.invalidations += c.invalidations;
+        acc.tag_probes += c.tag_probes;
+        acc.swar_hits += c.swar_hits;
     };
     for (unsigned c = 0; c < _params.num_cpus; ++c) {
         fold(l1d_all, _l1d[c]->counters());
@@ -461,6 +504,17 @@ MemoryHierarchy::appendCounters(obs::CounterSet &out,
     addCache("l1i", l1i_all);
     if (_l2)
         addCache("l2", _l2->counters());
+
+    // Whole-hierarchy tag-search telemetry: every demand lookup in
+    // an SRAM tag array, and how many of the hits were found by the
+    // vectorized (SWAR/SIMD) probe path.
+    CacheCounters tag_all = l1d_all;
+    fold(tag_all, l1i_all);
+    if (_l2)
+        fold(tag_all, _l2->counters());
+    out.set(prefix + "tag_probe.probes", double(tag_all.tag_probes));
+    out.set(prefix + "tag_probe.swar_hits",
+            double(tag_all.swar_hits));
     if (_dram_cache) {
         const DramCacheCounters &dc = _dram_cache->counters();
         out.set(prefix + "dram_cache.sector_hits",

@@ -202,6 +202,14 @@ class MemoryHierarchy
     MainMemory _main_memory;
     HierarchyCounters _ctr;
     std::vector<std::vector<StreamEntry>> _streams;   // per cpu
+    // Stream-match acceleration: the per-cpu next_line column plus
+    // its 16-bit signature array and validity mask, searched with the
+    // same tag-search primitives the caches use. Kept in sync with
+    // _streams by trainPrefetcher (the only writer).
+    std::vector<std::vector<Addr>> _stream_next;      // per cpu
+    std::vector<std::vector<TagSig>> _stream_sigs;    // per cpu
+    std::vector<std::uint32_t> _stream_valid;         // per cpu
+    TagSearchMode _tag_mode = TagSearchMode::Scalar;
     std::uint64_t _stream_clock = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <sstream>
@@ -165,6 +166,7 @@ StudyService::execute(const Request &request,
     switch (request.kind) {
       case StudyKind::Memory: {
         auto report = core::runMemoryStudy(opts, request.memory);
+        noteReplayCounters(report.meta.counters);
         w.key("meta").beginObject();
         core::writeMetaJson(w, report.meta);
         w.endObject();
@@ -585,6 +587,44 @@ StudyService::watchdogLoop()
     }
 }
 
+namespace {
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::size_t n = std::strlen(suffix);
+    return s.size() >= n &&
+           s.compare(s.size() - n, n, suffix) == 0;
+}
+
+} // anonymous namespace
+
+void
+StudyService::noteReplayCounters(const obs::CounterSet &counters)
+{
+    // The study runner emits one set per stack option under
+    // "mem.<option>."; the daemon-level view is the sum over options
+    // and over requests (monotonic, so rate() works).
+    double batches = 0.0, shards = 0.0, probes = 0.0, swar = 0.0;
+    for (const auto &entry : counters.scalars()) {
+        if (entry.first.compare(0, 4, "mem.") != 0)
+            continue;
+        if (endsWith(entry.first, ".replay.batches"))
+            batches += entry.second;
+        else if (endsWith(entry.first, ".replay.shards"))
+            shards += entry.second;
+        else if (endsWith(entry.first, ".tag_probe.probes"))
+            probes += entry.second;
+        else if (endsWith(entry.first, ".tag_probe.swar_hits"))
+            swar += entry.second;
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    _replay_batches += batches;
+    _replay_shards += shards;
+    _tag_probes += probes;
+    _tag_swar_hits += swar;
+}
+
 void
 StudyService::appendServeCounters(obs::CounterSet &c) const
 {
@@ -611,6 +651,10 @@ StudyService::appendServeCounters(obs::CounterSet &c) const
     c.set("serve.cache.scrubbed", double(_cache.stats().scrubbed));
     c.set("serve.cache.entries", double(_cache.size()));
     c.set("serve.coalesced", double(_n_coalesced));
+    c.set("serve.study.mem.replay.batches", _replay_batches);
+    c.set("serve.study.mem.replay.shards", _replay_shards);
+    c.set("serve.study.mem.tag_probe.probes", _tag_probes);
+    c.set("serve.study.mem.tag_probe.swar_hits", _tag_swar_hits);
     c.set("serve.queue.high_water", double(_in_flight_high_water));
     c.set("serve.latency.hit.count", double(_n_hit));
     c.set("serve.latency.hit.total_s", _hit_seconds);

@@ -236,6 +236,10 @@ class StudyService
     /** Append the serve.* scalar counters (the registry provider). */
     void appendServeCounters(obs::CounterSet &out) const;
 
+    /** Fold a memory-study report's replay/tag-probe counters into
+     *  the serve.study.mem.* totals (takes _mutex). */
+    void noteReplayCounters(const obs::CounterSet &counters);
+
     /** Note one terminal request outcome in the flight recorder. */
     void recordOutcome(const std::string &study,
                        const ServeResult &result, double latency_ms);
@@ -268,6 +272,13 @@ class StudyService
     double _cold_seconds = 0.0;
     std::uint64_t _n_hit = 0;
     std::uint64_t _n_cold = 0;
+    /** Replay-path totals folded out of memory-study reports, so the
+     *  daemon's /metrics shows how much trace-replay work it has done
+     *  and which tag-probe path served it. */
+    double _replay_batches = 0.0;
+    double _replay_shards = 0.0;
+    double _tag_probes = 0.0;
+    double _tag_swar_hits = 0.0;
 
     /**
      * Latency instruments (seconds). Lock-free: record() happens on

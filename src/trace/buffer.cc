@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/columns.hh"
+
 namespace stack3d {
 namespace trace {
 
@@ -22,6 +24,73 @@ memOpName(MemOp op)
 TraceBuffer::TraceBuffer(std::vector<TraceRecord> records)
     : _records(std::move(records))
 {
+}
+
+TraceBuffer::TraceBuffer(const TraceBuffer &other)
+    : _records(other._records)
+{
+}
+
+TraceBuffer &
+TraceBuffer::operator=(const TraceBuffer &other)
+{
+    if (this != &other) {
+        _records = other._records;
+        // lint3d: safe-naked-new-ok (atomic publish owns the cache)
+        delete _columns.exchange(nullptr, std::memory_order_acq_rel);
+    }
+    return *this;
+}
+
+TraceBuffer::TraceBuffer(TraceBuffer &&other) noexcept
+    : _records(std::move(other._records)),
+      _columns(other._columns.exchange(nullptr,
+                                       std::memory_order_acq_rel))
+{
+}
+
+TraceBuffer &
+TraceBuffer::operator=(TraceBuffer &&other) noexcept
+{
+    if (this != &other) {
+        _records = std::move(other._records);
+        // lint3d: safe-naked-new-ok (atomic publish owns the cache)
+        delete _columns.exchange(
+            other._columns.exchange(nullptr,
+                                    std::memory_order_acq_rel),
+            std::memory_order_acq_rel);
+    }
+    return *this;
+}
+
+TraceBuffer::~TraceBuffer()
+{
+    // lint3d: safe-naked-new-ok (atomic publish owns the cache)
+    delete _columns.load(std::memory_order_acquire);
+}
+
+const TraceColumns &
+TraceBuffer::columns() const
+{
+    const TraceColumns *cols = _columns.load(std::memory_order_acquire);
+    if (cols)
+        return *cols;
+    // First use (or a race between first users): decode off to the
+    // side, then try to publish. Exactly one decode wins; a loser
+    // frees its copy and reads the winner's.
+    // The cache pointer is published by CAS; std::atomic cannot hold
+    // a unique_ptr, so lifetime is managed manually here and released
+    // in the special members.
+    // lint3d: safe-naked-new-ok (CAS-published owner)
+    auto *fresh = new TraceColumns(*this);
+    const TraceColumns *expected = nullptr;
+    if (_columns.compare_exchange_strong(expected, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        return *fresh;
+    }
+    delete fresh; // lint3d: safe-naked-new-ok (lost the publish race)
+    return *expected;
 }
 
 bool

@@ -8,6 +8,7 @@
 #ifndef STACK3D_TRACE_BUFFER_HH
 #define STACK3D_TRACE_BUFFER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -15,6 +16,8 @@
 
 namespace stack3d {
 namespace trace {
+
+class TraceColumns;
 
 /** Summary statistics of a trace. */
 struct TraceStats
@@ -41,6 +44,13 @@ class TraceBuffer
     TraceBuffer() = default;
     explicit TraceBuffer(std::vector<TraceRecord> records);
 
+    // Copies share nothing; the column cache is rebuilt on demand.
+    TraceBuffer(const TraceBuffer &other);
+    TraceBuffer &operator=(const TraceBuffer &other);
+    TraceBuffer(TraceBuffer &&other) noexcept;
+    TraceBuffer &operator=(TraceBuffer &&other) noexcept;
+    ~TraceBuffer();
+
     const TraceRecord &operator[](std::size_t i) const { return _records[i]; }
     std::size_t size() const { return _records.size(); }
     bool empty() const { return _records.empty(); }
@@ -59,8 +69,20 @@ class TraceBuffer
     /** Compute summary statistics (O(n), walks the whole trace). */
     TraceStats computeStats() const;
 
+    /**
+     * SoA decode of this trace, built lazily on first use and cached
+     * for the buffer's lifetime. Studies and benchmarks replay the
+     * same immutable buffer many times (once per stack option, per
+     * rep); decoding and order-indexing it once amortizes that work
+     * across every replay. Thread-safe: concurrent first callers
+     * race to publish one decode, losers discard theirs.
+     */
+    const TraceColumns &columns() const;
+
   private:
     std::vector<TraceRecord> _records;
+    /** Lazily built column cache; owned, never mutated once set. */
+    mutable std::atomic<const TraceColumns *> _columns{nullptr};
 };
 
 } // namespace trace

@@ -1,0 +1,56 @@
+#include "trace/columns.hh"
+
+#include <algorithm>
+
+namespace stack3d {
+namespace trace {
+
+void
+TraceColumns::assign(const TraceBuffer &buf)
+{
+    const std::size_t n = buf.size();
+    _addr.resize(n);
+    _dep.resize(n);
+    _cpu.resize(n);
+    _op.resize(n);
+    _size.resize(n);
+    _decode_batches = 0;
+
+    const TraceRecord *recs = buf.records().data();
+    for (std::size_t base = 0; base < n; base += kDecodeBatch) {
+        const std::size_t end = std::min(n, base + kDecodeBatch);
+        // One field at a time over the batch: each pass is a pure
+        // gather with a single output stream, which the compiler
+        // turns into tight unrolled copies.
+        for (std::size_t i = base; i < end; ++i)
+            _addr[i] = recs[i].addr;
+        for (std::size_t i = base; i < end; ++i)
+            _dep[i] = recs[i].dep;
+        for (std::size_t i = base; i < end; ++i)
+            _cpu[i] = recs[i].cpu;
+        for (std::size_t i = base; i < end; ++i)
+            _op[i] = recs[i].op;
+        for (std::size_t i = base; i < end; ++i)
+            _size[i] = recs[i].size;
+        ++_decode_batches;
+    }
+
+    // Per-cpu program-order index, prefix-bucketed into one array —
+    // built once here so every replay of this trace reuses it.
+    unsigned cpus = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        cpus = std::max(cpus, unsigned(_cpu[i]) + 1);
+    _cpu_count.assign(cpus, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++_cpu_count[_cpu[i]];
+    _order_base.assign(cpus, 0);
+    for (unsigned c = 1; c < cpus; ++c)
+        _order_base[c] = _order_base[c - 1] + _cpu_count[c - 1];
+    _order.resize(n);
+    std::vector<std::uint64_t> fill(_order_base);
+    for (std::size_t i = 0; i < n; ++i)
+        _order[fill[_cpu[i]]++] = std::uint32_t(i);
+}
+
+} // namespace trace
+} // namespace stack3d

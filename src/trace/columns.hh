@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structure-of-arrays view of a trace for the hot replay loop.
+ *
+ * TraceBuffer stores 32-byte TraceRecord structs; replay only touches
+ * addr/dep/cpu/op/size, and touches them millions of times per study
+ * cell. TraceColumns decodes the AoS records batch-by-batch into
+ * contiguous per-field column arrays so the engine streams narrow,
+ * cache-dense data instead of striding through fat structs. The
+ * columns are a *view* built from a TraceBuffer — the on-disk format
+ * and `trace::File`/`Writer` round-trips are untouched, so existing
+ * traces stay byte-identical.
+ */
+
+#ifndef STACK3D_TRACE_COLUMNS_HH
+#define STACK3D_TRACE_COLUMNS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/buffer.hh"
+#include "trace/record.hh"
+
+namespace stack3d {
+namespace trace {
+
+/**
+ * Batched SoA decode of a TraceBuffer.
+ *
+ * assign() walks the records in fixed-size batches (kDecodeBatch) so
+ * the working set of one decode step stays inside L1; the number of
+ * batches is reported for the mem.replay.batches counter. It also
+ * builds the per-cpu program-order index the replay window refills
+ * from, so replaying the same buffer repeatedly (one run per stack
+ * option and rep) pays for decode and indexing exactly once — see
+ * TraceBuffer::columns().
+ */
+class TraceColumns
+{
+  public:
+    /** Records decoded per batch; sized so one batch's output columns
+     *  (~18 B/record) fit comfortably in a 32 KiB L1D. */
+    static constexpr std::size_t kDecodeBatch = 1024;
+
+    TraceColumns() = default;
+    explicit TraceColumns(const TraceBuffer &buf) { assign(buf); }
+
+    /** Decode @p buf into columns, replacing previous contents. */
+    void assign(const TraceBuffer &buf);
+
+    std::size_t size() const { return _addr.size(); }
+    bool empty() const { return _addr.empty(); }
+
+    /** Number of decode batches the last assign() performed. */
+    std::uint64_t decodeBatches() const { return _decode_batches; }
+
+    const std::uint64_t *addr() const { return _addr.data(); }
+    const std::uint64_t *dep() const { return _dep.data(); }
+    const std::uint8_t *cpu() const { return _cpu.data(); }
+    const MemOp *op() const { return _op.data(); }
+    const std::uint8_t *accessSize() const { return _size.data(); }
+
+    /** Highest cpu id seen plus one (0 for an empty trace). */
+    unsigned numCpus() const { return unsigned(_cpu_count.size()); }
+
+    /** Records tagged with @p cpu (0 past numCpus()). */
+    std::uint64_t
+    cpuCount(unsigned cpu) const
+    {
+        return cpu < _cpu_count.size() ? _cpu_count[cpu] : 0;
+    }
+
+    /** Offset of @p cpu's bucket in order() (size() past numCpus()). */
+    std::uint64_t
+    orderBase(unsigned cpu) const
+    {
+        return cpu < _order_base.size() ? _order_base[cpu] : size();
+    }
+
+    /** Record indices, bucketed per cpu in program order: the
+     *  indices of cpu c's records, ascending, occupy
+     *  [orderBase(c), orderBase(c) + cpuCount(c)). */
+    const std::uint32_t *order() const { return _order.data(); }
+
+  private:
+    std::vector<std::uint64_t> _addr;
+    std::vector<std::uint64_t> _dep;
+    std::vector<std::uint8_t> _cpu;
+    std::vector<MemOp> _op;
+    std::vector<std::uint8_t> _size;
+    std::vector<std::uint64_t> _cpu_count;
+    std::vector<std::uint64_t> _order_base;
+    std::vector<std::uint32_t> _order;
+    std::uint64_t _decode_batches = 0;
+};
+
+} // namespace trace
+} // namespace stack3d
+
+#endif // STACK3D_TRACE_COLUMNS_HH

@@ -76,6 +76,14 @@ class ThreadTracer
     /** Record an instruction fetch. */
     RecordId ifetch(Addr addr, std::uint8_t size = 16);
 
+    /**
+     * Pre-size the record store. Kernels know their record budget
+     * (records_per_thread) up front; reserving once avoids the
+     * doubling-regrowth copies of a multi-hundred-thousand-record
+     * push sequence.
+     */
+    void reserve(std::size_t n) { _records.reserve(n); }
+
     std::size_t size() const { return _records.size(); }
 
     /** Steal the accumulated records (tracer resets to empty). */

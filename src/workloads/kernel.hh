@@ -105,6 +105,9 @@ class KernelContext
           _budget(budget), _tracer(std::uint8_t(thread_id)),
           _rng(seed ^ (0x9e3779b9ULL * (thread_id + 1)))
     {
+        // Kernels stop within one loop body of the budget, so this
+        // single reservation absorbs nearly every regrowth copy.
+        _tracer.reserve(budget);
     }
 
     unsigned threadId() const { return _thread_id; }

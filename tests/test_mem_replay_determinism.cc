@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Equivalence guarantees of the optimized trace-replay data path:
+ *
+ *  - TraceEngine::run (event-driven issue, calendar-queue
+ *    completions, SoA batched decode) is bit-identical to
+ *    TraceEngine::runReference (the straightforward cycle-stepped
+ *    engine kept as the oracle) for every model output;
+ *  - runSharded produces the same merged result for every shard
+ *    count whether shards execute serially or on a thread pool
+ *    (bit-identical, not approximately equal);
+ *  - the scalar / SWAR / SSE2 tag-search variants return the same
+ *    way for every probe, across associativities 1-16 with partial
+ *    sets, invalid ways, and signature collisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "exec/pool.hh"
+#include "mem/engine.hh"
+#include "mem/hierarchy.hh"
+#include "mem/tagsearch.hh"
+#include "workloads/registry.hh"
+
+using namespace stack3d;
+
+namespace {
+
+trace::TraceBuffer
+makeTrace(const char *kernel_name, std::uint64_t records)
+{
+    auto kernel = workloads::makeRmsKernel(kernel_name);
+    workloads::WorkloadConfig cfg;
+    cfg.records_per_thread = records;
+    return kernel->generate(cfg);
+}
+
+void
+expectResultsIdentical(const mem::EngineResult &a,
+                       const mem::EngineResult &b, const char *what)
+{
+    EXPECT_EQ(a.num_records, b.num_records) << what;
+    EXPECT_EQ(a.total_cycles, b.total_cycles) << what;
+    // Bitwise equality on the derived floats: the engines must
+    // accumulate in the same order, not just land close.
+    EXPECT_EQ(a.cpma, b.cpma) << what;
+    EXPECT_EQ(a.avg_latency, b.avg_latency) << what;
+    EXPECT_EQ(a.offdie_gbps, b.offdie_gbps) << what;
+    EXPECT_EQ(a.bus_power_w, b.bus_power_w) << what;
+    EXPECT_EQ(a.l1d_miss_rate, b.l1d_miss_rate) << what;
+    EXPECT_EQ(a.llc_miss_rate, b.llc_miss_rate) << what;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(a.latency_frac[i], b.latency_frac[i]) << what;
+    EXPECT_EQ(a.hier.accesses, b.hier.accesses) << what;
+    EXPECT_EQ(a.hier.offdie_fill_bytes, b.hier.offdie_fill_bytes)
+        << what;
+}
+
+} // namespace
+
+TEST(MemReplayDeterminism, FastEngineMatchesReference)
+{
+    const mem::StackOption options[] = {
+        mem::StackOption::Baseline4MB,
+        mem::StackOption::Sram12MB,
+        mem::StackOption::Dram64MB,
+    };
+    for (const char *name : {"sMVM", "gauss", "conj"}) {
+        trace::TraceBuffer buf = makeTrace(name, 20000);
+        for (mem::StackOption opt : options) {
+            mem::HierarchyParams hp = mem::makeHierarchyParams(opt);
+            mem::MemoryHierarchy h_fast(hp);
+            mem::MemoryHierarchy h_ref(hp);
+            mem::TraceEngine eng;
+            mem::EngineResult fast = eng.run(buf, h_fast);
+            mem::EngineResult ref = eng.runReference(buf, h_ref);
+            expectResultsIdentical(fast, ref, name);
+        }
+    }
+}
+
+TEST(MemReplayDeterminism, FastEngineMatchesReferenceAllTagModes)
+{
+    trace::TraceBuffer buf = makeTrace("sMVM", 20000);
+    mem::HierarchyParams hp =
+        mem::makeHierarchyParams(mem::StackOption::Dram32MB);
+    mem::EngineResult first;
+    int i = 0;
+    for (mem::TagSearchMode mode :
+         {mem::TagSearchMode::Scalar, mem::TagSearchMode::Swar,
+          mem::TagSearchMode::Simd}) {
+        mem::setTagSearchMode(mode);
+        mem::MemoryHierarchy h_fast(hp);
+        mem::MemoryHierarchy h_ref(hp);
+        mem::TraceEngine eng;
+        mem::EngineResult fast = eng.run(buf, h_fast);
+        mem::EngineResult ref = eng.runReference(buf, h_ref);
+        expectResultsIdentical(fast, ref, "tag mode");
+        if (i++ == 0)
+            first = fast;
+        else
+            expectResultsIdentical(fast, first, "across tag modes");
+    }
+    mem::clearTagSearchMode();
+}
+
+TEST(MemReplayDeterminism, ShardedBitIdenticalAcrossPools)
+{
+    trace::TraceBuffer buf = makeTrace("pcg", 20000);
+    mem::HierarchyParams hp =
+        mem::makeHierarchyParams(mem::StackOption::Sram12MB);
+    mem::TraceEngine eng;
+    for (unsigned shards : {1u, 2u, 8u}) {
+        mem::ShardedReplayResult serial =
+            eng.runSharded(buf, hp, shards, nullptr);
+        exec::ThreadPool pool(4);
+        mem::ShardedReplayResult threaded =
+            eng.runSharded(buf, hp, shards, &pool);
+        EXPECT_EQ(serial.cross_shard_deps, threaded.cross_shard_deps);
+        ASSERT_EQ(serial.shards.size(), threaded.shards.size());
+        for (unsigned s = 0; s < shards; ++s) {
+            expectResultsIdentical(serial.shards[s],
+                                   threaded.shards[s], "shard");
+        }
+        expectResultsIdentical(serial.merged, threaded.merged,
+                               "merged");
+        EXPECT_EQ(
+            serial.merged.counters.value("replay.shards"),
+            double(shards));
+    }
+}
+
+TEST(MemReplayDeterminism, ShardOneMatchesUnsharded)
+{
+    // One shard is the whole trace: the decomposition must be a
+    // no-op (no dropped dependencies, same result as run()).
+    trace::TraceBuffer buf = makeTrace("gauss", 20000);
+    mem::HierarchyParams hp =
+        mem::makeHierarchyParams(mem::StackOption::Baseline4MB);
+    mem::TraceEngine eng;
+    mem::ShardedReplayResult one = eng.runSharded(buf, hp, 1, nullptr);
+    EXPECT_EQ(one.cross_shard_deps, 0u);
+    mem::MemoryHierarchy h(hp);
+    mem::EngineResult whole = eng.run(buf, h);
+    expectResultsIdentical(one.shards[0], whole, "one-shard");
+}
+
+TEST(TagSearch, VariantsAgreeAcrossAssociativities)
+{
+    Random rng(1234);
+    for (unsigned assoc = 1; assoc <= 16; ++assoc) {
+        const unsigned stride = mem::sigStride(assoc);
+        std::vector<std::uint64_t> tags(assoc);
+        std::vector<mem::TagSig> sigs(stride);
+        for (int trial = 0; trial < 200; ++trial) {
+            // Partial sets: every valid-mask density from empty to
+            // full shows up across trials.
+            std::uint32_t valid =
+                std::uint32_t(rng.uniformInt(1u << assoc));
+            for (unsigned w = 0; w < assoc; ++w) {
+                // Small tag space forces duplicate tags and
+                // signature collisions.
+                tags[w] = rng.uniformInt(40);
+                sigs[w] = mem::sigOf(tags[w]);
+            }
+            // Padding lanes carry a hostile signature: one that
+            // matches the probe but belongs to no way.
+            for (unsigned w = assoc; w < stride; ++w)
+                sigs[w] = mem::sigOf(7);
+            for (std::uint64_t probe = 0; probe < 45; ++probe) {
+                int scalar = mem::findWayScalar(tags.data(), valid,
+                                                assoc, probe);
+                int swar =
+                    mem::findWaySwar(sigs.data(), tags.data(), valid,
+                                     assoc, probe);
+                int simd =
+                    mem::findWaySimd(sigs.data(), tags.data(), valid,
+                                     assoc, probe);
+                EXPECT_EQ(scalar, swar)
+                    << "assoc " << assoc << " probe " << probe;
+                EXPECT_EQ(scalar, simd)
+                    << "assoc " << assoc << " probe " << probe;
+            }
+        }
+    }
+}
+
+TEST(TagSearch, ModeOverride)
+{
+    mem::setTagSearchMode(mem::TagSearchMode::Scalar);
+    EXPECT_EQ(mem::tagSearchMode(), mem::TagSearchMode::Scalar);
+    mem::setTagSearchMode(mem::TagSearchMode::Swar);
+    EXPECT_EQ(mem::tagSearchMode(), mem::TagSearchMode::Swar);
+    mem::clearTagSearchMode();
+    // Back to the process default (env-resolved); any value is
+    // acceptable, it just must not be stuck on the override.
+    (void)mem::tagSearchMode();
+}
