@@ -355,7 +355,7 @@ handleConnection(StudyService &service, ServerState &state, int fd)
         if (n < 0) {
             bool retriable = errno == EAGAIN ||
                              errno == EWOULDBLOCK || errno == EINTR;
-            if (retriable && !state.stopping.load() &&
+            if (retriable && !state.stopping.load(std::memory_order_seq_cst) &&
                 !shutdownRequested())
                 continue;
             break;
@@ -385,7 +385,10 @@ handleConnection(StudyService &service, ServerState &state, int fd)
                            });
             if (!keep_going) {
                 // Stop: wake the acceptor out of accept().
-                state.stopping.store(true);
+                // seq_cst: the store must be globally ordered
+                // before the shutdown() below so the acceptor that
+                // wakes from accept() re-reads it as true.
+                state.stopping.store(true, std::memory_order_seq_cst);
                 ::shutdown(state.listen_fd, SHUT_RDWR);
                 open = false;
             }
@@ -445,14 +448,21 @@ runTcpServer(StudyService &service, unsigned port,
         inform("stack3d-serve: listening on 127.0.0.1:",
                ntohs(bound.sin_port));
         if (bound_port)
-            bound_port->store(ntohs(bound.sin_port));
+            // seq_cst: publishes the port to the test thread
+            // polling it; pairs with its seq_cst load.
+            bound_port->store(ntohs(bound.sin_port),
+                              std::memory_order_seq_cst);
     }
 
     ServerState state;
     state.listen_fd = listen_fd;
     {
         exec::ThreadPool connections(connection_threads);
-        while (!state.stopping.load() && !shutdownRequested()) {
+        // seq_cst on every `stopping` access: it is a one-shot
+        // stop flag raised from connection handlers; contention is
+        // nil, so the fence cost is irrelevant next to poll().
+        while (!state.stopping.load(std::memory_order_seq_cst) &&
+               !shutdownRequested()) {
             // Wait on the listen socket and the shutdown self-pipe
             // together, so a signal cannot slip in between the flag
             // check and a blocking accept().
@@ -473,7 +483,7 @@ runTcpServer(StudyService &service, unsigned port,
             if (fd < 0) {
                 // EINTR without a shutdown request: spurious signal.
                 if (errno == EINTR && !shutdownRequested() &&
-                    !state.stopping.load())
+                    !state.stopping.load(std::memory_order_seq_cst))
                     continue;
                 break;
             }
@@ -484,8 +494,9 @@ runTcpServer(StudyService &service, unsigned port,
             });
         }
         // A signal-initiated shutdown must release connections still
-        // blocked in their recv() timeout loop.
-        state.stopping.store(true);
+        // blocked in their recv() timeout loop. seq_cst: ordered
+        // before the pool destructor's drain below.
+        state.stopping.store(true, std::memory_order_seq_cst);
     }
     ::close(listen_fd);
     service.drain();

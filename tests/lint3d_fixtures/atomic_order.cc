@@ -1,0 +1,50 @@
+// lint3d fixture: conc-atomic-order — positives (a declared atomic
+// relying on the defaulted seq_cst, a distinctive fetch_* on an
+// unresolvable object), a suppressed site, and clean near-misses
+// (explicit orders everywhere; plain load/store methods on a
+// non-atomic object must not match).
+
+#include <atomic>
+
+namespace fixture_atomic {
+
+std::atomic<int> counter{0};
+std::atomic<bool> ready{false};
+
+// Not an atomic: a tracer with load/store-shaped methods. Calls on
+// it must stay clean (the rule keys on the object's declared type).
+struct Tracer
+{
+    int load() { return 0; }
+    void store(int) {}
+};
+
+std::atomic<long> &sharedTally();
+
+inline int
+positives(Tracer &t)
+{
+    counter.store(1);                       // finding: defaulted order
+    int v = counter.load();                 // finding: defaulted order
+    bool was = ready.exchange(true);        // finding: defaulted order
+    sharedTally().fetch_add(2);             // finding: fetch_* is
+                                            // atomic-only, object
+                                            // unresolved
+    // lint3d: conc-atomic-order-ok
+    counter.store(3);                       // suppressed
+    (void)t;
+    return v + int(was);
+}
+
+inline int
+clean(Tracer &t)
+{
+    counter.store(1, std::memory_order_release);
+    int v = counter.load(std::memory_order_acquire);
+    v += int(ready.exchange(true, std::memory_order_acq_rel));
+    sharedTally().fetch_add(2, std::memory_order_relaxed);
+    t.store(7);          // non-atomic object: clean
+    return v + t.load(); // non-atomic object: clean
+}
+
+} // namespace fixture_atomic

@@ -1,0 +1,22 @@
+// lint3d fixture: obs-counter-name — a name outside [a-z0-9_.*]+, a
+// histogram registered twice, a suppressed charset violation, and
+// clean registrations.
+
+namespace fixture_counters {
+
+inline void
+instrument(Registry &reg, Histogram *h, Histogram *h2)
+{
+    reg.registerHistogram("probe.latency_s", h);     // clean
+    reg.registerHistogram("probe.latency_s", h2);    // finding:
+                                                     // duplicate
+    reg.registerHistogram("Probe.Retries", h2);      // finding:
+                                                     // uppercase
+    reg.set("probe.requests", 1.0);                  // clean
+    reg.add("probe bad name", 2.0);                  // finding: space
+    reg.tagGauge("probe.in_flight");                 // clean
+    // lint3d: obs-counter-name-ok
+    reg.setSeries("Waived.Name", 3.0);               // suppressed
+}
+
+} // namespace fixture_counters

@@ -1,0 +1,22 @@
+// lint3d --fix corpus: every finding in this file is mechanically
+// fixable. tests/run_lint3d_fix.cmake copies it aside, runs --fix,
+// diffs the result against fixme_fixed.cc, then runs --fix again to
+// prove idempotence (second run: zero edits, zero findings).
+
+#include <atomic>
+
+namespace fixable {
+
+std::atomic<int> hits{0};
+
+inline int
+convert(double d, const void *p)
+{
+    int a = (int)d;
+    const unsigned char *b = (const unsigned char *)(p);
+    hits.store(a);
+    hits.fetch_add(1);
+    return a + int(b[0]) + hits.load();
+}
+
+} // namespace fixable

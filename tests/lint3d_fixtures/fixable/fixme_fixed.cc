@@ -1,0 +1,22 @@
+// lint3d --fix corpus: every finding in this file is mechanically
+// fixable. tests/run_lint3d_fix.cmake copies it aside, runs --fix,
+// diffs the result against fixme_fixed.cc, then runs --fix again to
+// prove idempotence (second run: zero edits, zero findings).
+
+#include <atomic>
+
+namespace fixable {
+
+std::atomic<int> hits{0};
+
+inline int
+convert(double d, const void *p)
+{
+    int a = static_cast<int>(d);
+    const unsigned char *b = static_cast<const unsigned char*>(p);
+    hits.store(a, std::memory_order_seq_cst);
+    hits.fetch_add(1, std::memory_order_seq_cst);
+    return a + int(b[0]) + hits.load(std::memory_order_seq_cst);
+}
+
+} // namespace fixable

@@ -1,0 +1,10 @@
+// lint3d fixture: hyg-header-guard — #pragma once instead of the
+// derived STACK3D_GUARD_BAD_HH guard is a finding.
+
+#pragma once
+
+namespace fixture_guard {
+
+constexpr int kWrong = 7;
+
+} // namespace fixture_guard

@@ -1,0 +1,13 @@
+// lint3d fixture: hyg-header-guard — the derived spelling for this
+// path is STACK3D_GUARD_OK_HH; this header is clean.
+
+#ifndef STACK3D_GUARD_OK_HH
+#define STACK3D_GUARD_OK_HH
+
+namespace fixture_guard {
+
+constexpr int kAnswer = 42;
+
+} // namespace fixture_guard
+
+#endif // STACK3D_GUARD_OK_HH

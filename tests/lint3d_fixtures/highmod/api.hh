@@ -1,0 +1,12 @@
+// lint3d fixture: arch-layering — the high layer's public header.
+
+#ifndef STACK3D_HIGHMOD_API_HH
+#define STACK3D_HIGHMOD_API_HH
+
+namespace highmod {
+
+int derivedValue();
+
+} // namespace highmod
+
+#endif // STACK3D_HIGHMOD_API_HH

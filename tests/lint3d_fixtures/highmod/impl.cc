@@ -1,0 +1,16 @@
+// lint3d fixture: arch-layering — legal edges only: the layer's own
+// header (self edge) and a declared dep (highmod -> lowmod). This
+// file must stay clean.
+
+#include "highmod/api.hh"
+#include "lowmod/api.hh"
+
+namespace highmod {
+
+int
+derivedValue()
+{
+    return lowmod::baseValue() + 1;
+}
+
+} // namespace highmod

@@ -1,0 +1,12 @@
+// lint3d fixture: arch-layering — the low layer's public header.
+
+#ifndef STACK3D_LOWMOD_API_HH
+#define STACK3D_LOWMOD_API_HH
+
+namespace lowmod {
+
+int baseValue();
+
+} // namespace lowmod
+
+#endif // STACK3D_LOWMOD_API_HH

@@ -1,0 +1,16 @@
+// lint3d fixture: arch-layering — a deliberate back-edge. The
+// `lowmod` layer declares no deps, so including a `highmod` header
+// from here crosses the DAG and must be a finding.
+
+#include "highmod/api.hh"
+#include "lowmod/api.hh"
+
+namespace lowmod {
+
+int
+baseValue()
+{
+    return highmod::derivedValue() - 1;
+}
+
+} // namespace lowmod

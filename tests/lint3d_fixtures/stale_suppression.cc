@@ -1,0 +1,28 @@
+// lint3d fixture: lint-stale-suppression — a marker that waives a
+// live finding (clean), a marker that waives nothing (finding), and
+// a marker naming a rule that does not exist (finding).
+
+#include <cstdlib>
+
+namespace fixture_stale {
+
+inline int
+usedMarker()
+{
+    return rand(); // lint3d: det-rand-ok — live, stays clean
+}
+
+inline int
+staleMarker()
+{
+    // lint3d: safe-memcpy-ok
+    return 1; // nothing here trips safe-memcpy: the marker is stale
+}
+
+inline int
+unknownRule()
+{
+    return 2; // lint3d: det-entropy-ok
+}
+
+} // namespace fixture_stale

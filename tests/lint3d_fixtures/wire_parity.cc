@@ -1,0 +1,39 @@
+// lint3d fixture: wire-schema-parity / wire-digest-parity — a
+// write*Json / parse* pair with a key emitted but never parsed, a
+// key parsed but never emitted, a key missing from the digest, and
+// an exclude_keys escape ("threads", named in lint3d.toml). Fixtures
+// are linted, never compiled, so the types are stand-ins.
+
+namespace fixture_wire {
+
+void
+writeProbeJson(JsonWriter &w, const Probe &p)
+{
+    w.beginObject();
+    w.key("alpha").value(p.alpha);      // clean: parsed + digested
+    w.key("beta").value(p.beta);        // clean: parsed + digested
+    w.key("threads").value(p.threads);  // clean: parsed, excluded
+                                        // from the digest by config
+    w.key("orphan").value(p.orphan);    // finding x2: never parsed,
+                                        // never digested
+    w.endObject();
+}
+
+bool
+parseProbe(const JsonValue &v, Probe &out)
+{
+    JsonObjectReader r(v, "probe");
+    r.readDouble("alpha", out.alpha);
+    r.readDouble("beta", out.beta);
+    r.readUnsigned("threads", out.threads);
+    r.readDouble("ghost", out.ghost);   // finding: never emitted
+    return true;
+}
+
+unsigned long
+probeDigest(const Probe &p)
+{
+    return hashMix(p.alpha, p.beta);
+}
+
+} // namespace fixture_wire

@@ -1,0 +1,47 @@
+# Doc-parity gate: the rule catalog embedded in DESIGN.md between the
+# lint3d-rule-catalog markers must be byte-identical to what
+# `lint3d --list-rules --markdown` generates with the repo config.
+#
+#   cmake -DLINT3D=<exe> -DROOT=<repo> -P run_lint3d_catalog.cmake
+#
+# To re-bless after adding or changing a rule:
+#
+#   build/tools/lint3d/lint3d --list-rules --markdown --root . \
+#       --config .lint3d.toml   # paste between the DESIGN.md markers
+
+foreach(var LINT3D ROOT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_lint3d_catalog.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${LINT3D}" --list-rules --markdown --root "${ROOT}"
+            --config "${ROOT}/.lint3d.toml"
+    OUTPUT_VARIABLE generated
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "lint3d --list-rules --markdown exited with ${rc}")
+endif()
+
+file(READ "${ROOT}/DESIGN.md" design)
+set(begin_marker "<!-- lint3d-rule-catalog:begin (generated; see tests/run_lint3d_catalog.cmake) -->\n")
+set(end_marker "<!-- lint3d-rule-catalog:end -->")
+string(FIND "${design}" "${begin_marker}" begin_at)
+string(FIND "${design}" "${end_marker}" end_at)
+if(begin_at EQUAL -1 OR end_at EQUAL -1)
+    message(FATAL_ERROR "DESIGN.md is missing the lint3d-rule-catalog markers")
+endif()
+string(LENGTH "${begin_marker}" begin_len)
+math(EXPR embed_at "${begin_at} + ${begin_len}")
+math(EXPR embed_len "${end_at} - ${embed_at}")
+if(embed_len LESS 0)
+    message(FATAL_ERROR "DESIGN.md catalog markers are out of order")
+endif()
+string(SUBSTRING "${design}" ${embed_at} ${embed_len} embedded)
+
+if(NOT embedded STREQUAL generated)
+    message(FATAL_ERROR
+        "DESIGN.md rule catalog is stale; regenerate it per the "
+        "header comment of tests/run_lint3d_catalog.cmake")
+endif()

@@ -1,0 +1,45 @@
+# Byte-stability gate: the full-repo JSON report must be identical
+# across thread counts and across repeated runs (the merge step
+# orders pass-1 results by path, and pass 2 is pure computation over
+# them — this test is what keeps that true).
+#
+#   cmake -DLINT3D=<exe> -DROOT=<repo> -DWORK=<dir> -P run_lint3d_determinism.cmake
+
+foreach(var LINT3D ROOT WORK)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_lint3d_determinism.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK}")
+
+set(reference "")
+foreach(run "t1_a" "t1_b" "t2_a" "t5_a" "t2_b")
+    string(REGEX REPLACE "^t([0-9]+)_.*" "\\1" threads "${run}")
+    set(out "${WORK}/lint3d_det_${run}.json")
+    execute_process(
+        COMMAND "${LINT3D}" --root "${ROOT}"
+                --config "${ROOT}/.lint3d.toml"
+                --threads "${threads}" --json
+        OUTPUT_FILE "${out}"
+        ERROR_QUIET
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "lint3d exited with ${rc} on the repo (run ${run}); the "
+            "tree must be lint-clean for the determinism gate")
+    endif()
+    if(reference STREQUAL "")
+        set(reference "${out}")
+        continue()
+    endif()
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${reference}" "${out}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "lint3d report for run '${run}' differs from '${reference}': "
+            "output is not byte-stable across thread counts")
+    endif()
+endforeach()

@@ -1,0 +1,68 @@
+# --fix idempotence gate. Copies the fixable corpus into a scratch
+# dir, runs `lint3d --fix`, diffs the result against the blessed
+# fixable/fixme_fixed.cc, then runs --fix a second time and requires
+# (a) exit 0 — every finding in the corpus was mechanically fixable —
+# and (b) a byte-identical file — the fixer converged in one pass.
+#
+#   cmake -DLINT3D=<exe> -DFIXTURES=<dir> -DWORK=<dir> -P run_lint3d_fix.cmake
+#
+# To re-bless after changing the corpus or a fixer:
+#
+#   cp tests/lint3d_fixtures/fixable/fixme.cc /tmp/fixgen/
+#   cp tests/lint3d_fixtures/lint3d.toml /tmp/fixgen/
+#   build/tools/lint3d/lint3d --root /tmp/fixgen --config /tmp/fixgen/lint3d.toml --fix
+#   cp /tmp/fixgen/fixme.cc tests/lint3d_fixtures/fixable/fixme_fixed.cc
+
+foreach(var LINT3D FIXTURES WORK)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_lint3d_fix.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+file(COPY "${FIXTURES}/fixable/fixme.cc" DESTINATION "${WORK}")
+file(COPY "${FIXTURES}/lint3d.toml" DESTINATION "${WORK}")
+
+# First run: the corpus has deliberate findings (exit 1) and --fix
+# rewrites them in place.
+execute_process(
+    COMMAND "${LINT3D}" --root "${WORK}" --config "${WORK}/lint3d.toml"
+            --fix
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "lint3d --fix exited with ${rc} on the fixable corpus "
+        "(expected 1: findings are reported as found, pre-fix)")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK}/fixme.cc" "${FIXTURES}/fixable/fixme_fixed.cc"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "--fix output diverged from fixable/fixme_fixed.cc; if the "
+        "fixer change is intentional, re-bless per the header comment")
+endif()
+
+# Second run: everything fixable was fixed, so the corpus is clean
+# (exit 0) and --fix must not touch the file again.
+execute_process(
+    COMMAND "${LINT3D}" --root "${WORK}" --config "${WORK}/lint3d.toml"
+            --fix
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR
+        "second lint3d --fix exited with ${rc2} (expected 0: the "
+        "first pass should have fixed every finding)")
+endif()
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK}/fixme.cc" "${FIXTURES}/fixable/fixme_fixed.cc"
+    RESULT_VARIABLE diff2)
+if(NOT diff2 EQUAL 0)
+    message(FATAL_ERROR "--fix is not idempotent: second run changed the file")
+endif()

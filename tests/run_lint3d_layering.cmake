@@ -1,0 +1,32 @@
+# Layering gate: scanning only the layering fixture dirs must exit 1
+# with an arch-layering finding on the deliberate back-edge, and the
+# legal edges (self layer, declared dep) must produce nothing else.
+#
+#   cmake -DLINT3D=<exe> -DFIXTURES=<dir> -P run_lint3d_layering.cmake
+
+foreach(var LINT3D FIXTURES)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_lint3d_layering.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${LINT3D}" --root "${FIXTURES}"
+            --config "${FIXTURES}/lint3d.toml" lowmod highmod
+    OUTPUT_VARIABLE out
+    ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "lint3d exited with ${rc} on the layering fixture (expected "
+        "1: the back-edge must fail the gate)\n${out}")
+endif()
+if(NOT out MATCHES "lowmod/bad_backedge\\.cc:5: error: \\[arch-layering\\]")
+    message(FATAL_ERROR
+        "expected the arch-layering finding on lowmod/bad_backedge.cc:5; "
+        "got:\n${out}")
+endif()
+if(out MATCHES "impl\\.cc")
+    message(FATAL_ERROR
+        "legal layer edges in highmod/impl.cc were flagged:\n${out}")
+endif()

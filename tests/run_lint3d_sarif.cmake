@@ -1,0 +1,92 @@
+# SARIF shape gate: emit SARIF for the fixture corpus (which always
+# has findings) and validate it against the SARIF 2.1.0 structure
+# GitHub code scanning requires, using CMake's JSON parser — a
+# malformed document fails the string(JSON) calls outright.
+#
+#   cmake -DLINT3D=<exe> -DFIXTURES=<dir> -DOUT=<file> -P run_lint3d_sarif.cmake
+
+foreach(var LINT3D FIXTURES OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_lint3d_sarif.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${LINT3D}" --root "${FIXTURES}"
+            --config "${FIXTURES}/lint3d.toml" --sarif "${OUT}"
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "lint3d exited with ${rc} on the fixture corpus (expected 1)")
+endif()
+
+file(READ "${OUT}" sarif)
+
+macro(expect_json var msg)
+    if("${${var}}" MATCHES "NOTFOUND")
+        message(FATAL_ERROR "SARIF: ${msg}: ${${var}}")
+    endif()
+endmacro()
+
+string(JSON version ERROR_VARIABLE err GET "${sarif}" "version")
+expect_json(version "missing 'version'")
+if(NOT version STREQUAL "2.1.0")
+    message(FATAL_ERROR "SARIF version is '${version}', expected 2.1.0")
+endif()
+
+string(JSON schema ERROR_VARIABLE err GET "${sarif}" "$schema")
+expect_json(schema "missing '$schema'")
+if(NOT schema MATCHES "sarif-schema-2\\.1\\.0")
+    message(FATAL_ERROR "SARIF \$schema does not name 2.1.0: ${schema}")
+endif()
+
+string(JSON driver_name ERROR_VARIABLE err
+       GET "${sarif}" "runs" 0 "tool" "driver" "name")
+expect_json(driver_name "missing runs[0].tool.driver.name")
+if(NOT driver_name STREQUAL "lint3d")
+    message(FATAL_ERROR "driver name is '${driver_name}'")
+endif()
+
+string(JSON n_rules ERROR_VARIABLE err
+       LENGTH "${sarif}" "runs" 0 "tool" "driver" "rules")
+expect_json(n_rules "missing driver rule catalog")
+if(n_rules LESS 15)
+    message(FATAL_ERROR "only ${n_rules} rules in the SARIF catalog")
+endif()
+
+string(JSON n_results ERROR_VARIABLE err
+       LENGTH "${sarif}" "runs" 0 "results")
+expect_json(n_results "missing runs[0].results")
+if(n_results LESS 1)
+    message(FATAL_ERROR "fixture SARIF has no results")
+endif()
+
+# Every result needs ruleId, level, message.text, and a physical
+# location with uri + startLine — the fields code scanning renders.
+math(EXPR last "${n_results} - 1")
+foreach(i RANGE 0 ${last})
+    string(JSON rule_id ERROR_VARIABLE err
+           GET "${sarif}" "runs" 0 "results" ${i} "ruleId")
+    expect_json(rule_id "result ${i} missing ruleId")
+    string(JSON level ERROR_VARIABLE err
+           GET "${sarif}" "runs" 0 "results" ${i} "level")
+    expect_json(level "result ${i} missing level")
+    if(NOT level MATCHES "^(error|warning|note)$")
+        message(FATAL_ERROR "result ${i} has bad level '${level}'")
+    endif()
+    string(JSON msg ERROR_VARIABLE err
+           GET "${sarif}" "runs" 0 "results" ${i} "message" "text")
+    expect_json(msg "result ${i} missing message.text")
+    string(JSON uri ERROR_VARIABLE err
+           GET "${sarif}" "runs" 0 "results" ${i} "locations" 0
+           "physicalLocation" "artifactLocation" "uri")
+    expect_json(uri "result ${i} missing artifact uri")
+    string(JSON start ERROR_VARIABLE err
+           GET "${sarif}" "runs" 0 "results" ${i} "locations" 0
+           "physicalLocation" "region" "startLine")
+    expect_json(start "result ${i} missing region.startLine")
+    if(start LESS 1)
+        message(FATAL_ERROR "result ${i} startLine=${start} (< 1)")
+    endif()
+endforeach()

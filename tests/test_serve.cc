@@ -790,14 +790,16 @@ TEST(TcpServer, StatsAndHealthOverASocket)
     std::thread server([&] {
         serve::runTcpServer(service, 0, 1, &bound_port);
     });
-    while (bound_port.load() == 0)
+    // seq_cst: pairs with the server's publishing store.
+    while (bound_port.load(std::memory_order_seq_cst) == 0)
         std::this_thread::yield();
 
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     ASSERT_GE(fd, 0);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_port = htons(std::uint16_t(bound_port.load()));
+    addr.sin_port = htons(std::uint16_t(
+        bound_port.load(std::memory_order_seq_cst)));
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                         sizeof(addr)),

@@ -111,8 +111,10 @@ parseConfig(const std::string &text, Config &out, std::string &error)
     std::istringstream in(text);
     std::string raw;
     int lineno = 0;
-    /** Empty = top level; otherwise the current [rule.<name>]. */
+    /** Empty = top level; otherwise the current section name. */
     std::string section;
+    /** Whether `section` names a [layer.*] (vs [rule.*]) section. */
+    bool in_layer = false;
 
     auto fail = [&](const std::string &what) {
         std::ostringstream os;
@@ -132,14 +134,27 @@ parseConfig(const std::string &text, Config &out, std::string &error)
                 return fail("unterminated section header");
             std::string name =
                 trim(lineText.substr(1, lineText.size() - 2));
-            const std::string prefix = "rule.";
-            if (name.compare(0, prefix.size(), prefix) != 0)
+            const std::string rule_prefix = "rule.";
+            const std::string layer_prefix = "layer.";
+            if (name.compare(0, rule_prefix.size(), rule_prefix) ==
+                0) {
+                in_layer = false;
+                section = name.substr(rule_prefix.size());
+                if (section.empty())
+                    return fail("empty rule name");
+                out.rules[section]; // default-construct the entry
+            } else if (name.compare(0, layer_prefix.size(),
+                                    layer_prefix) == 0) {
+                in_layer = true;
+                section = name.substr(layer_prefix.size());
+                if (section.empty())
+                    return fail("empty layer name");
+                out.layers[section]; // default-construct the entry
+            } else {
                 return fail("unknown section '" + name +
-                            "' (expected [rule.<name>])");
-            section = name.substr(prefix.size());
-            if (section.empty())
-                return fail("empty rule name");
-            out.rules[section]; // default-construct the entry
+                            "' (expected [rule.<name>] or "
+                            "[layer.<name>])");
+            }
             continue;
         }
 
@@ -171,6 +186,20 @@ parseConfig(const std::string &text, Config &out, std::string &error)
             continue;
         }
 
+        if (in_layer) {
+            LayerConfig &layer = out.layers[section];
+            if (key == "path") {
+                if (!parseString(value, layer.path))
+                    return fail("'path' must be a string");
+            } else if (key == "deps") {
+                if (!parseStringArray(value, layer.deps))
+                    return fail("'deps' must be a string array");
+            } else {
+                return fail("unknown layer key '" + key + "'");
+            }
+            continue;
+        }
+
         RuleConfig &rule = out.rules[section];
         if (key == "severity") {
             std::string sev;
@@ -186,8 +215,29 @@ parseConfig(const std::string &text, Config &out, std::string &error)
         } else if (key == "paths") {
             if (!parseStringArray(value, rule.paths))
                 return fail("'paths' must be a string array");
+        } else if (key == "exclude_keys") {
+            if (!parseStringArray(value, rule.exclude_keys))
+                return fail("'exclude_keys' must be a string array");
+        } else if (key == "pairs") {
+            if (!parseStringArray(value, rule.pairs))
+                return fail("'pairs' must be a string array");
         } else {
             return fail("unknown rule key '" + key + "'");
+        }
+    }
+    // Every declared layer needs a path, and deps must name declared
+    // layers (catching typos here beats silently-inert rules).
+    for (const auto &entry : out.layers) {
+        if (entry.second.path.empty()) {
+            error = "layer '" + entry.first + "' is missing 'path'";
+            return false;
+        }
+        for (const std::string &dep : entry.second.deps) {
+            if (!out.layers.count(dep)) {
+                error = "layer '" + entry.first +
+                        "' depends on undeclared layer '" + dep + "'";
+                return false;
+            }
         }
     }
     return true;

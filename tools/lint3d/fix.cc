@@ -1,0 +1,83 @@
+/**
+ * @file
+ * lint3d --fix: apply the mechanical edits rules attach to findings.
+ * Edits are byte-offset anchored into the file as it was lexed, so
+ * they are applied per file in descending offset order (later edits
+ * never shift earlier anchors) and the whole pass is idempotent: a
+ * second run finds nothing left to fix and rewrites nothing.
+ */
+
+#include "lint3d.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace lint3d {
+
+std::size_t
+applyFixes(const std::string &root,
+           const std::vector<FileReport> &reports,
+           std::size_t &files_changed)
+{
+    std::map<std::string, std::vector<FixEdit>> by_file;
+    for (const FileReport &r : reports) {
+        for (const FixEdit &e : r.fixes)
+            by_file[e.file].push_back(e);
+    }
+
+    std::size_t applied = 0;
+    files_changed = 0;
+    for (auto &entry : by_file) {
+        std::string path = root + "/" + entry.first;
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::cerr << "lint3d: --fix: cannot read '" << entry.first
+                      << "'\n";
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string source = ss.str();
+        in.close();
+
+        // Descending offset; drop any edit that would overlap an
+        // already-applied one (can only happen if two rules fight
+        // over the same bytes — leave that for a human).
+        std::vector<FixEdit> &edits = entry.second;
+        std::sort(edits.begin(), edits.end(),
+                  [](const FixEdit &a, const FixEdit &b) {
+                      return a.off > b.off;
+                  });
+        std::size_t last_begin = source.size() + 1;
+        bool changed = false;
+        for (const FixEdit &e : edits) {
+            if (e.off + e.len > source.size() ||
+                e.off + e.len > last_begin) {
+                std::cerr << "lint3d: --fix: skipping overlapping "
+                          << "edit in '" << entry.first << "' at "
+                          << "offset " << e.off << "\n";
+                continue;
+            }
+            source.replace(e.off, e.len, e.replacement);
+            last_begin = e.off;
+            changed = true;
+            ++applied;
+        }
+        if (!changed)
+            continue;
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::cerr << "lint3d: --fix: cannot write '"
+                      << entry.first << "'\n";
+            continue;
+        }
+        out << source;
+        ++files_changed;
+    }
+    return applied;
+}
+
+} // namespace lint3d

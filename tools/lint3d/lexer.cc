@@ -1,9 +1,13 @@
 /**
  * @file
  * The lint3d tokenizer. Hand-rolled single pass: good enough line
- * accounting for diagnostics, and strings / comments / preprocessor
- * directives are consumed whole so rule trigger words inside them
- * can never produce a match.
+ * accounting for diagnostics, byte offsets for --fix edits, and
+ * comments / char literals / preprocessor directives are consumed
+ * whole so rule trigger words inside them can never match. String
+ * literal *contents* are preserved on the String token (the wire and
+ * counter rules inspect them) but never lex as identifiers.
+ * Preprocessor directives are captured separately for the include
+ * graph and header-guard checks.
  */
 
 #include "lint3d.hh"
@@ -35,7 +39,7 @@ identChar(char c)
  */
 void
 parseSuppressions(const std::string &comment, int line, bool whole_line,
-                  Suppressions &supp)
+                  LexOutput &out)
 {
     const std::string tag = "lint3d:";
     std::size_t at = comment.find(tag);
@@ -43,8 +47,7 @@ parseSuppressions(const std::string &comment, int line, bool whole_line,
         return;
     std::size_t pos = at + tag.size();
     while (pos < comment.size()) {
-        while (pos < comment.size() &&
-               !identStart(comment[pos]) )
+        while (pos < comment.size() && !identStart(comment[pos]))
             ++pos;
         std::size_t begin = pos;
         while (pos < comment.size() &&
@@ -57,9 +60,16 @@ parseSuppressions(const std::string &comment, int line, bool whole_line,
         if (word.size() > ok.size() &&
             word.compare(word.size() - ok.size(), ok.size(), ok) == 0) {
             std::string rule = word.substr(0, word.size() - ok.size());
-            supp[line].insert(rule);
-            if (whole_line)
-                supp[line + 1].insert(rule);
+            SuppressionDecl decl;
+            decl.rule = rule;
+            decl.comment_line = line;
+            decl.lines.push_back(line);
+            out.supp[line].insert(rule);
+            if (whole_line) {
+                out.supp[line + 1].insert(rule);
+                decl.lines.push_back(line + 1);
+            }
+            out.supp_decls.push_back(decl);
         }
     }
 }
@@ -67,16 +77,37 @@ parseSuppressions(const std::string &comment, int line, bool whole_line,
 const char *kMultiCharOps[] = {"::", "->", "==", "!=", "<=", ">=",
                                "&&", "||", "<<", ">>", "[[", "]]"};
 
+std::string
+trimDirective(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    bool prev_space = false;
+    for (char c : s) {
+        if (c == ' ' || c == '\t' || c == '\\' || c == '\r' ||
+            c == '\n') {
+            prev_space = !out.empty();
+            continue;
+        }
+        if (prev_space)
+            out += ' ';
+        prev_space = false;
+        out += c;
+    }
+    return out;
+}
+
 } // namespace
 
-std::vector<Token>
-lex(const std::string &source, Suppressions &supp)
+LexOutput
+lex(const std::string &source)
 {
-    std::vector<Token> toks;
+    LexOutput out;
+    std::vector<Token> &toks = out.toks;
     int line = 1;
     std::size_t i = 0;
     const std::size_t n = source.size();
-    /** Offset where the current line's first non-blank content sits. */
+    /** Whether the current line has only whitespace so far. */
     bool line_blank_so_far = true;
 
     auto newline = [&] {
@@ -97,19 +128,36 @@ lex(const std::string &source, Suppressions &supp)
             continue;
         }
 
-        // Preprocessor directive: consume to end of (continued) line.
+        // Preprocessor directive: consume to end of (continued) line,
+        // recording it (text after '#', whitespace-normalized) for
+        // the include-graph and header-guard rules.
         if (c == '#' && line_blank_so_far) {
+            int begin_line = line;
+            std::size_t begin = i + 1;
+            std::size_t end = begin;
             while (i < n) {
                 if (source[i] == '\\' && i + 1 < n &&
                     source[i + 1] == '\n') {
                     newline();
                     i += 2;
+                    end = i;
                     continue;
                 }
                 if (source[i] == '\n')
                     break;
                 ++i;
+                end = i;
             }
+            std::string text = source.substr(begin, end - begin);
+            // Strip a trailing // or /* comment from the directive.
+            for (std::size_t k = 0; k + 1 < text.size(); ++k) {
+                if (text[k] == '/' &&
+                    (text[k + 1] == '/' || text[k + 1] == '*')) {
+                    text = text.substr(0, k);
+                    break;
+                }
+            }
+            out.pp.push_back({begin_line, trimDirective(text)});
             continue;
         }
 
@@ -119,7 +167,7 @@ lex(const std::string &source, Suppressions &supp)
             while (i < n && source[i] != '\n')
                 ++i;
             parseSuppressions(source.substr(begin, i - begin), line,
-                              line_blank_so_far, supp);
+                              line_blank_so_far, out);
             continue;
         }
 
@@ -140,16 +188,19 @@ lex(const std::string &source, Suppressions &supp)
             // comment *ends* on (and the next, for whole-line ones).
             parseSuppressions(source.substr(begin, i - begin),
                               begin_line == line ? begin_line : line,
-                              whole_line, supp);
+                              whole_line, out);
             continue;
         }
 
         line_blank_so_far = false;
 
-        // String literal (including raw strings).
+        // String literal (including raw strings). The token carries
+        // the literal's contents so the wire/counter rules can check
+        // key spellings; TokKind::String keeps it from ever matching
+        // an identifier rule.
         if (c == '"' ||
             (c == 'R' && i + 1 < n && source[i + 1] == '"')) {
-            Token t{TokKind::String, "\"\"", line};
+            Token t{TokKind::String, "\"\"", "", line, i};
             if (c == 'R') {
                 // Raw string: R"delim( ... )delim"
                 std::size_t open = source.find('(', i);
@@ -163,6 +214,9 @@ lex(const std::string &source, Suppressions &supp)
                                       : source.find(close, open);
                 std::size_t stop =
                     end == std::string::npos ? n : end + close.size();
+                if (open != std::string::npos &&
+                    end != std::string::npos)
+                    t.str = source.substr(open + 1, end - (open + 1));
                 for (std::size_t k = i; k < stop; ++k) {
                     if (source[k] == '\n')
                         newline();
@@ -170,6 +224,7 @@ lex(const std::string &source, Suppressions &supp)
                 i = stop;
             } else {
                 ++i;
+                std::size_t content_begin = i;
                 while (i < n && source[i] != '"') {
                     if (source[i] == '\\' && i + 1 < n)
                         ++i;
@@ -177,6 +232,8 @@ lex(const std::string &source, Suppressions &supp)
                         newline();
                     ++i;
                 }
+                t.str = source.substr(content_begin,
+                                      i - content_begin);
                 if (i < n)
                     ++i;
             }
@@ -186,7 +243,7 @@ lex(const std::string &source, Suppressions &supp)
 
         // Character literal.
         if (c == '\'') {
-            Token t{TokKind::CharLit, "''", line};
+            Token t{TokKind::CharLit, "''", "", line, i};
             ++i;
             while (i < n && source[i] != '\'') {
                 if (source[i] == '\\' && i + 1 < n)
@@ -205,7 +262,8 @@ lex(const std::string &source, Suppressions &supp)
             while (i < n && identChar(source[i]))
                 ++i;
             toks.push_back({TokKind::Ident,
-                            source.substr(begin, i - begin), line});
+                            source.substr(begin, i - begin), "",
+                            line, begin});
             continue;
         }
 
@@ -233,7 +291,8 @@ lex(const std::string &source, Suppressions &supp)
                 break;
             }
             toks.push_back({TokKind::Number,
-                            source.substr(begin, i - begin), line});
+                            source.substr(begin, i - begin), "",
+                            line, begin});
             continue;
         }
 
@@ -243,7 +302,7 @@ lex(const std::string &source, Suppressions &supp)
             bool matched = false;
             for (const char *op : kMultiCharOps) {
                 if (two == op) {
-                    toks.push_back({TokKind::Punct, two, line});
+                    toks.push_back({TokKind::Punct, two, "", line, i});
                     i += 2;
                     matched = true;
                     break;
@@ -252,10 +311,10 @@ lex(const std::string &source, Suppressions &supp)
             if (matched)
                 continue;
         }
-        toks.push_back({TokKind::Punct, std::string(1, c), line});
+        toks.push_back({TokKind::Punct, std::string(1, c), "", line, i});
         ++i;
     }
-    return toks;
+    return out;
 }
 
 } // namespace lint3d

@@ -4,34 +4,52 @@
  *
  * A self-contained, tokenizer-based static analyzer (no libclang)
  * that enforces the project-specific rules the simulator's
- * bit-reproducibility guarantees depend on. Three rule families:
+ * bit-reproducibility guarantees depend on. Since v2 it is a
+ * whole-program analyzer with a two-pass architecture:
  *
- *  determinism  det-rand, det-wallclock, det-unordered-container,
- *               det-unordered-iter, det-float-reduce
- *  safety       safe-naked-new, safe-memcpy, safe-float-eq,
- *               safe-c-cast, safe-nodiscard
- *  concurrency  conc-global-mutable, conc-static-local,
- *               conc-thread-outside-exec
+ *  pass 1  per-file: lex, classify brace scopes, run the per-file
+ *          rules, and build a FileSummary (include edges, atomic
+ *          names and call sites, wire-schema functions, counter
+ *          registrations, suppression declarations). Files are
+ *          analyzed in parallel by worker threads; results are
+ *          merged in path order so output is byte-stable at any
+ *          thread count.
+ *  pass 2  whole-program: cross-file rules over the merged model —
+ *          arch-layering (the declared layer DAG), conc-atomic-order
+ *          (atomics resolved across headers), wire-schema-parity /
+ *          wire-digest-parity (toJson vs fromJson vs digest key
+ *          sets), obs-counter-name duplicate registration, and
+ *          lint-stale-suppression (suppressions that waived
+ *          nothing).
+ *
+ * Rule families: determinism (det-*), safety (safe-*), concurrency
+ * (conc-*), architecture (arch-*), wire schema (wire-*),
+ * observability (obs-*), hygiene (hyg-*), and lint self-hygiene
+ * (lint-*). `lint3d --list-rules --markdown` prints the generated
+ * catalog that DESIGN.md embeds.
  *
  * Configuration lives in a repo-root `.lint3d.toml` (scan paths,
- * per-rule severity / allow lists). Individual findings are
- * suppressed with `// lint3d: <rule>-ok` on the offending line, or
- * on a whole-line comment immediately above it. Findings emit as
- * human-readable text and as JSON for CI gating; the exit status is
- * non-zero when any unsuppressed error-severity finding remains.
+ * per-rule severity / allow lists, the `[layer.<name>]` DAG).
+ * Individual findings are suppressed with `// lint3d: <rule>-ok` on
+ * the offending line, or on a whole-line comment immediately above
+ * it. Findings emit as human-readable text, JSON, and SARIF 2.1.0;
+ * the exit status is non-zero when any unsuppressed error-severity
+ * finding remains.
  *
  * The analyzer is heuristic by design: it sees tokens, not types.
  * The rules are tuned so that everything they flag in this codebase
  * is either a real hazard or worth an explicit, named suppression.
  */
 
-#ifndef STACK3D_TOOLS_LINT3D_HH
-#define STACK3D_TOOLS_LINT3D_HH
+#ifndef STACK3D_TOOLS_LINT3D_LINT3D_HH
+#define STACK3D_TOOLS_LINT3D_LINT3D_HH
 
 #include <cstddef>
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lint3d {
@@ -43,8 +61,21 @@ enum class TokKind { Ident, Number, String, CharLit, Punct };
 struct Token
 {
     TokKind kind = TokKind::Punct;
+
+    /** Token spelling; String tokens lex as "\"\"" so literal
+     *  contents can never match a rule trigger word or confuse the
+     *  brace-scope classifier. */
     std::string text;
+
+    /** String tokens only: the literal's contents, quotes stripped
+     *  (the wire and counter rules inspect key spellings). */
+    std::string str;
+
     int line = 1;
+
+    /** Byte offset of the token's first character in the source —
+     *  what --fix edits anchor to. */
+    std::size_t off = 0;
 };
 
 /**
@@ -55,12 +86,43 @@ struct Token
 using Suppressions = std::map<int, std::set<std::string>>;
 
 /**
- * Tokenize C++ source. Comments, string/char literal *contents*, and
- * preprocessor directives never produce Ident/Punct tokens, so rule
- * trigger words inside them cannot match. Multi-character operators
- * (::, ->, ==, !=, <=, >=, &&, ||, <<, >>) lex as single tokens.
+ * One `// lint3d: <rule>-ok` marker as written in the source: where
+ * the comment sits and which lines it covers. Pass 2 compares these
+ * against the suppressions that actually fired to find stale ones.
  */
-std::vector<Token> lex(const std::string &source, Suppressions &supp);
+struct SuppressionDecl
+{
+    std::string rule;
+    int comment_line = 0;
+    /** Lines the marker covers (the comment line, +1 if whole-line). */
+    std::vector<int> lines;
+};
+
+/** One preprocessor directive (trimmed text, no leading '#'). */
+struct PpDirective
+{
+    int line = 0;
+    std::string text;
+};
+
+/** Everything the lexer extracts from one file. */
+struct LexOutput
+{
+    std::vector<Token> toks;
+    Suppressions supp;
+    std::vector<SuppressionDecl> supp_decls;
+    std::vector<PpDirective> pp;
+};
+
+/**
+ * Tokenize C++ source. Comments, char literal contents, and
+ * preprocessor directives never produce Ident/Punct tokens, so rule
+ * trigger words inside them cannot match (string literal *contents*
+ * are kept on the String token for the wire/counter rules, but never
+ * lex as identifiers). Multi-character operators (::, ->, ==, !=,
+ * <=, >=, &&, ||, <<, >>, [[, ]]) lex as single tokens.
+ */
+LexOutput lex(const std::string &source);
 
 /** Per-rule configuration. */
 struct RuleConfig
@@ -73,6 +135,26 @@ struct RuleConfig
 
     /** When non-empty, the rule only applies under these prefixes. */
     std::vector<std::string> paths;
+
+    /** wire-digest-parity: keys deliberately absent from the digest
+     *  (execution knobs like "threads" that must not affect cache
+     *  identity). */
+    std::vector<std::string> exclude_keys;
+
+    /** wire-digest-parity: schema pair stems whose keys must reach
+     *  the digest (e.g. "RunOptions"; spec pairs are covered because
+     *  the digest mixes their whole canonical JSON). */
+    std::vector<std::string> pairs;
+};
+
+/** One declared architecture layer (a `[layer.<name>]` section). */
+struct LayerConfig
+{
+    /** Path prefix owning the layer's files ("src/core"). */
+    std::string path;
+
+    /** Layers this one may include (transitive closure is taken). */
+    std::vector<std::string> deps;
 };
 
 /** The parsed `.lint3d.toml`. */
@@ -95,15 +177,18 @@ struct Config
 
     std::map<std::string, RuleConfig> rules;
 
+    /** The declared layer DAG (empty: arch-layering is inert). */
+    std::map<std::string, LayerConfig> layers;
+
     /** Effective config for @p rule (defaults when unconfigured). */
     const RuleConfig &ruleConfig(const std::string &rule) const;
 };
 
 /**
  * Parse the TOML subset lint3d understands: `key = value` pairs at
- * top level, `[rule.<name>]` sections, string / single-line string
- * array values, and # comments. @return false (with @p error set)
- * on malformed input.
+ * top level, `[rule.<name>]` / `[layer.<name>]` sections, string /
+ * single-line string array values, and # comments. @return false
+ * (with @p error set) on malformed input.
  */
 [[nodiscard]] bool parseConfig(const std::string &text, Config &out,
                                std::string &error);
@@ -124,29 +209,146 @@ struct Finding
             return file < other.file;
         if (line != other.line)
             return line < other.line;
-        return rule < other.rule;
+        if (rule != other.rule)
+            return rule < other.rule;
+        return message < other.message;
     }
 };
 
-/** Result of analyzing one file. */
+/** One mechanical edit --fix can apply (replace [off, off+len)). */
+struct FixEdit
+{
+    std::string file;
+    std::size_t off = 0;
+    std::size_t len = 0;
+    std::string replacement;
+    std::string rule;
+
+    bool
+    operator<(const FixEdit &other) const
+    {
+        if (file != other.file)
+            return file < other.file;
+        return off < other.off;
+    }
+};
+
+/** One `#include "..."` edge out of a file. */
+struct IncludeEdge
+{
+    std::string target;   ///< the include string, verbatim
+    int line = 0;
+};
+
+/** One member call on a (possibly) atomic object. */
+struct AtomicSite
+{
+    std::string object;   ///< identifier before '.'/'->' ("" unknown)
+    std::string method;   ///< load/store/fetch_*/compare_exchange_*
+    int line = 0;
+    bool has_order = false;   ///< names a std::memory_order argument
+    bool empty_args = false;
+    std::size_t close_off = 0;   ///< offset of the call's ')'
+};
+
+/** Key sets of one wire-schema function (write*Json / parse*). */
+struct SchemaFn
+{
+    std::string name;
+    int line = 0;
+    /** JSON keys emitted (w.key("...")) or consumed (read*("...")). */
+    std::vector<std::pair<std::string, int>> keys;
+    /** All identifiers in the body (digest membership checks). */
+    std::set<std::string> idents;
+};
+
+/** One obs instrument registration (registerHistogram). */
+struct CounterReg
+{
+    std::string name;
+    int line = 0;
+};
+
+/** Result of analyzing one file: findings plus the pass-2 summary. */
 struct FileReport
 {
     std::vector<Finding> findings;
     std::size_t suppressed = 0;
+    std::vector<FixEdit> fixes;
+
+    // --- whole-program summary ---------------------------------------
+    std::string path;
+    std::vector<IncludeEdge> includes;
+    std::set<std::string> atomic_names;
+    std::vector<AtomicSite> atomic_sites;
+    std::vector<SchemaFn> schema_fns;
+    std::vector<CounterReg> counter_regs;
+    Suppressions supp;
+    std::vector<SuppressionDecl> supp_decls;
+    /** (line, rule) suppressions that fired during pass 1. */
+    std::set<std::pair<int, std::string>> supp_used;
 };
 
 /**
- * Run every enabled rule over one tokenized file. @p path must be
- * the root-relative path with '/' separators (used for allow-list
- * and paths matching).
+ * Pass 1: run every per-file rule over one lexed file and collect
+ * its whole-program summary. @p path must be the root-relative path
+ * with '/' separators (used for allow-list and paths matching).
  */
-FileReport analyzeFile(const std::string &path,
-                       const std::vector<Token> &toks,
-                       const Suppressions &supp, const Config &cfg);
+FileReport analyzeFile(const std::string &path, const LexOutput &lexed,
+                       const Config &cfg);
+
+/**
+ * Pass 2: cross-file rules over every pass-1 summary (which must be
+ * in path order). Emits findings/fixes into the reports' owning
+ * entries and finally resolves lint-stale-suppression.
+ */
+void analyzeProgram(std::vector<FileReport> &reports,
+                    const Config &cfg);
+
+/** One catalog entry: rule metadata for --list-rules and SARIF. */
+struct RuleInfo
+{
+    const char *name;
+    const char *family;
+    /** True for whole-program (pass 2) rules. */
+    bool cross_file;
+    /** True when --fix can mechanically repair findings. */
+    bool fixable;
+    const char *summary;
+};
+
+/** The full rule catalog, in stable display order. */
+const std::vector<RuleInfo> &ruleCatalog();
 
 /** Names of all implemented rules (for --list-rules and tests). */
 const std::vector<std::string> &allRules();
 
+// --- report writers (report.cc) ---------------------------------------
+
+/** The stable machine-readable JSON report (version 2). */
+void writeJsonReport(std::ostream &os,
+                     const std::vector<Finding> &findings,
+                     std::size_t files_scanned, std::size_t suppressed);
+
+/** SARIF 2.1.0 (GitHub code scanning ingestible). */
+void writeSarifReport(std::ostream &os,
+                      const std::vector<Finding> &findings);
+
+/** The --list-rules --markdown catalog table. */
+void writeRuleCatalogMarkdown(std::ostream &os, const Config &cfg);
+
+// --- autofix (fix.cc) --------------------------------------------------
+
+/**
+ * Apply every fix edit attached to @p reports, rewriting files under
+ * @p root in place. Edits apply in descending offset order per file;
+ * overlapping edits are skipped with a warning. @return the number
+ * of edits applied (@p files_changed counts rewritten files).
+ */
+std::size_t applyFixes(const std::string &root,
+                       const std::vector<FileReport> &reports,
+                       std::size_t &files_changed);
+
 } // namespace lint3d
 
-#endif // STACK3D_TOOLS_LINT3D_HH
+#endif // STACK3D_TOOLS_LINT3D_LINT3D_HH

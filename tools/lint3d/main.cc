@@ -1,21 +1,33 @@
 /**
  * @file
  * lint3d entry point: load `.lint3d.toml`, walk the configured
- * directories, run every rule over every C++ source file, and report
- * findings as text and/or JSON. Exit status 1 when any unsuppressed
- * error-severity finding remains — the CI gate.
+ * directories, run pass 1 (per-file rules + summaries) on a worker
+ * pool, merge in path order, run pass 2 (whole-program rules), and
+ * report findings as text, JSON, and/or SARIF. Exit status 1 when
+ * any unsuppressed error-severity finding remains — the CI gate.
  *
  *   lint3d --root . --config .lint3d.toml
  *   lint3d --root . --json                # machine-readable findings
  *   lint3d --root . --json-out out.json   # text + JSON file
- *   lint3d --list-rules
+ *   lint3d --root . --sarif out.sarif     # + SARIF 2.1.0 file
+ *   lint3d --root . --threads 8           # pass-1 worker count
+ *   lint3d --root . --diff HEAD~1         # changed-lines mode
+ *   lint3d --root . --fix                 # apply mechanical fixes
+ *   lint3d --list-rules [--markdown]
+ *
+ * Timing goes to stderr so stdout reports stay byte-identical run
+ * to run (the determinism gate diffs them at several thread counts).
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "lint3d.hh"
 
@@ -30,9 +42,17 @@ usage(std::ostream &os)
     os << "usage: lint3d [options] [path-prefix...]\n"
           "  --root DIR      scan root (default: .)\n"
           "  --config FILE   config (default: <root>/.lint3d.toml)\n"
+          "  --threads N     pass-1 worker threads (default: "
+          "hardware)\n"
           "  --json          print findings as JSON to stdout\n"
           "  --json-out F    also write the JSON report to F\n"
+          "  --sarif F       also write a SARIF 2.1.0 report to F\n"
+          "  --diff REF      only report findings on lines changed "
+          "since git REF\n"
+          "  --fix           apply mechanical fixes in place\n"
           "  --list-rules    print every implemented rule and exit\n"
+          "  --markdown      with --list-rules: the DESIGN.md "
+          "catalog table\n"
           "Positional path prefixes replace the configured scan "
           "paths.\n";
 }
@@ -49,53 +69,6 @@ readFile(const fs::path &path, std::string &out)
     return true;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
-
-void
-writeJsonReport(std::ostream &os, const std::vector<Finding> &findings,
-                std::size_t files_scanned, std::size_t suppressed)
-{
-    os << "{\n";
-    os << "  \"version\": 1,\n";
-    os << "  \"files_scanned\": " << files_scanned << ",\n";
-    os << "  \"suppressed\": " << suppressed << ",\n";
-    os << "  \"findings\": [";
-    for (std::size_t i = 0; i < findings.size(); ++i) {
-        const Finding &f = findings[i];
-        os << (i ? "," : "") << "\n    {\"file\": \""
-           << jsonEscape(f.file) << "\", \"line\": " << f.line
-           << ", \"rule\": \"" << f.rule << "\", \"severity\": \""
-           << f.severity << "\", \"message\": \""
-           << jsonEscape(f.message) << "\"}";
-    }
-    os << (findings.empty() ? "" : "\n  ") << "]\n";
-    os << "}\n";
-}
-
 /** Root-relative path with '/' separators on every platform. */
 std::string
 relPath(const fs::path &file, const fs::path &root)
@@ -103,6 +76,77 @@ relPath(const fs::path &file, const fs::path &root)
     std::error_code ec;
     fs::path rel = fs::relative(file, root, ec);
     return (ec ? file : rel).generic_string();
+}
+
+/**
+ * Changed lines per file since @p ref, from `git diff -U0`. Only
+ * used by --diff, which is a local-workflow accelerator: the CI
+ * gate always scans everything.
+ */
+[[nodiscard]] bool
+changedLines(const fs::path &root, const std::string &ref,
+             std::map<std::string, std::set<int>> &out)
+{
+    for (char c : ref) {
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                  c == '_' || c == '.' || c == '/' || c == '~' ||
+                  c == '^' || c == '-';
+        if (!ok) {
+            std::cerr << "lint3d: --diff: suspicious ref '" << ref
+                      << "'\n";
+            return false;
+        }
+    }
+    std::string cmd = "git -C '" + root.string() +
+                      "' diff -U0 --no-color " + ref + " 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        std::cerr << "lint3d: --diff: cannot run git\n";
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        text.append(buf, got);
+    int status = pclose(pipe);
+    if (status != 0) {
+        std::cerr << "lint3d: --diff: git diff against '" << ref
+                  << "' failed\n";
+        return false;
+    }
+
+    std::istringstream in(text);
+    std::string lineText;
+    std::string file;
+    while (std::getline(in, lineText)) {
+        if (lineText.rfind("+++ b/", 0) == 0) {
+            file = lineText.substr(6);
+            continue;
+        }
+        if (lineText.rfind("@@", 0) != 0 || file.empty())
+            continue;
+        // @@ -a[,b] +c[,d] @@ — the new-file range is +c,d.
+        std::size_t plus = lineText.find('+');
+        if (plus == std::string::npos)
+            continue;
+        int start = 0, count = 1;
+        std::size_t p = plus + 1;
+        while (p < lineText.size() &&
+               std::isdigit(static_cast<unsigned char>(lineText[p])))
+            start = start * 10 + (lineText[p++] - '0');
+        if (p < lineText.size() && lineText[p] == ',') {
+            ++p;
+            count = 0;
+            while (p < lineText.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(lineText[p])))
+                count = count * 10 + (lineText[p++] - '0');
+        }
+        for (int l = start; l < start + count; ++l)
+            out[file].insert(l);
+    }
+    return true;
 }
 
 } // namespace
@@ -113,7 +157,13 @@ main(int argc, char **argv)
     fs::path root = ".";
     fs::path config_path;
     bool json_stdout = false;
+    bool list_rules = false;
+    bool markdown = false;
+    bool fix = false;
     std::string json_out;
+    std::string sarif_out;
+    std::string diff_ref;
+    unsigned threads = std::thread::hardware_concurrency();
     std::vector<std::string> override_paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -134,10 +184,20 @@ main(int argc, char **argv)
             json_stdout = true;
         } else if (arg == "--json-out") {
             json_out = value("--json-out");
+        } else if (arg == "--sarif") {
+            sarif_out = value("--sarif");
+        } else if (arg == "--diff") {
+            diff_ref = value("--diff");
+        } else if (arg == "--fix") {
+            fix = true;
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(
+                std::strtoul(value("--threads").c_str(), nullptr,
+                             10));
         } else if (arg == "--list-rules") {
-            for (const std::string &r : allRules())
-                std::cout << r << "\n";
-            return 0;
+            list_rules = true;
+        } else if (arg == "--markdown") {
+            markdown = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
@@ -149,6 +209,8 @@ main(int argc, char **argv)
             override_paths.push_back(arg);
         }
     }
+    if (threads == 0)
+        threads = 1;
 
     Config cfg;
     if (config_path.empty()) {
@@ -172,6 +234,21 @@ main(int argc, char **argv)
     }
     if (!override_paths.empty())
         cfg.paths = override_paths;
+
+    if (list_rules) {
+        if (markdown) {
+            writeRuleCatalogMarkdown(std::cout, cfg);
+        } else {
+            for (const std::string &r : allRules())
+                std::cout << r << "\n";
+        }
+        return 0;
+    }
+
+    std::map<std::string, std::set<int>> diff_lines;
+    if (!diff_ref.empty() &&
+        !changedLines(root, diff_ref, diff_lines))
+        return 2;
 
     // Collect the files to scan, sorted for deterministic output.
     std::vector<fs::path> files;
@@ -214,22 +291,81 @@ main(int argc, char **argv)
     std::sort(rels.begin(), rels.end());
     rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
 
+    // --- pass 1: per-file analysis on a worker pool ------------------
+    // Workers claim indices from an atomic counter and write into
+    // their own slot, so the merged order is the sorted path order
+    // regardless of scheduling — output is byte-stable at any
+    // thread count.
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<FileReport> reports(rels.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> io_error{false};
+    unsigned workers = std::min<std::size_t>(
+        threads, rels.empty() ? 1 : rels.size());
+
+    auto worker = [&] {
+        while (true) {
+            // relaxed: the claimed index is the only shared state,
+            // and the joins below publish the slots themselves.
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= rels.size())
+                return;
+            std::string source;
+            if (!readFile(root / rels[i], source)) {
+                io_error.store(true, std::memory_order_relaxed);
+                continue;
+            }
+            reports[i] = analyzeFile(rels[i], lex(source), cfg);
+        }
+    };
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    if (io_error.load(std::memory_order_relaxed)) {
+        std::cerr << "lint3d: failed to read one or more files\n";
+        return 2;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    // --- pass 2: whole-program rules ---------------------------------
+    analyzeProgram(reports, cfg);
+    auto t2 = std::chrono::steady_clock::now();
+
+    if (fix) {
+        std::size_t files_changed = 0;
+        std::size_t applied =
+            applyFixes(root.string(), reports, files_changed);
+        std::cerr << "lint3d: --fix applied " << applied
+                  << " edits in " << files_changed << " files\n";
+    }
+
     std::vector<Finding> findings;
     std::size_t suppressed = 0;
-    for (const std::string &rel : rels) {
-        std::string source;
-        if (!readFile(root / rel, source)) {
-            std::cerr << "lint3d: cannot read '" << rel << "'\n";
-            return 2;
-        }
-        Suppressions supp;
-        std::vector<Token> toks = lex(source, supp);
-        FileReport rep = analyzeFile(rel, toks, supp, cfg);
+    for (const FileReport &rep : reports) {
         suppressed += rep.suppressed;
         findings.insert(findings.end(), rep.findings.begin(),
                         rep.findings.end());
     }
     std::sort(findings.begin(), findings.end());
+
+    if (!diff_ref.empty()) {
+        findings.erase(
+            std::remove_if(findings.begin(), findings.end(),
+                           [&](const Finding &f) {
+                               auto it = diff_lines.find(f.file);
+                               return it == diff_lines.end() ||
+                                      !it->second.count(f.line);
+                           }),
+            findings.end());
+    }
 
     std::size_t errors = 0, warnings = 0;
     for (const Finding &f : findings)
@@ -255,5 +391,24 @@ main(int argc, char **argv)
         }
         writeJsonReport(out, findings, rels.size(), suppressed);
     }
+    if (!sarif_out.empty()) {
+        std::ofstream out(sarif_out, std::ios::trunc);
+        if (!out) {
+            std::cerr << "lint3d: cannot write '" << sarif_out
+                      << "'\n";
+            return 2;
+        }
+        writeSarifReport(out, findings);
+    }
+
+    auto ms = [](auto a, auto b) {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   b - a)
+            .count();
+    };
+    std::cerr << "lint3d: pass1 " << ms(t0, t1) << " ms ("
+              << workers << " threads), pass2 " << ms(t1, t2)
+              << " ms, " << rels.size() << " files\n";
+
     return errors > 0 ? 1 : 0;
 }

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * lint3d pass 2: whole-program rules over the merged per-file
+ * summaries. Everything here is pure computation over pass-1 data —
+ * no filesystem access — so the result is a function of the scanned
+ * file set alone and stays byte-stable at any pass-1 thread count.
+ *
+ * Rules:
+ *  - arch-layering: every resolved `#include "..."` edge must follow
+ *    the layer DAG declared in `[layer.*]` config sections (own
+ *    layer, or the transitive closure of declared deps).
+ *  - conc-atomic-order: atomic member calls must name an explicit
+ *    std::memory_order. Atomic object names are unioned across all
+ *    files (declared in headers, used in .cc files); the
+ *    atomic-specific methods (fetch_*, compare_exchange_*) are
+ *    checked even when the object cannot be resolved.
+ *  - wire-schema-parity: for each same-file write<Stem>Json /
+ *    parse<Stem> pair, the emitted and parsed JSON key sets must
+ *    match.
+ *  - wire-digest-parity: for configured pair stems, every emitted
+ *    wire key must feed the request digest (appear inside an
+ *    identifier of a *Digest* function in the same file) or be named
+ *    in `exclude_keys`.
+ *  - obs-counter-name (cross-file half): a histogram name is
+ *    registered at most once in the whole program.
+ *  - lint-stale-suppression: resolved last, after every other rule
+ *    has had the chance to consume suppressions.
+ */
+
+#include "lint3d.hh"
+
+#include <algorithm>
+
+namespace lint3d {
+
+namespace {
+
+bool
+underAny(const std::string &path,
+         const std::vector<std::string> &prefixes)
+{
+    for (const std::string &p : prefixes) {
+        if (p.empty())
+            continue;
+        if (path.compare(0, p.size(), p) == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** Finding sink for pass 2 — same gating as pass 1's Analysis. */
+struct ProgramEmitter
+{
+    std::vector<FileReport> &reports;
+    const Config &cfg;
+    std::map<std::string, std::size_t> index;
+
+    explicit
+    ProgramEmitter(std::vector<FileReport> &reports_,
+                   const Config &cfg_)
+        : reports(reports_), cfg(cfg_)
+    {
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            index[reports[i].path] = i;
+    }
+
+    FileReport &
+    reportFor(const std::string &path)
+    {
+        return reports[index.at(path)];
+    }
+
+    bool
+    emit(const std::string &path, int line, const std::string &rule,
+         const std::string &msg)
+    {
+        const RuleConfig &rc = cfg.ruleConfig(rule);
+        if (rc.severity == "off")
+            return false;
+        if (underAny(path, rc.allow))
+            return false;
+        if (!rc.paths.empty() && !underAny(path, rc.paths))
+            return false;
+        FileReport &report = reportFor(path);
+        auto it = report.supp.find(line);
+        if (it != report.supp.end() && it->second.count(rule)) {
+            ++report.suppressed;
+            report.supp_used.insert({line, rule});
+            return false;
+        }
+        report.findings.push_back(
+            {path, line, rule, rc.severity, msg});
+        return true;
+    }
+};
+
+// --- arch-layering -----------------------------------------------------
+
+/** Layer owning @p path: longest declared path-prefix match. */
+std::string
+layerOf(const std::string &path, const Config &cfg)
+{
+    std::string best;
+    std::size_t best_len = 0;
+    for (const auto &entry : cfg.layers) {
+        const std::string &prefix = entry.second.path;
+        bool match = path == prefix ||
+                     (path.size() > prefix.size() &&
+                      startsWith(path, prefix + "/"));
+        if (match && prefix.size() >= best_len) {
+            best = entry.first;
+            best_len = prefix.size();
+        }
+    }
+    return best;
+}
+
+/** Transitive closure of the declared deps (fixpoint; cycle-safe). */
+std::map<std::string, std::set<std::string>>
+layerClosure(const Config &cfg)
+{
+    std::map<std::string, std::set<std::string>> closure;
+    for (const auto &entry : cfg.layers) {
+        closure[entry.first].insert(entry.second.deps.begin(),
+                                    entry.second.deps.end());
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &entry : closure) {
+            std::set<std::string> next = entry.second;
+            for (const std::string &dep : entry.second) {
+                const std::set<std::string> &sub = closure[dep];
+                next.insert(sub.begin(), sub.end());
+            }
+            if (next.size() != entry.second.size()) {
+                entry.second = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    return closure;
+}
+
+/**
+ * Resolve an include string against the scanned file set: relative
+ * to the including file's directory first (how the build's include
+ * paths work for sibling headers), then the src/ root, then the repo
+ * root. Unresolved includes (system headers) are outside the DAG.
+ */
+std::string
+resolveInclude(const std::string &includer, const std::string &inc,
+               const std::set<std::string> &files)
+{
+    std::size_t slash = includer.rfind('/');
+    if (slash != std::string::npos) {
+        std::string sibling = includer.substr(0, slash + 1) + inc;
+        if (files.count(sibling))
+            return sibling;
+    }
+    if (files.count("src/" + inc))
+        return "src/" + inc;
+    if (files.count(inc))
+        return inc;
+    return "";
+}
+
+void
+checkLayering(ProgramEmitter &em)
+{
+    if (em.cfg.layers.empty())
+        return;
+    std::set<std::string> files;
+    for (const FileReport &r : em.reports)
+        files.insert(r.path);
+    auto closure = layerClosure(em.cfg);
+
+    for (std::size_t i = 0; i < em.reports.size(); ++i) {
+        const FileReport &r = em.reports[i];
+        std::string from = layerOf(r.path, em.cfg);
+        if (from.empty())
+            continue; // outside the DAG (tests, bench, examples)
+        for (const IncludeEdge &edge : r.includes) {
+            std::string target =
+                resolveInclude(r.path, edge.target, files);
+            if (target.empty())
+                continue;
+            std::string to = layerOf(target, em.cfg);
+            if (to.empty() || to == from)
+                continue;
+            if (closure[from].count(to))
+                continue;
+            std::string deps;
+            for (const std::string &d :
+                 em.cfg.layers.at(from).deps) {
+                deps += deps.empty() ? d : ", " + d;
+            }
+            em.emit(r.path, edge.line, "arch-layering",
+                    "include of \"" + edge.target +
+                    "\" crosses the layer DAG: layer '" + from +
+                    "' may not depend on '" + to +
+                    "' (declared deps: " +
+                    (deps.empty() ? "none" : deps) + ")");
+        }
+    }
+}
+
+// --- conc-atomic-order -------------------------------------------------
+
+bool
+distinctiveAtomicMethod(const std::string &m)
+{
+    return startsWith(m, "fetch_") ||
+           startsWith(m, "compare_exchange_");
+}
+
+void
+checkAtomicOrder(ProgramEmitter &em)
+{
+    std::set<std::string> atomics;
+    for (const FileReport &r : em.reports)
+        atomics.insert(r.atomic_names.begin(), r.atomic_names.end());
+
+    for (std::size_t i = 0; i < em.reports.size(); ++i) {
+        // Collect first: emitting appends to this report's vectors.
+        std::vector<AtomicSite> sites = em.reports[i].atomic_sites;
+        std::string path = em.reports[i].path;
+        for (const AtomicSite &site : sites) {
+            if (site.has_order)
+                continue;
+            bool known = !site.object.empty() &&
+                         atomics.count(site.object);
+            if (!known && !distinctiveAtomicMethod(site.method))
+                continue;
+            if (!em.emit(path, site.line, "conc-atomic-order",
+                         "atomic '" +
+                         (site.object.empty() ? std::string("<expr>")
+                                              : site.object) +
+                         "." + site.method + "' relies on the "
+                         "implicit seq_cst default; name the "
+                         "memory_order (and why) explicitly"))
+                continue;
+            // --fix: make the default explicit. Never changes
+            // behavior — seq_cst was already the semantics.
+            em.reportFor(path).fixes.push_back(
+                {path, site.close_off, 0,
+                 site.empty_args
+                     ? std::string("std::memory_order_seq_cst")
+                     : std::string(", std::memory_order_seq_cst"),
+                 "conc-atomic-order"});
+        }
+    }
+}
+
+// --- wire-schema-parity / wire-digest-parity ---------------------------
+
+std::string
+writerStem(const std::string &name)
+{
+    // write<Stem>Json
+    if (startsWith(name, "write") && name.size() > 9 &&
+        name.compare(name.size() - 4, 4, "Json") == 0)
+        return name.substr(5, name.size() - 9);
+    return "";
+}
+
+std::string
+readerStem(const std::string &name)
+{
+    if (startsWith(name, "parse") && name.size() > 5)
+        return name.substr(5);
+    return "";
+}
+
+bool
+isDigestFn(const std::string &name)
+{
+    return name.find("Digest") != std::string::npos ||
+           name.find("digest") != std::string::npos;
+}
+
+std::set<std::string>
+keyNames(const SchemaFn &fn)
+{
+    std::set<std::string> names;
+    for (const auto &k : fn.keys)
+        names.insert(k.first);
+    return names;
+}
+
+void
+checkWireSchema(ProgramEmitter &em)
+{
+    const RuleConfig &digest_rc =
+        em.cfg.ruleConfig("wire-digest-parity");
+
+    for (std::size_t i = 0; i < em.reports.size(); ++i) {
+        // Copy: emitting appends to this report's finding vector.
+        std::vector<SchemaFn> fns = em.reports[i].schema_fns;
+        std::string path = em.reports[i].path;
+
+        std::map<std::string, const SchemaFn *> writers, readers;
+        std::vector<const SchemaFn *> digests;
+        for (const SchemaFn &fn : fns) {
+            std::string w = writerStem(fn.name);
+            if (!w.empty())
+                writers[w] = &fn;
+            std::string r = readerStem(fn.name);
+            if (!r.empty())
+                readers[r] = &fn;
+            if (isDigestFn(fn.name))
+                digests.push_back(&fn);
+        }
+
+        for (const auto &entry : writers) {
+            auto rit = readers.find(entry.first);
+            if (rit == readers.end())
+                continue; // write-only (result emission): no parity
+            const SchemaFn &w = *entry.second;
+            const SchemaFn &r = *rit->second;
+            std::set<std::string> wkeys = keyNames(w);
+            std::set<std::string> rkeys = keyNames(r);
+            for (const auto &k : w.keys) {
+                if (!rkeys.count(k.first)) {
+                    em.emit(path, k.second, "wire-schema-parity",
+                            "key \"" + k.first + "\" is emitted by " +
+                            w.name + " but never parsed by " +
+                            r.name + " — the field will not survive "
+                            "a round trip");
+                }
+            }
+            for (const auto &k : r.keys) {
+                if (!wkeys.count(k.first)) {
+                    em.emit(path, k.second, "wire-schema-parity",
+                            "key \"" + k.first + "\" is parsed by " +
+                            r.name + " but never emitted by " +
+                            w.name + " — dead wire field or a "
+                            "misspelled writer key");
+                }
+            }
+        }
+
+        // Digest parity for the configured pair stems.
+        for (const std::string &stem : digest_rc.pairs) {
+            auto wit = writers.find(stem);
+            if (wit == writers.end() || digests.empty())
+                continue;
+            for (const auto &k : wit->second->keys) {
+                bool excluded = std::find(
+                    digest_rc.exclude_keys.begin(),
+                    digest_rc.exclude_keys.end(),
+                    k.first) != digest_rc.exclude_keys.end();
+                if (excluded)
+                    continue;
+                bool in_digest = false;
+                for (const SchemaFn *d : digests) {
+                    for (const std::string &ident : d->idents) {
+                        if (ident.find(k.first) !=
+                            std::string::npos) {
+                            in_digest = true;
+                            break;
+                        }
+                    }
+                    if (in_digest)
+                        break;
+                }
+                if (!in_digest) {
+                    em.emit(path, k.second, "wire-digest-parity",
+                            "wire key \"" + k.first + "\" of " +
+                            wit->second->name + " never reaches the "
+                            "request digest — two requests differing "
+                            "only in it would share a cache entry; "
+                            "mix it into the digest or name it in "
+                            "exclude_keys with a rationale");
+                }
+            }
+        }
+    }
+}
+
+// --- obs-counter-name (duplicate registration) -------------------------
+
+void
+checkCounterDup(ProgramEmitter &em)
+{
+    struct Site { std::string path; int line; };
+    std::map<std::string, std::vector<Site>> regs;
+    for (const FileReport &r : em.reports) {
+        for (const CounterReg &reg : r.counter_regs)
+            regs[reg.name].push_back({r.path, reg.line});
+    }
+    for (const auto &entry : regs) {
+        if (entry.second.size() < 2)
+            continue;
+        const Site &first = entry.second.front();
+        for (std::size_t i = 1; i < entry.second.size(); ++i) {
+            const Site &s = entry.second[i];
+            em.emit(s.path, s.line, "obs-counter-name",
+                    "histogram \"" + entry.first + "\" is already "
+                    "registered at " + first.path + ":" +
+                    std::to_string(first.line) + "; instrument "
+                    "names must be unique program-wide");
+        }
+    }
+}
+
+// --- lint-stale-suppression --------------------------------------------
+
+void
+checkStaleSuppressions(ProgramEmitter &em)
+{
+    const std::vector<std::string> &known = allRules();
+    auto is_known = [&](const std::string &rule) {
+        return std::find(known.begin(), known.end(), rule) !=
+               known.end();
+    };
+
+    // Two sweeps: resolve markers for every other rule first, so a
+    // marker that waives a stale-suppression finding registers as
+    // used before its own staleness is judged.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        for (std::size_t i = 0; i < em.reports.size(); ++i) {
+            std::vector<SuppressionDecl> decls =
+                em.reports[i].supp_decls;
+            std::string path = em.reports[i].path;
+            for (const SuppressionDecl &decl : decls) {
+                bool own_rule =
+                    decl.rule == "lint-stale-suppression";
+                if (own_rule != (sweep == 1))
+                    continue;
+                if (!is_known(decl.rule)) {
+                    em.emit(path, decl.comment_line,
+                            "lint-stale-suppression",
+                            "suppression names unknown rule '" +
+                            decl.rule + "' — typo, or the rule was "
+                            "removed");
+                    continue;
+                }
+                const FileReport &r = em.reports[i];
+                bool used = false;
+                for (int covered : decl.lines) {
+                    if (r.supp_used.count({covered, decl.rule})) {
+                        used = true;
+                        break;
+                    }
+                }
+                if (!used) {
+                    em.emit(path, decl.comment_line,
+                            "lint-stale-suppression",
+                            "'" + decl.rule + "-ok' suppresses "
+                            "nothing here — the finding moved or "
+                            "was fixed; delete the marker");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+analyzeProgram(std::vector<FileReport> &reports, const Config &cfg)
+{
+    ProgramEmitter em(reports, cfg);
+    checkLayering(em);
+    checkAtomicOrder(em);
+    checkWireSchema(em);
+    checkCounterDup(em);
+    // Last: every other rule must have consumed its suppressions.
+    checkStaleSuppressions(em);
+
+    for (FileReport &r : reports)
+        std::sort(r.findings.begin(), r.findings.end());
+}
+
+} // namespace lint3d

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * lint3d report writers. All three formats are emitted from the same
+ * sorted finding list, with no timestamps or absolute paths, so a
+ * given tree always produces byte-identical reports (the determinism
+ * gate in tests/ diffs two runs at different thread counts).
+ */
+
+#include "lint3d.hh"
+
+#include <ostream>
+
+namespace lint3d {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeJsonReport(std::ostream &os, const std::vector<Finding> &findings,
+                std::size_t files_scanned, std::size_t suppressed)
+{
+    os << "{\n";
+    os << "  \"version\": 2,\n";
+    os << "  \"files_scanned\": " << files_scanned << ",\n";
+    os << "  \"suppressed\": " << suppressed << ",\n";
+    os << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"file\": \"" << jsonEscape(f.file)
+           << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << jsonEscape(f.rule)
+           << "\", \"severity\": \"" << jsonEscape(f.severity)
+           << "\", \"message\": \"" << jsonEscape(f.message)
+           << "\"}";
+    }
+    os << (findings.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+}
+
+void
+writeSarifReport(std::ostream &os, const std::vector<Finding> &findings)
+{
+    os << "{\n";
+    os << "  \"$schema\": \"https://raw.githubusercontent.com/"
+          "oasis-tcs/sarif-spec/master/Schemata/"
+          "sarif-schema-2.1.0.json\",\n";
+    os << "  \"version\": \"2.1.0\",\n";
+    os << "  \"runs\": [\n";
+    os << "    {\n";
+    os << "      \"tool\": {\n";
+    os << "        \"driver\": {\n";
+    os << "          \"name\": \"lint3d\",\n";
+    os << "          \"version\": \"2.0.0\",\n";
+    os << "          \"informationUri\": "
+          "\"https://example.invalid/stack3d/lint3d\",\n";
+    os << "          \"rules\": [";
+    const std::vector<RuleInfo> &catalog = ruleCatalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const RuleInfo &info = catalog[i];
+        os << (i ? ",\n            " : "\n            ");
+        os << "{\"id\": \"" << info.name
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(info.summary) << "\"}, "
+           << "\"properties\": {\"family\": \"" << info.family
+           << "\"}}";
+    }
+    os << "\n          ]\n";
+    os << "        }\n";
+    os << "      },\n";
+    os << "      \"results\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? ",\n        " : "\n        ");
+        os << "{\"ruleId\": \"" << jsonEscape(f.rule)
+           << "\", \"level\": \""
+           << (f.severity == "error" ? "error" : "warning")
+           << "\", \"message\": {\"text\": \""
+           << jsonEscape(f.message) << "\"}, "
+           << "\"locations\": [{\"physicalLocation\": "
+           << "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(f.file)
+           << "\", \"uriBaseId\": \"%SRCROOT%\"}, "
+           << "\"region\": {\"startLine\": " << f.line << "}}}]}";
+    }
+    os << (findings.empty() ? "]\n" : "\n      ]\n");
+    os << "    }\n";
+    os << "  ]\n";
+    os << "}\n";
+}
+
+void
+writeRuleCatalogMarkdown(std::ostream &os, const Config &cfg)
+{
+    os << "| Rule | Family | Pass | `--fix` | Severity | "
+          "What it flags |\n";
+    os << "| --- | --- | --- | --- | --- | --- |\n";
+    for (const RuleInfo &info : ruleCatalog()) {
+        const RuleConfig &rc = cfg.ruleConfig(info.name);
+        os << "| `" << info.name << "` | " << info.family << " | "
+           << (info.cross_file ? "program" : "file") << " | "
+           << (info.fixable ? "yes" : "—") << " | " << rc.severity
+           << " | " << info.summary << " |\n";
+    }
+}
+
+} // namespace lint3d

@@ -1,9 +1,13 @@
 /**
  * @file
- * The lint3d rule passes. Each rule is a focused scan over the token
- * stream; a shared pre-pass computes, per token, the innermost brace
- * scope (namespace / class / function / initializer) and the paren
- * nesting depth, which is all the "parsing" the rules need.
+ * The lint3d pass-1 (per-file) rule passes and summary collectors.
+ * Each rule is a focused scan over the token stream; a shared
+ * pre-pass computes, per token, the innermost brace scope
+ * (namespace / class / function / initializer) and the paren nesting
+ * depth, which is all the "parsing" the rules need. Alongside the
+ * findings, pass 1 collects the whole-program summary (include
+ * edges, atomic names and call sites, wire-schema key sets, counter
+ * registrations) that program.cc's cross-file rules consume.
  *
  * Heuristics are deliberately conservative about what they claim:
  * every rule documents its blind spots in DESIGN.md. When a rule and
@@ -12,6 +16,8 @@
  */
 
 #include "lint3d.hh"
+
+#include <algorithm>
 
 namespace lint3d {
 
@@ -144,16 +150,21 @@ endsWith(const std::string &s, const std::string &suffix)
                      suffix) == 0;
 }
 
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
 /** Everything one rule pass needs, plus the finding sink. */
 struct Analysis
 {
     const std::string &path;
     const std::vector<Token> &t;
-    const Suppressions &supp;
     const Config &cfg;
     Context ctx;
     bool header = false;
-    FileReport report;
+    FileReport &report;
 
     const std::string &
     text(std::size_t i) const
@@ -162,23 +173,30 @@ struct Analysis
         return i < t.size() ? t[i].text : empty;
     }
 
-    void
+    /**
+     * Report a finding unless the rule is off / path-exempt /
+     * suppressed. @return true when the finding was recorded (so
+     * callers only attach --fix edits to live findings).
+     */
+    bool
     emit(int line, const std::string &rule, const std::string &msg)
     {
         const RuleConfig &rc = cfg.ruleConfig(rule);
         if (rc.severity == "off")
-            return;
+            return false;
         if (underAny(path, rc.allow))
-            return;
+            return false;
         if (!rc.paths.empty() && !underAny(path, rc.paths))
-            return;
-        auto it = supp.find(line);
-        if (it != supp.end() && it->second.count(rule)) {
+            return false;
+        auto it = report.supp.find(line);
+        if (it != report.supp.end() && it->second.count(rule)) {
             ++report.suppressed;
-            return;
+            report.supp_used.insert({line, rule});
+            return false;
         }
         report.findings.push_back(
             {path, line, rule, rc.severity, msg});
+        return true;
     }
 };
 
@@ -459,10 +477,47 @@ safeCCast(Analysis &a)
                        next.text == "(";
         if (!operand || types.count(next.text))
             continue;
-        a.emit(a.t[i].line, "safe-c-cast",
-               "C-style cast; use static_cast (or the T(x) "
-               "functional form) so conversions stay searchable "
-               "and checked");
+        if (!a.emit(a.t[i].line, "safe-c-cast",
+                    "C-style cast; use static_cast (or the T(x) "
+                    "functional form) so conversions stay searchable "
+                    "and checked"))
+            continue;
+
+        // --fix: mechanical when the operand is a lone identifier /
+        // number (wrap it) or already parenthesized (reuse the
+        // parens). Anything longer is left for a human.
+        std::string type_text;
+        for (std::size_t k = i + 1; k < j; ++k) {
+            const std::string &q = a.t[k].text;
+            if (!type_text.empty() && q != "::" && q != "*" &&
+                q != "&" &&
+                type_text.compare(type_text.size() - 2, 2, "::") != 0)
+                type_text += ' ';
+            type_text += q;
+        }
+        std::size_t cast_begin = a.t[i].off;
+        std::size_t cast_len = a.t[j].off + 1 - cast_begin;
+        if (next.text == "(") {
+            a.report.fixes.push_back(
+                {a.path, cast_begin, cast_len,
+                 "static_cast<" + type_text + ">", "safe-c-cast"});
+        } else if ((next.kind == TokKind::Ident ||
+                    next.kind == TokKind::Number) &&
+                   j + 2 < a.t.size()) {
+            const std::string &after = a.t[j + 2].text;
+            bool lone = after != "(" && after != "[" &&
+                        after != "." && after != "->" &&
+                        after != "::";
+            if (lone) {
+                a.report.fixes.push_back(
+                    {a.path, cast_begin, cast_len,
+                     "static_cast<" + type_text + ">(",
+                     "safe-c-cast"});
+                a.report.fixes.push_back(
+                    {a.path, next.off + next.text.size(), 0, ")",
+                     "safe-c-cast"});
+            }
+        }
     }
 }
 
@@ -659,33 +714,374 @@ concThreadOutsideExec(Analysis &a)
     }
 }
 
+// --- observability rules (per-file half) -------------------------------
+
+/** Counter-name charset: lowercase dotted metric namespace. */
+bool
+validCounterName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '.' || c == '*';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * obs-counter-name, per-file half: every string literal passed as
+ * the name of a counter/histogram instrument must match
+ * `[a-z0-9_.*]+` (the Prometheus-safe project namespace).
+ * Registration sites are also summarized for pass 2's registered-
+ * once check.
+ */
+void
+obsCounterName(Analysis &a)
+{
+    static const std::set<std::string> kNameMethods{
+        "set", "add", "setSeries", "registerHistogram", "tagGauge"};
+    for (std::size_t i = 2; i + 2 < a.t.size(); ++i) {
+        if (a.t[i].kind != TokKind::Ident ||
+            !kNameMethods.count(a.t[i].text))
+            continue;
+        const std::string &prev = a.text(i - 1);
+        if (prev != "." && prev != "->")
+            continue;
+        if (a.text(i + 1) != "(" ||
+            a.t[i + 2].kind != TokKind::String)
+            continue;
+        const std::string &name = a.t[i + 2].str;
+        if (a.t[i].text == "registerHistogram")
+            a.report.counter_regs.push_back({name, a.t[i + 2].line});
+        if (!validCounterName(name)) {
+            a.emit(a.t[i + 2].line, "obs-counter-name",
+                   "metric name \"" + name + "\" does not match "
+                   "[a-z0-9_.*]+; counter/histogram names are "
+                   "lowercase dotted identifiers");
+        }
+    }
+}
+
+// --- hygiene rules -----------------------------------------------------
+
+/** Expected include-guard macro for @p path (src/ prefix dropped). */
+std::string
+expectedGuard(const std::string &path)
+{
+    std::string tail = startsWith(path, "src/") ? path.substr(4)
+                                                : path;
+    std::string guard = "STACK3D_";
+    for (char c : tail) {
+        if (c >= 'a' && c <= 'z')
+            guard += char(c - 'a' + 'A');
+        else if ((c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+            guard += c;
+        else
+            guard += '_';
+    }
+    return guard;
+}
+
+/**
+ * hyg-header-guard: every header opens with
+ * `#ifndef STACK3D_<PATH>` / `#define` of the same macro and closes
+ * with `#endif`. One derived spelling per path keeps guards
+ * collision-free and greppable.
+ */
+void
+hygHeaderGuard(Analysis &a, const std::vector<PpDirective> &pp)
+{
+    if (!a.header)
+        return;
+    std::string expected = expectedGuard(a.path);
+    if (pp.empty()) {
+        a.emit(1, "hyg-header-guard",
+               "header has no include guard; expected '#ifndef " +
+               expected + "'");
+        return;
+    }
+    const PpDirective &first = pp.front();
+    if (startsWith(first.text, "pragma once")) {
+        a.emit(first.line, "hyg-header-guard",
+               "'#pragma once' breaks the one-guard-style rule; use "
+               "'#ifndef " + expected + "'");
+        return;
+    }
+    if (first.text != "ifndef " + expected) {
+        a.emit(first.line, "hyg-header-guard",
+               "include guard must be '#ifndef " + expected +
+               "' (saw '#" + first.text + "')");
+        return;
+    }
+    if (pp.size() < 2 || pp[1].text != "define " + expected) {
+        a.emit(first.line, "hyg-header-guard",
+               "'#ifndef " + expected + "' must be followed by "
+               "'#define " + expected + "'");
+        return;
+    }
+    if (!startsWith(pp.back().text, "endif")) {
+        a.emit(pp.back().line, "hyg-header-guard",
+               "header's last directive must be the guard's "
+               "'#endif'");
+    }
+}
+
+// --- whole-program summary collectors ----------------------------------
+
+/** Include edges from the captured preprocessor directives. */
+void
+collectIncludes(Analysis &a, const std::vector<PpDirective> &pp)
+{
+    for (const PpDirective &d : pp) {
+        if (!startsWith(d.text, "include"))
+            continue;
+        std::size_t q1 = d.text.find('"');
+        if (q1 == std::string::npos)
+            continue; // <system> include: outside the layer DAG
+        std::size_t q2 = d.text.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        a.report.includes.push_back(
+            {d.text.substr(q1 + 1, q2 - q1 - 1), d.line});
+    }
+}
+
+/**
+ * Names declared as std::atomic in this file, and every member call
+ * that looks like an atomic access. Pass 2 joins the two across the
+ * whole program (atomics declared in headers, used in .cc files).
+ */
+void
+collectAtomics(Analysis &a)
+{
+    for (std::size_t i = 0; i < a.t.size(); ++i) {
+        if (a.t[i].kind != TokKind::Ident ||
+            a.t[i].text != "atomic" || a.text(i + 1) != "<")
+            continue;
+        std::size_t j = i + 1;
+        int depth = 0;
+        for (; j < a.t.size(); ++j) {
+            const std::string &q = a.t[j].text;
+            if (q == "<")
+                ++depth;
+            else if (q == ">")
+                --depth;
+            else if (q == ">>")
+                depth -= 2;
+            if (depth <= 0)
+                break;
+        }
+        ++j;
+        while (a.text(j) == "*" || a.text(j) == "&")
+            ++j;
+        if (j < a.t.size() && a.t[j].kind == TokKind::Ident)
+            a.report.atomic_names.insert(a.t[j].text);
+    }
+
+    static const std::set<std::string> kOrderMethods{
+        "load", "store", "exchange", "fetch_add", "fetch_sub",
+        "fetch_and", "fetch_or", "fetch_xor",
+        "compare_exchange_weak", "compare_exchange_strong"};
+    for (std::size_t i = 1; i + 1 < a.t.size(); ++i) {
+        if (a.t[i].kind != TokKind::Ident ||
+            !kOrderMethods.count(a.t[i].text))
+            continue;
+        const std::string &prev = a.text(i - 1);
+        if (prev != "." && prev != "->")
+            continue;
+        if (a.text(i + 1) != "(")
+            continue;
+        AtomicSite site;
+        site.method = a.t[i].text;
+        site.line = a.t[i].line;
+        if (i >= 2 && a.t[i - 2].kind == TokKind::Ident)
+            site.object = a.t[i - 2].text;
+        site.empty_args = a.text(i + 2) == ")";
+        int depth = 0;
+        for (std::size_t j = i + 1; j < a.t.size(); ++j) {
+            const std::string &q = a.t[j].text;
+            if (q == "(") {
+                ++depth;
+            } else if (q == ")") {
+                if (--depth == 0) {
+                    site.close_off = a.t[j].off;
+                    break;
+                }
+            } else if (a.t[j].kind == TokKind::Ident &&
+                       startsWith(q, "memory_order")) {
+                site.has_order = true;
+            }
+        }
+        if (site.close_off != 0)
+            a.report.atomic_sites.push_back(site);
+    }
+}
+
+/**
+ * Wire-schema functions: namespace-scope definitions named
+ * `write*Json`, `parse*`, or `*[Dd]igest*`, with the JSON keys they
+ * emit (w.key("...")) or consume (read*("...")) and the identifiers
+ * in their bodies (for digest-membership checks).
+ */
+void
+collectSchemaFns(Analysis &a)
+{
+    for (std::size_t i = 0; i + 1 < a.t.size(); ++i) {
+        if (a.t[i].kind != TokKind::Ident || a.text(i + 1) != "(")
+            continue;
+        Scope sc = a.ctx.scope[i];
+        if (sc != Scope::TU && sc != Scope::Namespace)
+            continue;
+        if (a.ctx.paren[i] != 0)
+            continue;
+        const std::string &name = a.t[i].text;
+        bool writer = startsWith(name, "write") &&
+                      endsWith(name, "Json") && name.size() > 9;
+        bool reader = startsWith(name, "parse") && name.size() > 5;
+        bool digest = name.find("Digest") != std::string::npos ||
+                      name.find("digest") != std::string::npos;
+        if (!writer && !reader && !digest)
+            continue;
+        const std::string &prev = i > 0 ? a.text(i - 1) : "";
+        if (prev == "." || prev == "->" || prev == "::")
+            continue; // qualified call, not a definition
+        // Find the parameter list's ')' ...
+        std::size_t j = i + 1;
+        int depth = 0;
+        for (; j < a.t.size(); ++j) {
+            const std::string &q = a.t[j].text;
+            if (q == "(")
+                ++depth;
+            else if (q == ")" && --depth == 0)
+                break;
+        }
+        // ... then the body '{' (a ';' first means a declaration).
+        std::size_t body = j + 1;
+        while (body < a.t.size() && a.text(body) != "{" &&
+               a.text(body) != ";" && a.text(body) != "=")
+            ++body;
+        if (body >= a.t.size() || a.text(body) != "{")
+            continue;
+        SchemaFn fn;
+        fn.name = name;
+        fn.line = a.t[i].line;
+        int braces = 0;
+        std::size_t k = body;
+        for (; k < a.t.size(); ++k) {
+            const std::string &q = a.t[k].text;
+            if (q == "{")
+                ++braces;
+            else if (q == "}" && --braces == 0)
+                break;
+            if (a.t[k].kind == TokKind::Ident) {
+                fn.idents.insert(q);
+                bool key_call =
+                    (q == "key" || startsWith(q, "read")) &&
+                    a.text(k + 1) == "(" && k + 2 < a.t.size() &&
+                    a.t[k + 2].kind == TokKind::String;
+                if (key_call)
+                    fn.keys.push_back(
+                        {a.t[k + 2].str, a.t[k + 2].line});
+            }
+        }
+        if (!fn.keys.empty() || digest)
+            a.report.schema_fns.push_back(fn);
+        i = k;
+    }
+}
+
 } // namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> kCatalog{
+        {"det-rand", "determinism", false, false,
+         "`rand`/`srand`: hidden global RNG state; use "
+         "`core::deriveCellSeed`"},
+        {"det-wallclock", "determinism", false, false,
+         "`time()`/`clock()`/`system_clock`/`random_device` as "
+         "entropy or seeds"},
+        {"det-unordered-container", "determinism", false, false,
+         "`std::unordered_*` in result-affecting code (hash order "
+         "leaks)"},
+        {"det-unordered-iter", "determinism", false, false,
+         "iterating an unordered container declared in the same "
+         "file"},
+        {"det-float-reduce", "determinism", false, false,
+         "`std::reduce`/`transform_reduce`: unspecified summation "
+         "order"},
+        {"safe-naked-new", "safety", false, false,
+         "naked `new`/`delete` outside designed manual-lifetime "
+         "code"},
+        {"safe-memcpy", "safety", false, false,
+         "`memcpy`/`memmove` without a trivially-copyable proof"},
+        {"safe-float-eq", "safety", false, false,
+         "exact `==`/`!=` against a floating-point literal"},
+        {"safe-c-cast", "safety", false, true,
+         "C-style casts (config scopes this to `src/`)"},
+        {"safe-nodiscard", "safety", false, false,
+         "status-returning `parse*`/`try*`/`consume*`/`validate*` "
+         "APIs without `[[nodiscard]]`"},
+        {"conc-global-mutable", "concurrency", false, false,
+         "mutable namespace-scope globals with no atomic/mutex "
+         "adjacency"},
+        {"conc-static-local", "concurrency", false, false,
+         "mutable function-local statics in headers"},
+        {"conc-thread-outside-exec", "concurrency", false, false,
+         "raw `std::thread` outside `exec::` (and the standalone "
+         "lint3d tool)"},
+        {"conc-atomic-order", "concurrency", true, true,
+         "atomic `load`/`store`/`fetch_*`/`compare_exchange_*` "
+         "without an explicit `std::memory_order`"},
+        {"arch-layering", "architecture", true, false,
+         "`#include` edge that violates the declared layer DAG "
+         "(`[layer.*]` in `.lint3d.toml`)"},
+        {"wire-schema-parity", "wire", true, false,
+         "JSON key emitted by `write*Json` but not parsed by the "
+         "paired `parse*` (or vice versa)"},
+        {"wire-digest-parity", "wire", true, false,
+         "wire key absent from the request digest without a named "
+         "`exclude_keys` entry"},
+        {"obs-counter-name", "observability", true, false,
+         "metric name outside `[a-z0-9_.*]+`, or a histogram "
+         "registered under the same name twice"},
+        {"hyg-header-guard", "hygiene", false, false,
+         "header guard that is not the derived "
+         "`STACK3D_<PATH>_HH` spelling"},
+        {"lint-stale-suppression", "lint", true, false,
+         "a `// lint3d: <rule>-ok` marker that suppresses nothing "
+         "(or names an unknown rule)"},
+    };
+    return kCatalog;
+}
 
 const std::vector<std::string> &
 allRules()
 {
-    static const std::vector<std::string> kRules{
-        "det-rand",
-        "det-wallclock",
-        "det-unordered-container",
-        "det-unordered-iter",
-        "det-float-reduce",
-        "safe-naked-new",
-        "safe-memcpy",
-        "safe-float-eq",
-        "safe-c-cast",
-        "safe-nodiscard",
-        "conc-global-mutable",
-        "conc-static-local",
-        "conc-thread-outside-exec"};
+    static const std::vector<std::string> kRules = [] {
+        std::vector<std::string> rules;
+        for (const RuleInfo &info : ruleCatalog())
+            rules.push_back(info.name);
+        return rules;
+    }();
     return kRules;
 }
 
 FileReport
-analyzeFile(const std::string &path, const std::vector<Token> &toks,
-            const Suppressions &supp, const Config &cfg)
+analyzeFile(const std::string &path, const LexOutput &lexed,
+            const Config &cfg)
 {
-    Analysis a{path, toks, supp, cfg, buildContext(toks), false, {}};
+    FileReport report;
+    report.path = path;
+    report.supp = lexed.supp;
+    report.supp_decls = lexed.supp_decls;
+
+    Analysis a{path, lexed.toks, cfg, buildContext(lexed.toks), false,
+               report};
     a.header = endsWith(path, ".hh") || endsWith(path, ".hpp") ||
                endsWith(path, ".h");
 
@@ -701,7 +1097,15 @@ analyzeFile(const std::string &path, const std::vector<Token> &toks,
     concGlobalMutable(a);
     concStaticLocal(a);
     concThreadOutsideExec(a);
-    return a.report;
+    obsCounterName(a);
+    hygHeaderGuard(a, lexed.pp);
+
+    collectIncludes(a, lexed.pp);
+    collectAtomics(a);
+    collectSchemaFns(a);
+
+    std::sort(report.findings.begin(), report.findings.end());
+    return report;
 }
 
 } // namespace lint3d
